@@ -1,0 +1,152 @@
+//! Acquisition functions (Sec. 3.3): the modified, *noise-free* Expected
+//! Improvement, its feasibility-weighted extension for hidden constraints
+//! (Sec. 4.2), the randomly resampled minimum-feasibility threshold ε_f, and
+//! optional user [priors over the optimum](prior) (Sec. 6).
+
+mod prior;
+
+pub use prior::OptimumPrior;
+
+use rand::Rng;
+
+/// Standard normal probability density.
+pub fn normal_pdf(z: f64) -> f64 {
+    (-(z * z) / 2.0).exp() / (2.0 * std::f64::consts::PI).sqrt()
+}
+
+/// Standard normal cumulative distribution, via the Abramowitz & Stegun
+/// 7.1.26 rational approximation of `erf` (|error| < 1.5e-7).
+pub fn normal_cdf(z: f64) -> f64 {
+    0.5 * (1.0 + erf(z / std::f64::consts::SQRT_2))
+}
+
+fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.327_591_1 * x);
+    let poly = t
+        * (0.254_829_592
+            + t * (-0.284_496_736 + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+    sign * (1.0 - poly * (-x * x).exp())
+}
+
+/// Noise-free Expected Improvement for **minimization**.
+///
+/// `mean`/`var` are the latent posterior at the candidate (the GP's
+/// noise-free predictive distribution — Sec. 3.3's modification that stops EI
+/// from re-sampling known-good points), `incumbent` the best observed value.
+pub fn expected_improvement(mean: f64, var: f64, incumbent: f64) -> f64 {
+    let sd = var.max(0.0).sqrt();
+    if sd < 1e-15 {
+        return (incumbent - mean).max(0.0);
+    }
+    let z = (incumbent - mean) / sd;
+    let ei = (incumbent - mean) * normal_cdf(z) + sd * normal_pdf(z);
+    ei.max(0.0)
+}
+
+/// The per-iteration minimum-feasibility threshold ε_f (Sec. 4.2).
+///
+/// Drawn anew each iteration: with probability `p_zero` it is `0` (so no
+/// candidate is ever permanently excluded — the asymptotic-correctness
+/// guarantee), otherwise uniform on `(0, max]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EpsilonSchedule {
+    /// Probability of drawing ε_f = 0.
+    pub p_zero: f64,
+    /// Upper bound of the uniform draw otherwise.
+    pub max: f64,
+}
+
+impl Default for EpsilonSchedule {
+    fn default() -> Self {
+        EpsilonSchedule {
+            p_zero: 0.3,
+            max: 0.5,
+        }
+    }
+}
+
+impl EpsilonSchedule {
+    /// Draws this iteration's ε_f.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        if rng.gen_bool(self.p_zero.clamp(0.0, 1.0)) {
+            0.0
+        } else {
+            rng.gen_range(0.0..self.max.max(f64::MIN_POSITIVE))
+        }
+    }
+}
+
+/// Combines EI with the probability of feasibility: candidates below the
+/// ε_f threshold score `-∞`; otherwise `EI × P(feasible)` (Sec. 4.2).
+pub fn feasibility_weighted_ei(ei: f64, p_feasible: f64, epsilon_f: f64) -> f64 {
+    if p_feasible < epsilon_f {
+        f64::NEG_INFINITY
+    } else {
+        ei * p_feasible
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn cdf_reference_values() {
+        assert!((normal_cdf(0.0) - 0.5).abs() < 1e-7);
+        assert!((normal_cdf(1.96) - 0.975).abs() < 1e-3);
+        assert!((normal_cdf(-1.96) - 0.025).abs() < 1e-3);
+        assert!(normal_cdf(8.0) > 0.999_999);
+        assert!(normal_cdf(-8.0) < 1e-6);
+    }
+
+    #[test]
+    fn pdf_symmetric_and_normalized_peak() {
+        assert!((normal_pdf(0.0) - 0.398_942_3).abs() < 1e-6);
+        assert!((normal_pdf(1.3) - normal_pdf(-1.3)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ei_is_nonnegative_and_monotone_in_uncertainty() {
+        // Candidate mean equals incumbent: EI grows with sd.
+        let e1 = expected_improvement(1.0, 0.01, 1.0);
+        let e2 = expected_improvement(1.0, 1.0, 1.0);
+        assert!(e2 > e1 && e1 > 0.0);
+        // Way above incumbent, tiny variance → ~0.
+        assert!(expected_improvement(10.0, 1e-6, 1.0) < 1e-10);
+        // Below incumbent, zero variance → exact improvement.
+        assert!((expected_improvement(0.2, 0.0, 1.0) - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ei_never_negative_randomized() {
+        let mut rng = StdRng::seed_from_u64(1);
+        use rand::Rng;
+        for _ in 0..1000 {
+            let m = rng.gen_range(-10.0..10.0);
+            let v = rng.gen_range(0.0..5.0);
+            let inc = rng.gen_range(-10.0..10.0);
+            assert!(expected_improvement(m, v, inc) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn epsilon_schedule_hits_zero_and_range() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let s = EpsilonSchedule::default();
+        let draws: Vec<f64> = (0..2000).map(|_| s.sample(&mut rng)).collect();
+        let zeros = draws.iter().filter(|&&e| e == 0.0).count();
+        assert!((400..800).contains(&zeros), "zeros {zeros}");
+        assert!(draws.iter().all(|&e| (0.0..=0.5).contains(&e)));
+    }
+
+    #[test]
+    fn feasibility_weighting_gates_and_scales() {
+        assert_eq!(feasibility_weighted_ei(1.0, 0.1, 0.2), f64::NEG_INFINITY);
+        assert!((feasibility_weighted_ei(2.0, 0.5, 0.2) - 1.0).abs() < 1e-12);
+        assert_eq!(feasibility_weighted_ei(2.0, 1.0, 0.0), 2.0);
+    }
+}

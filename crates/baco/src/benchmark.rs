@@ -1,0 +1,178 @@
+//! A packaged autotuning benchmark: a search space, a black box, reference
+//! configurations and an evaluation budget. The three compiler substrates
+//! (`taco-sim`, `gpu-sim`, `fpga-sim`) expose their workloads as
+//! [`Benchmark`] values; the experiment harness sweeps them uniformly.
+
+use crate::space::{Configuration, SearchSpace};
+use crate::tuner::BlackBox;
+use std::fmt;
+
+/// Which compiler family a benchmark belongs to (the grouping of Fig. 5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Group {
+    /// Sparse tensor algebra on CPU.
+    Taco,
+    /// RISE & ELEVATE CPU/GPU kernels.
+    Rise,
+    /// HPVM2FPGA design-space exploration.
+    Hpvm,
+}
+
+impl fmt::Display for Group {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Group::Taco => write!(f, "TACO"),
+            Group::Rise => write!(f, "RISE & ELEVATE"),
+            Group::Hpvm => write!(f, "HPVM2FPGA"),
+        }
+    }
+}
+
+/// A complete benchmark instance (one row of Table 3, specialized to one
+/// input where applicable — e.g. `SpMM` × `scircuit`).
+pub struct Benchmark {
+    /// Display name, e.g. `"SpMM scircuit"`.
+    pub name: String,
+    /// Compiler family.
+    pub group: Group,
+    /// The tunable search space (with known constraints declared).
+    pub space: SearchSpace,
+    /// The system under tuning.
+    pub blackbox: Box<dyn BlackBox + Send + Sync>,
+    /// The compiler's untuned default configuration.
+    pub default_config: Configuration,
+    /// The expert configuration, when one exists (HPVM2FPGA has none).
+    pub expert_config: Option<Configuration>,
+    /// The paper's "Full Budget" for this benchmark.
+    pub budget: usize,
+    /// Whether the black box can fail (hidden constraints present).
+    pub has_hidden_constraints: bool,
+}
+
+impl Benchmark {
+    /// Evaluates the default configuration, returning its objective.
+    pub fn default_value(&self) -> Option<f64> {
+        self.blackbox.evaluate(&self.default_config).value()
+    }
+
+    /// Evaluates the expert configuration, if one exists.
+    pub fn expert_value(&self) -> Option<f64> {
+        let cfg = self.expert_config.as_ref()?;
+        self.blackbox.evaluate(cfg).value()
+    }
+
+    /// Tiny budget (⅓ of full, Table 3 / Fig. 5).
+    pub fn tiny_budget(&self) -> usize {
+        (self.budget / 3).max(1)
+    }
+
+    /// Small budget (⅔ of full).
+    pub fn small_budget(&self) -> usize {
+        (self.budget * 2 / 3).max(1)
+    }
+
+    /// Summary of the parameter types present, in Table 3's notation
+    /// (R/I/O/C/P).
+    pub fn param_kinds(&self) -> String {
+        use crate::space::ParamKind::*;
+        let mut have = [false; 5];
+        for p in self.space.params() {
+            let i = match p.kind() {
+                Real { .. } => 0,
+                Integer { .. } => 1,
+                Ordinal { .. } => 2,
+                Categorical { .. } => 3,
+                Permutation { .. } => 4,
+            };
+            have[i] = true;
+        }
+        let letters = ["R", "I", "O", "C", "P"];
+        let mut s = String::new();
+        for (i, l) in letters.iter().enumerate() {
+            if have[i] {
+                if !s.is_empty() {
+                    s.push('/');
+                }
+                s.push_str(l);
+            }
+        }
+        s
+    }
+
+    /// Summary of the constraint kinds, in Table 3's notation (K/H).
+    pub fn constraint_kinds(&self) -> String {
+        let k = !self.space.known_constraints().is_empty();
+        match (k, self.has_hidden_constraints) {
+            (true, true) => "K/H".into(),
+            (true, false) => "K".into(),
+            (false, true) => "H".into(),
+            (false, false) => "-".into(),
+        }
+    }
+}
+
+impl fmt::Debug for Benchmark {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Benchmark")
+            .field("name", &self.name)
+            .field("group", &self.group)
+            .field("dims", &self.space.len())
+            .field("budget", &self.budget)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuner::{Evaluation, FnBlackBox};
+
+    fn demo() -> Benchmark {
+        let space = SearchSpace::builder()
+            .integer("a", 0, 3)
+            .permutation("p", 3)
+            .known_constraint("a >= 1")
+            .build()
+            .unwrap();
+        let default_config = space
+            .configuration(&[
+                ("a", crate::space::ParamValue::Int(1)),
+                ("p", crate::space::ParamValue::Permutation(vec![0, 1, 2])),
+            ])
+            .unwrap();
+        Benchmark {
+            name: "demo".into(),
+            group: Group::Taco,
+            space: space.clone(),
+            blackbox: Box::new(FnBlackBox::new(|c: &Configuration| {
+                Evaluation::feasible(c.value("a").as_f64() + 1.0)
+            })),
+            default_config: default_config.clone(),
+            expert_config: Some(default_config),
+            budget: 60,
+            has_hidden_constraints: false,
+        }
+    }
+
+    #[test]
+    fn budget_splits() {
+        let b = demo();
+        assert_eq!(b.tiny_budget(), 20);
+        assert_eq!(b.small_budget(), 40);
+    }
+
+    #[test]
+    fn reference_values() {
+        let b = demo();
+        assert_eq!(b.default_value(), Some(2.0));
+        assert_eq!(b.expert_value(), Some(2.0));
+    }
+
+    #[test]
+    fn kind_summaries() {
+        let b = demo();
+        assert_eq!(b.param_kinds(), "I/P");
+        assert_eq!(b.constraint_kinds(), "K");
+        assert_eq!(Group::Rise.to_string(), "RISE & ELEVATE");
+    }
+}

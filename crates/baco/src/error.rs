@@ -1,0 +1,84 @@
+use std::fmt;
+
+/// Errors produced by the BaCO framework.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Error {
+    /// A search space was declared inconsistently (duplicate names, empty
+    /// domains, malformed bounds, …).
+    InvalidSpace(String),
+    /// A known-constraint expression failed to parse.
+    ConstraintParse(String),
+    /// A constraint references a parameter that does not exist.
+    UnknownParameter(String),
+    /// A constraint expression could not be evaluated on a configuration
+    /// (type mismatch, division by zero, …).
+    ConstraintEval(String),
+    /// The known constraints admit no feasible configuration.
+    EmptyFeasibleSet,
+    /// The feasible set is too large to enumerate into a Chain-of-Trees.
+    FeasibleSetTooLarge {
+        /// Number of partial configurations reached before giving up.
+        limit: usize,
+    },
+    /// Numerical failure inside a surrogate model (non-SPD kernel matrix, …).
+    Numerical(String),
+    /// The tuner was configured inconsistently (zero budget, …).
+    InvalidConfig(String),
+    /// A configuration refers to a parameter value outside its domain.
+    InvalidValue(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InvalidSpace(m) => write!(f, "invalid search space: {m}"),
+            Error::ConstraintParse(m) => write!(f, "constraint parse error: {m}"),
+            Error::UnknownParameter(m) => write!(f, "unknown parameter: {m}"),
+            Error::ConstraintEval(m) => write!(f, "constraint evaluation error: {m}"),
+            Error::EmptyFeasibleSet => write!(f, "known constraints admit no feasible configuration"),
+            Error::FeasibleSetTooLarge { limit } => {
+                write!(f, "feasible set exceeds enumeration limit of {limit} nodes")
+            }
+            Error::Numerical(m) => write!(f, "numerical error: {m}"),
+            Error::InvalidConfig(m) => write!(f, "invalid tuner configuration: {m}"),
+            Error::InvalidValue(m) => write!(f, "invalid parameter value: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errs = [
+            Error::InvalidSpace("dup".into()),
+            Error::ConstraintParse("bad token".into()),
+            Error::UnknownParameter("p9".into()),
+            Error::ConstraintEval("type mismatch".into()),
+            Error::EmptyFeasibleSet,
+            Error::FeasibleSetTooLarge { limit: 10 },
+            Error::Numerical("cholesky".into()),
+            Error::InvalidConfig("budget".into()),
+            Error::InvalidValue("7".into()),
+        ];
+        for e in errs {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Error>();
+    }
+}

@@ -1,0 +1,212 @@
+use super::Matrix;
+use crate::{Error, Result};
+
+/// Cholesky factorization `A = L Lᵀ` of a symmetric positive-definite matrix.
+///
+/// The factor is used for kernel-matrix solves, log-determinants and
+/// sampling in the Gaussian-process surrogate.
+///
+/// ```
+/// use baco::linalg::{Cholesky, Matrix};
+/// let a = Matrix::from_rows(&[&[4.0, 2.0], &[2.0, 3.0]]);
+/// let ch = Cholesky::new(&a).unwrap();
+/// let x = ch.solve(&[8.0, 7.0]);
+/// // A x = b  =>  x = [1.25, 1.5]
+/// assert!((x[0] - 1.25).abs() < 1e-12 && (x[1] - 1.5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cholesky {
+    l: Matrix,
+}
+
+impl Cholesky {
+    /// Factorizes `a`.
+    ///
+    /// # Errors
+    /// Returns [`Error::Numerical`] if `a` is not square or not positive
+    /// definite (within floating-point tolerance).
+    pub fn new(a: &Matrix) -> Result<Self> {
+        if !a.is_square() {
+            return Err(Error::Numerical("cholesky: matrix not square".into()));
+        }
+        let n = a.rows();
+        let mut l = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let mut s = a[(i, j)];
+                for k in 0..j {
+                    s -= l[(i, k)] * l[(j, k)];
+                }
+                if i == j {
+                    if s <= 0.0 || !s.is_finite() {
+                        return Err(Error::Numerical(format!(
+                            "cholesky: matrix not positive definite (pivot {s:.3e} at {i})"
+                        )));
+                    }
+                    l[(i, j)] = s.sqrt();
+                } else {
+                    l[(i, j)] = s / l[(j, j)];
+                }
+            }
+        }
+        Ok(Cholesky { l })
+    }
+
+    /// Factorizes `a`, adding growing diagonal jitter on failure.
+    ///
+    /// Tries jitter `0, eps, 10·eps, …` up to `max_tries` escalations. This is
+    /// the standard remedy for kernel matrices that are SPD in exact
+    /// arithmetic but numerically semidefinite.
+    ///
+    /// # Errors
+    /// Returns the final factorization error if all attempts fail.
+    pub fn new_with_jitter(a: &Matrix, eps: f64, max_tries: usize) -> Result<Self> {
+        match Self::new(a) {
+            Ok(c) => return Ok(c),
+            Err(_) if max_tries > 0 => {}
+            Err(e) => return Err(e),
+        }
+        let mut jitter = eps;
+        let mut last = Error::Numerical("cholesky: unreachable".into());
+        for _ in 0..max_tries {
+            let mut aj = a.clone();
+            aj.add_diagonal(jitter);
+            match Self::new(&aj) {
+                Ok(c) => return Ok(c),
+                Err(e) => last = e,
+            }
+            jitter *= 10.0;
+        }
+        Err(last)
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.l.rows()
+    }
+
+    /// The lower-triangular factor `L`.
+    pub fn factor(&self) -> &Matrix {
+        &self.l
+    }
+
+    /// Solves `L y = b` (forward substitution).
+    ///
+    /// # Panics
+    /// Panics if `b.len() != self.dim()`.
+    pub fn solve_lower(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.dim();
+        assert_eq!(b.len(), n, "solve_lower: dimension mismatch");
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let mut s = b[i];
+            for k in 0..i {
+                s -= self.l[(i, k)] * y[k];
+            }
+            y[i] = s / self.l[(i, i)];
+        }
+        y
+    }
+
+    /// Solves `Lᵀ x = y` (backward substitution).
+    ///
+    /// # Panics
+    /// Panics if `y.len() != self.dim()`.
+    pub fn solve_upper(&self, y: &[f64]) -> Vec<f64> {
+        let n = self.dim();
+        assert_eq!(y.len(), n, "solve_upper: dimension mismatch");
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut s = y[i];
+            for k in i + 1..n {
+                s -= self.l[(k, i)] * x[k];
+            }
+            x[i] = s / self.l[(i, i)];
+        }
+        x
+    }
+
+    /// Solves `A x = b` via the factorization.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        self.solve_upper(&self.solve_lower(b))
+    }
+
+    /// `log |A| = 2 Σ log L_ii`.
+    pub fn log_det(&self) -> f64 {
+        (0..self.dim()).map(|i| self.l[(i, i)].ln()).sum::<f64>() * 2.0
+    }
+
+    /// Reconstructs `L Lᵀ` (mainly for testing).
+    pub fn reconstruct(&self) -> Matrix {
+        self.l.matmul(&self.l.transpose())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd3() -> Matrix {
+        Matrix::from_rows(&[&[4.0, 12.0, -16.0], &[12.0, 37.0, -43.0], &[-16.0, -43.0, 98.0]])
+    }
+
+    #[test]
+    fn factor_known_example() {
+        // Classic example: L = [[2,0,0],[6,1,0],[-8,5,3]].
+        let ch = Cholesky::new(&spd3()).unwrap();
+        let l = ch.factor();
+        assert!((l[(0, 0)] - 2.0).abs() < 1e-12);
+        assert!((l[(1, 0)] - 6.0).abs() < 1e-12);
+        assert!((l[(1, 1)] - 1.0).abs() < 1e-12);
+        assert!((l[(2, 0)] + 8.0).abs() < 1e-12);
+        assert!((l[(2, 1)] - 5.0).abs() < 1e-12);
+        assert!((l[(2, 2)] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_roundtrip() {
+        let a = spd3();
+        let ch = Cholesky::new(&a).unwrap();
+        let b = vec![1.0, 2.0, 3.0];
+        let x = ch.solve(&b);
+        let ax = a.matvec(&x);
+        for (u, v) in ax.iter().zip(&b) {
+            assert!((u - v).abs() < 1e-9, "Ax != b: {u} vs {v}");
+        }
+    }
+
+    #[test]
+    fn log_det_matches_product_of_pivots() {
+        let ch = Cholesky::new(&spd3()).unwrap();
+        // |A| = (2*1*3)^2 = 36.
+        assert!((ch.log_det() - 36.0f64.ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejects_non_spd() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]); // eigenvalues 3, -1
+        assert!(Cholesky::new(&a).is_err());
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        let a = Matrix::zeros(2, 3);
+        assert!(matches!(Cholesky::new(&a), Err(Error::Numerical(_))));
+    }
+
+    #[test]
+    fn jitter_rescues_semidefinite() {
+        // Rank-1 matrix, PSD but singular.
+        let a = Matrix::from_rows(&[&[1.0, 1.0], &[1.0, 1.0]]);
+        assert!(Cholesky::new(&a).is_err());
+        let ch = Cholesky::new_with_jitter(&a, 1e-10, 12).unwrap();
+        assert_eq!(ch.dim(), 2);
+    }
+
+    #[test]
+    fn reconstruct_close_to_input() {
+        let a = spd3();
+        let ch = Cholesky::new(&a).unwrap();
+        assert!(ch.reconstruct().max_abs_diff(&a) < 1e-10);
+    }
+}

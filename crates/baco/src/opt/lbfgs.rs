@@ -1,0 +1,260 @@
+use crate::linalg::{axpy, dot, norm2};
+use std::collections::VecDeque;
+
+/// Options for [`minimize`].
+#[derive(Debug, Clone)]
+pub struct LbfgsOptions {
+    /// Maximum outer iterations.
+    pub max_iters: usize,
+    /// History size of the two-loop recursion.
+    pub history: usize,
+    /// Convergence tolerance on the gradient ∞-norm.
+    pub grad_tol: f64,
+    /// Armijo sufficient-decrease constant.
+    pub armijo_c: f64,
+    /// Backtracking shrink factor.
+    pub backtrack: f64,
+    /// Maximum line-search steps per iteration.
+    pub max_line_search: usize,
+}
+
+impl Default for LbfgsOptions {
+    fn default() -> Self {
+        LbfgsOptions {
+            max_iters: 100,
+            history: 8,
+            grad_tol: 1e-6,
+            armijo_c: 1e-4,
+            backtrack: 0.5,
+            max_line_search: 30,
+        }
+    }
+}
+
+/// Result of [`minimize`].
+#[derive(Debug, Clone)]
+pub struct LbfgsResult {
+    /// Final point.
+    pub x: Vec<f64>,
+    /// Final objective value.
+    pub value: f64,
+    /// Outer iterations performed.
+    pub iters: usize,
+    /// Whether the gradient tolerance was met.
+    pub converged: bool,
+}
+
+/// Minimizes `f` (value and gradient) from `x0` with limited-memory BFGS and
+/// Armijo backtracking line search.
+///
+/// Robust to line-search failure (returns the best point found). `f` may
+/// return non-finite values away from the feasible region; such steps are
+/// rejected by the line search.
+pub fn minimize<F>(f: &mut F, x0: Vec<f64>, opts: &LbfgsOptions) -> LbfgsResult
+where
+    F: FnMut(&[f64]) -> (f64, Vec<f64>),
+{
+    let n = x0.len();
+    let mut x = x0;
+    let (mut fx, mut g) = f(&x);
+    if !fx.is_finite() {
+        return LbfgsResult {
+            x,
+            value: fx,
+            iters: 0,
+            converged: false,
+        };
+    }
+
+    // (s, y, rho) triples.
+    let mut hist: VecDeque<(Vec<f64>, Vec<f64>, f64)> = VecDeque::with_capacity(opts.history);
+    let mut iters = 0;
+    let mut converged = false;
+
+    for it in 0..opts.max_iters {
+        iters = it + 1;
+        let gmax = g.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+        if gmax < opts.grad_tol {
+            converged = true;
+            break;
+        }
+
+        // Two-loop recursion: d = -H g.
+        let mut q = g.clone();
+        let mut alphas = Vec::with_capacity(hist.len());
+        for (s, y, rho) in hist.iter().rev() {
+            let a = rho * dot(s, &q);
+            axpy(-a, y, &mut q);
+            alphas.push(a);
+        }
+        // Initial Hessian scaling gamma = s·y / y·y.
+        if let Some((s, y, _)) = hist.back() {
+            let yy = dot(y, y);
+            if yy > 0.0 {
+                let gamma = dot(s, y) / yy;
+                for qi in q.iter_mut() {
+                    *qi *= gamma;
+                }
+            }
+        }
+        for ((s, y, rho), a) in hist.iter().zip(alphas.into_iter().rev()) {
+            let b = rho * dot(y, &q);
+            axpy(a - b, s, &mut q);
+        }
+        let mut d: Vec<f64> = q.into_iter().map(|v| -v).collect();
+
+        // Ensure a descent direction; otherwise fall back to -g.
+        let mut dg = dot(&d, &g);
+        if !(dg < 0.0) || !dg.is_finite() {
+            d = g.iter().map(|v| -v).collect();
+            dg = -dot(&g, &g);
+            hist.clear();
+            if dg == 0.0 {
+                converged = true;
+                break;
+            }
+        }
+
+        // Armijo backtracking, then a Wolfe-style growth phase: if the unit
+        // step satisfies Armijo but the slope along `d` is still strongly
+        // negative (curvature condition unmet), grow the step. Without this,
+        // curvature pairs have s·y ≈ 0 and the history degenerates.
+        let mut step = 1.0;
+        let mut accepted = false;
+        let mut backtracked = false;
+        let mut x_new = vec![0.0; n];
+        let mut f_new = fx;
+        let mut g_new = g.clone();
+        for _ in 0..opts.max_line_search {
+            for i in 0..n {
+                x_new[i] = x[i] + step * d[i];
+            }
+            let (fv, gv) = f(&x_new);
+            if fv.is_finite() && fv <= fx + opts.armijo_c * step * dg {
+                accepted = true;
+                f_new = fv;
+                g_new = gv;
+                break;
+            }
+            backtracked = true;
+            step *= opts.backtrack;
+        }
+        if !accepted {
+            break;
+        }
+        if !backtracked {
+            const WOLFE_C2: f64 = 0.9;
+            for _ in 0..10 {
+                if dot(&d, &g_new) >= WOLFE_C2 * dg {
+                    break; // curvature condition met
+                }
+                let grown = step * 2.0;
+                let mut x_try = vec![0.0; n];
+                for i in 0..n {
+                    x_try[i] = x[i] + grown * d[i];
+                }
+                let (fv, gv) = f(&x_try);
+                if fv.is_finite() && fv <= fx + opts.armijo_c * grown * dg {
+                    step = grown;
+                    x_new = x_try;
+                    f_new = fv;
+                    g_new = gv;
+                } else {
+                    break;
+                }
+            }
+        }
+
+        let s: Vec<f64> = x_new.iter().zip(&x).map(|(a, b)| a - b).collect();
+        let yv: Vec<f64> = g_new.iter().zip(&g).map(|(a, b)| a - b).collect();
+        let sy = dot(&s, &yv);
+        if sy > 1e-12 * norm2(&s) * norm2(&yv) && sy.is_finite() {
+            if hist.len() == opts.history {
+                hist.pop_front();
+            }
+            hist.push_back((s, yv.clone(), 1.0 / sy));
+        }
+        x = x_new.clone();
+        fx = f_new;
+        g = g_new;
+    }
+
+    LbfgsResult {
+        x,
+        value: fx,
+        iters,
+        converged,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quadratic(x: &[f64]) -> (f64, Vec<f64>) {
+        // f = Σ i·(x_i − i)²
+        let mut v = 0.0;
+        let mut g = vec![0.0; x.len()];
+        for (i, &xi) in x.iter().enumerate() {
+            let w = (i + 1) as f64;
+            v += w * (xi - w).powi(2);
+            g[i] = 2.0 * w * (xi - w);
+        }
+        (v, g)
+    }
+
+    fn rosenbrock(x: &[f64]) -> (f64, Vec<f64>) {
+        let (a, b) = (1.0, 100.0);
+        let v = (a - x[0]).powi(2) + b * (x[1] - x[0] * x[0]).powi(2);
+        let g = vec![
+            -2.0 * (a - x[0]) - 4.0 * b * x[0] * (x[1] - x[0] * x[0]),
+            2.0 * b * (x[1] - x[0] * x[0]),
+        ];
+        (v, g)
+    }
+
+    #[test]
+    fn solves_quadratic_exactly() {
+        let r = minimize(&mut quadratic, vec![0.0; 5], &LbfgsOptions::default());
+        assert!(r.converged);
+        for (i, xi) in r.x.iter().enumerate() {
+            assert!((xi - (i + 1) as f64).abs() < 1e-5, "x[{i}] = {xi}");
+        }
+    }
+
+    #[test]
+    fn solves_rosenbrock() {
+        let opts = LbfgsOptions {
+            max_iters: 500,
+            ..Default::default()
+        };
+        let r = minimize(&mut rosenbrock, vec![-1.2, 1.0], &opts);
+        assert!(r.value < 1e-8, "value {}", r.value);
+        assert!((r.x[0] - 1.0).abs() < 1e-3 && (r.x[1] - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn non_finite_start_returns_immediately() {
+        let mut f = |_: &[f64]| (f64::NAN, vec![0.0]);
+        let r = minimize(&mut f, vec![0.0], &LbfgsOptions::default());
+        assert_eq!(r.iters, 0);
+        assert!(!r.converged);
+    }
+
+    #[test]
+    fn respects_iteration_cap() {
+        let opts = LbfgsOptions {
+            max_iters: 2,
+            ..Default::default()
+        };
+        let r = minimize(&mut rosenbrock, vec![-1.2, 1.0], &opts);
+        assert!(r.iters <= 2);
+    }
+
+    #[test]
+    fn already_converged_point() {
+        let r = minimize(&mut quadratic, vec![1.0, 2.0, 3.0], &LbfgsOptions::default());
+        assert!(r.converged);
+        assert!(r.value < 1e-12);
+    }
+}

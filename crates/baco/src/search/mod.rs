@@ -1,0 +1,330 @@
+//! Search procedures: the initial design-of-experiments phase and the
+//! multi-start local search that optimizes the acquisition function
+//! (Sec. 3.3: "Neighbours are defined as all configurations that can be
+//! reached by modifying a single parameter").
+
+mod neighbors;
+
+pub use neighbors::neighbors;
+
+use crate::cot::ChainOfTrees;
+use crate::space::{Configuration, SearchSpace};
+use rand::Rng;
+use std::collections::HashSet;
+
+/// A feasible-configuration source: the CoT when the space is fully
+/// discrete, otherwise rejection sampling against the known constraints.
+#[derive(Debug)]
+pub enum FeasibleSampler {
+    /// Sampling / membership via the Chain-of-Trees.
+    Cot(ChainOfTrees),
+    /// Rejection sampling for spaces with continuous parameters.
+    Rejection(SearchSpace),
+}
+
+impl FeasibleSampler {
+    /// Builds the appropriate sampler for `space`.
+    ///
+    /// # Errors
+    /// Propagates CoT construction failures (empty feasible set, blow-up).
+    pub fn new(space: &SearchSpace) -> crate::Result<Self> {
+        if space.is_fully_discrete() {
+            Ok(FeasibleSampler::Cot(ChainOfTrees::build(space)?))
+        } else {
+            Ok(FeasibleSampler::Rejection(space.clone()))
+        }
+    }
+
+    /// The underlying space.
+    pub fn space(&self) -> &SearchSpace {
+        match self {
+            FeasibleSampler::Cot(c) => c.space(),
+            FeasibleSampler::Rejection(s) => s,
+        }
+    }
+
+    /// The CoT, when one was built.
+    pub fn cot(&self) -> Option<&ChainOfTrees> {
+        match self {
+            FeasibleSampler::Cot(c) => Some(c),
+            FeasibleSampler::Rejection(_) => None,
+        }
+    }
+
+    /// Samples one feasible configuration (uniform over leaves for the CoT).
+    ///
+    /// # Panics
+    /// Panics if rejection sampling fails 10 000 times in a row (degenerate
+    /// constraint set on a continuous space).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Configuration {
+        match self {
+            FeasibleSampler::Cot(c) => c.sample_uniform(rng),
+            FeasibleSampler::Rejection(s) => {
+                for _ in 0..10_000 {
+                    let cfg = s.sample_dense(rng);
+                    if s.satisfies_known(&cfg).unwrap_or(false) {
+                        return cfg;
+                    }
+                }
+                panic!("rejection sampling failed: feasible set too sparse");
+            }
+        }
+    }
+
+    /// Whether `cfg` satisfies the known constraints.
+    pub fn contains(&self, cfg: &Configuration) -> bool {
+        match self {
+            FeasibleSampler::Cot(c) => c.contains(cfg),
+            FeasibleSampler::Rejection(s) => s.satisfies_known(cfg).unwrap_or(false),
+        }
+    }
+}
+
+/// Draws `n` distinct feasible configurations for the initial phase,
+/// excluding anything in `seen`. May return fewer if the feasible set is
+/// nearly exhausted.
+pub fn doe_sample<R: Rng + ?Sized>(
+    sampler: &FeasibleSampler,
+    rng: &mut R,
+    n: usize,
+    seen: &HashSet<Configuration>,
+) -> Vec<Configuration> {
+    let mut out = Vec::with_capacity(n);
+    let mut local: HashSet<Configuration> = HashSet::new();
+    let mut attempts = 0usize;
+    while out.len() < n && attempts < 200 * n.max(1) {
+        attempts += 1;
+        let cfg = sampler.sample(rng);
+        if seen.contains(&cfg) || local.contains(&cfg) {
+            continue;
+        }
+        local.insert(cfg.clone());
+        out.push(cfg);
+    }
+    out
+}
+
+/// Options for [`local_search`].
+#[derive(Debug, Clone, Copy)]
+pub struct LocalSearchOptions {
+    /// Random candidates scored before the climb.
+    pub n_candidates: usize,
+    /// How many of the best candidates seed hill climbs.
+    pub n_starts: usize,
+    /// Maximum climb steps per start.
+    pub max_steps: usize,
+}
+
+impl Default for LocalSearchOptions {
+    fn default() -> Self {
+        LocalSearchOptions {
+            n_candidates: 500,
+            n_starts: 8,
+            max_steps: 60,
+        }
+    }
+}
+
+/// Multi-start local search maximizing `score`, excluding configurations in
+/// `seen`. Returns the best configuration found, or `None` when every
+/// candidate was already evaluated or scored `-∞`.
+pub fn local_search<R, F>(
+    sampler: &FeasibleSampler,
+    rng: &mut R,
+    mut score: F,
+    opts: &LocalSearchOptions,
+    seen: &HashSet<Configuration>,
+) -> Option<Configuration>
+where
+    R: Rng + ?Sized,
+    F: FnMut(&Configuration) -> f64,
+{
+    let space = sampler.space().clone();
+    let mut scored: Vec<(f64, Configuration)> = Vec::with_capacity(opts.n_candidates);
+    for _ in 0..opts.n_candidates {
+        let cfg = sampler.sample(rng);
+        if seen.contains(&cfg) {
+            continue;
+        }
+        let s = score(&cfg);
+        if s > f64::NEG_INFINITY {
+            scored.push((s, cfg));
+        }
+    }
+    scored.sort_by(|a, b| b.0.total_cmp(&a.0));
+    scored.truncate(opts.n_starts.max(1));
+
+    let mut best: Option<(f64, Configuration)> = None;
+    for (s0, start) in scored {
+        let mut cur = start;
+        let mut cur_score = s0;
+        for _ in 0..opts.max_steps {
+            let mut improved = false;
+            for nb in neighbors(&space, &cur) {
+                if !sampler.contains(&nb) || seen.contains(&nb) {
+                    continue;
+                }
+                let s = score(&nb);
+                if s > cur_score {
+                    cur = nb;
+                    cur_score = s;
+                    improved = true;
+                }
+            }
+            if !improved {
+                break;
+            }
+        }
+        if best.as_ref().map_or(true, |(b, _)| cur_score > *b) {
+            best = Some((cur_score, cur));
+        }
+    }
+    best.map(|(_, c)| c)
+}
+
+/// Picks the best of `n` random feasible candidates (the degraded
+/// acquisition optimizer used by the `BaCO--` ablation).
+pub fn random_search<R, F>(
+    sampler: &FeasibleSampler,
+    rng: &mut R,
+    mut score: F,
+    n: usize,
+    seen: &HashSet<Configuration>,
+) -> Option<Configuration>
+where
+    R: Rng + ?Sized,
+    F: FnMut(&Configuration) -> f64,
+{
+    let mut best: Option<(f64, Configuration)> = None;
+    for _ in 0..n {
+        let cfg = sampler.sample(rng);
+        if seen.contains(&cfg) {
+            continue;
+        }
+        let s = score(&cfg);
+        if s > f64::NEG_INFINITY && best.as_ref().map_or(true, |(b, _)| s > *b) {
+            best = Some((s, cfg));
+        }
+    }
+    best.map(|(_, c)| c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::{ParamValue, SearchSpace};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn space() -> SearchSpace {
+        SearchSpace::builder()
+            .integer("a", 0, 15)
+            .integer("b", 0, 15)
+            .known_constraint("a >= b")
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn doe_returns_distinct_feasible() {
+        let s = space();
+        let sampler = FeasibleSampler::new(&s).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let got = doe_sample(&sampler, &mut rng, 20, &HashSet::new());
+        assert_eq!(got.len(), 20);
+        let uniq: HashSet<_> = got.iter().cloned().collect();
+        assert_eq!(uniq.len(), 20);
+        for c in &got {
+            assert!(c.value("a").as_i64() >= c.value("b").as_i64());
+        }
+    }
+
+    #[test]
+    fn doe_respects_seen_set() {
+        let s = SearchSpace::builder().integer("a", 0, 3).build().unwrap();
+        let sampler = FeasibleSampler::new(&s).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut seen = HashSet::new();
+        seen.insert(s.configuration(&[("a", ParamValue::Int(0))]).unwrap());
+        seen.insert(s.configuration(&[("a", ParamValue::Int(1))]).unwrap());
+        let got = doe_sample(&sampler, &mut rng, 4, &seen);
+        assert_eq!(got.len(), 2, "only 2 configs remain unseen");
+    }
+
+    #[test]
+    fn local_search_climbs_to_optimum() {
+        let s = space();
+        let sampler = FeasibleSampler::new(&s).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        // Unimodal score peaked at (a, b) = (12, 7).
+        let score = |c: &Configuration| {
+            let a = c.value("a").as_f64();
+            let b = c.value("b").as_f64();
+            -((a - 12.0).powi(2) + (b - 7.0).powi(2))
+        };
+        let opts = LocalSearchOptions {
+            n_candidates: 30,
+            n_starts: 4,
+            max_steps: 50,
+        };
+        let best = local_search(&sampler, &mut rng, score, &opts, &HashSet::new()).unwrap();
+        assert_eq!(best.value("a").as_i64(), 12);
+        assert_eq!(best.value("b").as_i64(), 7);
+    }
+
+    #[test]
+    fn local_search_stays_feasible() {
+        let s = space();
+        let sampler = FeasibleSampler::new(&s).unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        // Score pulls towards the infeasible corner (a=0, b=15).
+        let score = |c: &Configuration| {
+            let a = c.value("a").as_f64();
+            let b = c.value("b").as_f64();
+            -a + b
+        };
+        let best = local_search(
+            &sampler,
+            &mut rng,
+            score,
+            &LocalSearchOptions::default(),
+            &HashSet::new(),
+        )
+        .unwrap();
+        // Feasible optimum on a >= b is the diagonal a == b.
+        assert_eq!(best.value("a").as_i64(), best.value("b").as_i64());
+    }
+
+    #[test]
+    fn local_search_excludes_seen() {
+        let s = SearchSpace::builder().integer("a", 0, 2).build().unwrap();
+        let sampler = FeasibleSampler::new(&s).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut seen = HashSet::new();
+        // The optimum a=2 is already evaluated.
+        seen.insert(s.configuration(&[("a", ParamValue::Int(2))]).unwrap());
+        let best = local_search(
+            &sampler,
+            &mut rng,
+            |c| c.value("a").as_f64(),
+            &LocalSearchOptions::default(),
+            &seen,
+        )
+        .unwrap();
+        assert_eq!(best.value("a").as_i64(), 1);
+    }
+
+    #[test]
+    fn rejection_sampler_for_continuous_spaces() {
+        let s = SearchSpace::builder()
+            .real("x", 0.0, 1.0)
+            .integer("k", 0, 9)
+            .build()
+            .unwrap();
+        let sampler = FeasibleSampler::new(&s).unwrap();
+        assert!(sampler.cot().is_none());
+        let mut rng = StdRng::seed_from_u64(6);
+        let c = sampler.sample(&mut rng);
+        assert!(sampler.contains(&c));
+    }
+}

@@ -1,0 +1,189 @@
+use crate::space::{ParamKind, PermMetric, Scale};
+use crate::space::{Configuration, SearchSpace};
+
+/// One parameter's model-facing representation.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum Feature {
+    /// Normalized numeric position in `[0,1]` (log-transformed when the
+    /// parameter declares [`Scale::Log`] and transforms are enabled).
+    Num(f64),
+    /// Category index (Hamming distance).
+    Cat(u32),
+    /// Decoded permutation (semimetric distance).
+    Perm(Vec<u8>),
+}
+
+/// A configuration prepared for model consumption: every parameter mapped to
+/// its distance-ready representation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelInput {
+    pub(crate) feats: Vec<Feature>,
+}
+
+impl ModelInput {
+    /// Builds the model representation of `cfg`.
+    ///
+    /// With `use_transforms == false` (the `BaCO--` ablation of Fig. 8/9),
+    /// log-scaled parameters are normalized linearly instead.
+    pub fn from_config(space: &SearchSpace, cfg: &Configuration, use_transforms: bool) -> Self {
+        let feats = space
+            .params()
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                let scale = if use_transforms { p.scale() } else { Scale::Linear };
+                match p.kind() {
+                    ParamKind::Real { .. } => {
+                        Feature::Num(p.normalized_real_with(cfg.value_at(i).as_f64(), scale))
+                    }
+                    ParamKind::Integer { .. } | ParamKind::Ordinal { .. } => {
+                        Feature::Num(p.normalized_at_with(cfg.cval(i).idx(), scale))
+                    }
+                    ParamKind::Categorical { .. } => Feature::Cat(cfg.cval(i).idx() as u32),
+                    ParamKind::Permutation { len } => {
+                        Feature::Perm(crate::space::perm::unrank(cfg.cval(i).idx(), *len))
+                    }
+                }
+            })
+            .collect();
+        ModelInput { feats }
+    }
+
+    /// Number of parameters.
+    pub fn len(&self) -> usize {
+        self.feats.len()
+    }
+
+    /// Whether there are no parameters.
+    pub fn is_empty(&self) -> bool {
+        self.feats.is_empty()
+    }
+
+    /// Squared per-dimension distance between two inputs (before lengthscale
+    /// weighting). Permutation distances use `metric`, normalized to `[0,1]`.
+    ///
+    /// # Panics
+    /// Panics if the inputs come from different spaces.
+    pub(crate) fn dim_dist2(&self, other: &ModelInput, dim: usize, metric: PermMetric) -> f64 {
+        match (&self.feats[dim], &other.feats[dim]) {
+            (Feature::Num(a), Feature::Num(b)) => (a - b) * (a - b),
+            (Feature::Cat(a), Feature::Cat(b)) => {
+                if a == b {
+                    0.0
+                } else {
+                    1.0
+                }
+            }
+            (Feature::Perm(a), Feature::Perm(b)) => {
+                let d = crate::space::perm::distance(metric, a, b);
+                d * d
+            }
+            (a, b) => panic!("mismatched features at dim {dim}: {a:?} vs {b:?}"),
+        }
+    }
+
+    /// Flattened numeric feature vector for tree-based models: numeric value,
+    /// category index, and one normalized position per permutation element.
+    pub fn flat_features(&self) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.feats.len());
+        for f in &self.feats {
+            match f {
+                Feature::Num(v) => out.push(*v),
+                Feature::Cat(c) => out.push(*c as f64),
+                Feature::Perm(p) => {
+                    let m = p.len().max(1) as f64;
+                    let mut pos = vec![0.0; p.len()];
+                    for (i, &e) in p.iter().enumerate() {
+                        pos[e as usize] = i as f64 / m;
+                    }
+                    out.extend(pos);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::{ParamValue, SearchSpace};
+
+    fn space() -> SearchSpace {
+        SearchSpace::builder()
+            .ordinal_log("tile", vec![1.0, 2.0, 4.0, 8.0, 16.0])
+            .categorical("c", vec!["a", "b", "z"])
+            .permutation("p", 3)
+            .build()
+            .unwrap()
+    }
+
+    fn cfg(s: &SearchSpace, tile: f64, c: &str, p: Vec<u8>) -> Configuration {
+        s.configuration(&[
+            ("tile", ParamValue::Ordinal(tile)),
+            ("c", ParamValue::Categorical(c.into())),
+            ("p", ParamValue::Permutation(p)),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn log_transform_applied_when_enabled() {
+        let s = space();
+        let a = ModelInput::from_config(&s, &cfg(&s, 1.0, "a", vec![0, 1, 2]), true);
+        let b = ModelInput::from_config(&s, &cfg(&s, 2.0, "a", vec![0, 1, 2]), true);
+        let c = ModelInput::from_config(&s, &cfg(&s, 8.0, "a", vec![0, 1, 2]), true);
+        let d = ModelInput::from_config(&s, &cfg(&s, 16.0, "a", vec![0, 1, 2]), true);
+        let d_small = a.dim_dist2(&b, 0, PermMetric::Spearman);
+        let d_large = c.dim_dist2(&d, 0, PermMetric::Spearman);
+        assert!((d_small - d_large).abs() < 1e-12, "{d_small} vs {d_large}");
+    }
+
+    #[test]
+    fn log_transform_stripped_when_disabled() {
+        let s = space();
+        let a = ModelInput::from_config(&s, &cfg(&s, 1.0, "a", vec![0, 1, 2]), false);
+        let b = ModelInput::from_config(&s, &cfg(&s, 2.0, "a", vec![0, 1, 2]), false);
+        let c = ModelInput::from_config(&s, &cfg(&s, 8.0, "a", vec![0, 1, 2]), false);
+        let d = ModelInput::from_config(&s, &cfg(&s, 16.0, "a", vec![0, 1, 2]), false);
+        let d_small = a.dim_dist2(&b, 0, PermMetric::Spearman);
+        let d_large = c.dim_dist2(&d, 0, PermMetric::Spearman);
+        assert!(d_large > 10.0 * d_small, "{d_small} vs {d_large}");
+    }
+
+    #[test]
+    fn categorical_distance_is_hamming() {
+        let s = space();
+        let a = ModelInput::from_config(&s, &cfg(&s, 1.0, "a", vec![0, 1, 2]), true);
+        let b = ModelInput::from_config(&s, &cfg(&s, 1.0, "b", vec![0, 1, 2]), true);
+        let z = ModelInput::from_config(&s, &cfg(&s, 1.0, "z", vec![0, 1, 2]), true);
+        assert_eq!(a.dim_dist2(&b, 1, PermMetric::Spearman), 1.0);
+        assert_eq!(b.dim_dist2(&z, 1, PermMetric::Spearman), 1.0);
+        assert_eq!(a.dim_dist2(&a, 1, PermMetric::Spearman), 0.0);
+    }
+
+    #[test]
+    fn naive_metric_collapses_permutation_structure() {
+        let s = space();
+        let a = ModelInput::from_config(&s, &cfg(&s, 1.0, "a", vec![0, 1, 2]), true);
+        let near = ModelInput::from_config(&s, &cfg(&s, 1.0, "a", vec![0, 2, 1]), true);
+        let far = ModelInput::from_config(&s, &cfg(&s, 1.0, "a", vec![2, 1, 0]), true);
+        let d_near_s = a.dim_dist2(&near, 2, PermMetric::Spearman);
+        let d_far_s = a.dim_dist2(&far, 2, PermMetric::Spearman);
+        assert!(d_near_s < d_far_s);
+        assert_eq!(a.dim_dist2(&near, 2, PermMetric::Naive), 1.0);
+        assert_eq!(a.dim_dist2(&far, 2, PermMetric::Naive), 1.0);
+    }
+
+    #[test]
+    fn flat_features_expand_permutations() {
+        let s = space();
+        let a = ModelInput::from_config(&s, &cfg(&s, 4.0, "b", vec![2, 0, 1]), true);
+        let f = a.flat_features();
+        // 1 numeric + 1 categorical + 3 permutation positions.
+        assert_eq!(f.len(), 5);
+        assert_eq!(f[1], 1.0); // category "b" has index 1
+        // element 0 sits at position 1, element 1 at 2, element 2 at 0.
+        assert_eq!(&f[2..], &[1.0 / 3.0, 2.0 / 3.0, 0.0]);
+    }
+}

@@ -1,0 +1,559 @@
+//! The Gaussian-process surrogate of Sec. 3.2: a 5/2-Matérn kernel over the
+//! weighted per-parameter distance vector, with lengthscale gamma priors and
+//! MAP hyperparameter fitting by multistart L-BFGS.
+
+use super::features::ModelInput;
+use crate::linalg::{dot, mean, std_dev, Cholesky, Matrix};
+use crate::opt::{multistart_minimize, LbfgsOptions};
+use crate::space::{Configuration, PermMetric, SearchSpace};
+use crate::{Error, Result};
+use rand::Rng;
+
+const SQRT5: f64 = 2.236_067_977_499_79;
+/// Jitter always added to the kernel diagonal for numerical stability.
+const BASE_JITTER: f64 = 1e-8;
+
+/// Gamma prior on lengthscales: shape `alpha`, rate `beta` (Sec. 3.2:
+/// "gamma priors … chosen to be flexible while cutting out extreme
+/// hyperparameter settings").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GammaPrior {
+    /// Shape parameter (α > 1 pushes lengthscales away from zero).
+    pub alpha: f64,
+    /// Rate parameter (larger β penalizes very long lengthscales).
+    pub beta: f64,
+}
+
+impl Default for GammaPrior {
+    fn default() -> Self {
+        // Mode at (α−1)/β = 1 on normalized inputs; long tails both ways.
+        GammaPrior { alpha: 2.0, beta: 1.0 }
+    }
+}
+
+impl GammaPrior {
+    /// Unnormalized log-density at `x > 0`.
+    pub fn log_pdf(&self, x: f64) -> f64 {
+        (self.alpha - 1.0) * x.ln() - self.beta * x
+    }
+
+    /// Derivative of [`GammaPrior::log_pdf`] w.r.t. `log x`.
+    pub fn dlog_pdf_dlogx(&self, x: f64) -> f64 {
+        (self.alpha - 1.0) - self.beta * x
+    }
+}
+
+/// Options controlling GP fitting. The defaults are BaCO's; the ablations of
+/// Fig. 8/9 toggle individual fields.
+#[derive(Debug, Clone)]
+pub struct GpOptions {
+    /// Permutation semimetric (Sec. 4.1; default Spearman).
+    pub perm_metric: PermMetric,
+    /// Apply declared log transforms to inputs (Sec. 4.2).
+    pub input_transforms: bool,
+    /// Gamma prior on lengthscales, or `None` for plain MLE.
+    pub lengthscale_prior: Option<GammaPrior>,
+    /// Number of random hyperparameter draws in the multistart.
+    pub multistart_samples: usize,
+    /// How many of the best draws are refined with L-BFGS.
+    pub multistart_keep: usize,
+    /// L-BFGS settings for the refinement.
+    pub lbfgs: LbfgsOptions,
+}
+
+impl Default for GpOptions {
+    fn default() -> Self {
+        GpOptions {
+            perm_metric: PermMetric::Spearman,
+            input_transforms: true,
+            lengthscale_prior: Some(GammaPrior::default()),
+            multistart_samples: 24,
+            multistart_keep: 3,
+            lbfgs: LbfgsOptions {
+                max_iters: 60,
+                ..Default::default()
+            },
+        }
+    }
+}
+
+impl GpOptions {
+    /// The crippled configuration used as `BaCO--` in Fig. 8: no input
+    /// transforms, no priors, naive permutation distance, and a single
+    /// unrefined hyperparameter draw instead of the full multistart.
+    pub fn baco_minus_minus() -> Self {
+        GpOptions {
+            perm_metric: PermMetric::Naive,
+            input_transforms: false,
+            lengthscale_prior: None,
+            multistart_samples: 1,
+            multistart_keep: 1,
+            lbfgs: LbfgsOptions {
+                max_iters: 10,
+                ..Default::default()
+            },
+        }
+    }
+}
+
+/// A fitted Gaussian process with the 5/2-Matérn kernel of Eq. (1)–(2).
+///
+/// Outputs are standardized internally; predictions are returned on the
+/// original scale. The predictive variance is *latent* (noise-free), as
+/// required by the modified EI acquisition of Sec. 3.3.
+#[derive(Debug)]
+pub struct GaussianProcess {
+    space: SearchSpace,
+    inputs: Vec<ModelInput>,
+    /// Per-dimension lengthscales ℓᵢ.
+    lengthscales: Vec<f64>,
+    /// Output scale σ (kernel amplitude).
+    outputscale: f64,
+    /// Observation noise variance σε².
+    noise: f64,
+    perm_metric: PermMetric,
+    input_transforms: bool,
+    y_mean: f64,
+    y_std: f64,
+    chol: Cholesky,
+    alpha: Vec<f64>,
+}
+
+impl GaussianProcess {
+    /// Fits the GP to `(configs, y)` by MAP estimation of lengthscales,
+    /// outputscale and noise.
+    ///
+    /// # Errors
+    /// [`Error::InvalidConfig`] on empty or mismatched data;
+    /// [`Error::Numerical`] if every hyperparameter candidate fails to
+    /// factorize (pathological duplicate-heavy data).
+    pub fn fit<R: Rng + ?Sized>(
+        space: &SearchSpace,
+        configs: &[Configuration],
+        y: &[f64],
+        opts: &GpOptions,
+        rng: &mut R,
+    ) -> Result<Self> {
+        if configs.is_empty() || configs.len() != y.len() {
+            return Err(Error::InvalidConfig(format!(
+                "GP fit needs matching nonempty data: {} configs, {} values",
+                configs.len(),
+                y.len()
+            )));
+        }
+        let n = configs.len();
+        let d = space.len();
+        let inputs: Vec<ModelInput> = configs
+            .iter()
+            .map(|c| ModelInput::from_config(space, c, opts.input_transforms))
+            .collect();
+
+        // Standardize outputs.
+        let y_mean = mean(y);
+        let y_std = {
+            let s = std_dev(y);
+            if s > 1e-12 {
+                s
+            } else {
+                1.0
+            }
+        };
+        let ys: Vec<f64> = y.iter().map(|v| (v - y_mean) / y_std).collect();
+
+        // Precompute per-dimension squared distances (fixed across the
+        // hyperparameter optimization).
+        let mut d2 = vec![Matrix::zeros(n, n); d];
+        for k in 0..d {
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    let v = inputs[i].dim_dist2(&inputs[j], k, opts.perm_metric);
+                    d2[k][(i, j)] = v;
+                    d2[k][(j, i)] = v;
+                }
+            }
+        }
+
+        // θ = [log ℓ_1..d, log σ, log σε²].
+        let nll = |theta: &[f64]| -> (f64, Vec<f64>) {
+            neg_log_posterior(theta, &d2, &ys, opts.lengthscale_prior.as_ref())
+        };
+
+        let sample_theta = |rng: &mut R| -> Vec<f64> {
+            let mut t = Vec::with_capacity(d + 2);
+            for _ in 0..d {
+                t.push(rng.gen_range((0.05f64).ln()..(3.0f64).ln()));
+            }
+            t.push(rng.gen_range((0.2f64).ln()..(2.0f64).ln()));
+            t.push(rng.gen_range((1e-6f64).ln()..(1e-2f64).ln()));
+            t
+        };
+
+        let mut f = |theta: &[f64]| nll(theta);
+        let best = multistart_minimize(
+            rng,
+            opts.multistart_samples.max(1),
+            opts.multistart_keep.max(1),
+            sample_theta,
+            &mut f,
+            &opts.lbfgs,
+        );
+
+        // Decode hyperparameters; fall back to a safe default if the
+        // optimizer diverged.
+        let theta = if best.value.is_finite() {
+            best.x
+        } else {
+            let mut t = vec![0.0; d];
+            t.push(0.0);
+            t.push((1e-3f64).ln());
+            t
+        };
+        let lengthscales: Vec<f64> = theta[..d].iter().map(|t| t.exp().clamp(1e-3, 1e3)).collect();
+        let outputscale = theta[d].exp().clamp(1e-4, 1e4);
+        let noise = theta[d + 1].exp().clamp(1e-9, 1e2);
+
+        // Final factorization at the chosen hyperparameters.
+        let kmat = kernel_matrix(&d2, &lengthscales, outputscale, noise);
+        let chol = Cholesky::new_with_jitter(&kmat, 1e-10, 14)
+            .map_err(|e| Error::Numerical(format!("GP final factorization failed: {e}")))?;
+        let alpha = chol.solve(&ys);
+
+        Ok(GaussianProcess {
+            space: space.clone(),
+            inputs,
+            lengthscales,
+            outputscale,
+            noise,
+            perm_metric: opts.perm_metric,
+            input_transforms: opts.input_transforms,
+            y_mean,
+            y_std,
+            chol,
+            alpha,
+        })
+    }
+
+    /// Posterior mean and latent (noise-free) variance at `cfg`, on the
+    /// original output scale.
+    pub fn predict(&self, cfg: &Configuration) -> (f64, f64) {
+        let x = ModelInput::from_config(&self.space, cfg, self.input_transforms);
+        self.predict_input(&x)
+    }
+
+    /// Like [`GaussianProcess::predict`] but over a prepared [`ModelInput`]
+    /// (avoids re-featurizing in hot loops).
+    pub fn predict_input(&self, x: &ModelInput) -> (f64, f64) {
+        let n = self.inputs.len();
+        let mut kstar = vec![0.0; n];
+        for (i, xi) in self.inputs.iter().enumerate() {
+            let mut s = 0.0;
+            for k in 0..x.len() {
+                s += x.dim_dist2(xi, k, self.perm_metric) / (self.lengthscales[k] * self.lengthscales[k]);
+            }
+            kstar[i] = matern52(s.sqrt(), self.outputscale);
+        }
+        let mean_std = dot(&kstar, &self.alpha);
+        let v = self.chol.solve(&kstar);
+        let var_std = (self.outputscale - dot(&kstar, &v)).max(1e-12);
+        (
+            self.y_mean + self.y_std * mean_std,
+            self.y_std * self.y_std * var_std,
+        )
+    }
+
+    /// The fitted per-parameter lengthscales.
+    pub fn lengthscales(&self) -> &[f64] {
+        &self.lengthscales
+    }
+
+    /// The fitted kernel amplitude σ.
+    pub fn outputscale(&self) -> f64 {
+        self.outputscale
+    }
+
+    /// The fitted observation-noise variance σε².
+    pub fn noise(&self) -> f64 {
+        self.noise
+    }
+
+    /// Number of training points.
+    pub fn train_len(&self) -> usize {
+        self.inputs.len()
+    }
+}
+
+/// 5/2-Matérn kernel value at distance `dist` with amplitude `sigma`.
+fn matern52(dist: f64, sigma: f64) -> f64 {
+    let t = SQRT5 * dist;
+    sigma * (1.0 + t + 5.0 / 3.0 * dist * dist) * (-t).exp()
+}
+
+fn kernel_matrix(d2: &[Matrix], ls: &[f64], sigma: f64, noise: f64) -> Matrix {
+    let n = d2.first().map_or(0, Matrix::rows);
+    let mut k = Matrix::zeros(n, n);
+    for i in 0..n {
+        k[(i, i)] = sigma + noise + BASE_JITTER;
+        for j in (i + 1)..n {
+            let mut s = 0.0;
+            for (kk, m) in d2.iter().enumerate() {
+                s += m[(i, j)] / (ls[kk] * ls[kk]);
+            }
+            let v = matern52(s.sqrt(), sigma);
+            k[(i, j)] = v;
+            k[(j, i)] = v;
+        }
+    }
+    k
+}
+
+/// Negative log posterior (marginal likelihood + lengthscale priors) and its
+/// gradient w.r.t. θ = [log ℓ…, log σ, log σε²].
+fn neg_log_posterior(
+    theta: &[f64],
+    d2: &[Matrix],
+    ys: &[f64],
+    prior: Option<&GammaPrior>,
+) -> (f64, Vec<f64>) {
+    let d = d2.len();
+    let n = ys.len();
+    let bad = |_: ()| (f64::INFINITY, vec![0.0; theta.len()]);
+    if theta.iter().any(|t| !t.is_finite() || t.abs() > 40.0) {
+        return bad(());
+    }
+    let ls: Vec<f64> = theta[..d].iter().map(|t| t.exp()).collect();
+    let sigma = theta[d].exp();
+    let noise = theta[d + 1].exp();
+
+    let kmat = kernel_matrix(d2, &ls, sigma, noise);
+    let Ok(chol) = Cholesky::new(&kmat) else {
+        return bad(());
+    };
+    let alpha = chol.solve(ys);
+    let data_fit: f64 = dot(ys, &alpha);
+    let mut nll = 0.5 * data_fit
+        + 0.5 * chol.log_det()
+        + 0.5 * n as f64 * (2.0 * std::f64::consts::PI).ln();
+
+    // B = K⁻¹ − α αᵀ (only needed for gradients).
+    let mut kinv = Matrix::zeros(n, n);
+    for j in 0..n {
+        let mut e = vec![0.0; n];
+        e[j] = 1.0;
+        let col = chol.solve(&e);
+        for i in 0..n {
+            kinv[(i, j)] = col[i];
+        }
+    }
+    let mut b = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..n {
+            b[(i, j)] = kinv[(i, j)] - alpha[i] * alpha[j];
+        }
+    }
+
+    // Recompute scaled distances and the Matérn pieces for the gradient.
+    let mut grad = vec![0.0; d + 2];
+    // C_ij = (5/3) σ (1 + √5 d_ij) e^{−√5 d_ij}; ∂k/∂logℓ_k = C_ij r²_k/ℓ_k².
+    for i in 0..n {
+        for j in 0..n {
+            if i == j {
+                continue;
+            }
+            let mut s = 0.0;
+            for (kk, m) in d2.iter().enumerate() {
+                s += m[(i, j)] / (ls[kk] * ls[kk]);
+            }
+            let dist = s.sqrt();
+            let e = (-SQRT5 * dist).exp();
+            let kval = sigma * (1.0 + SQRT5 * dist + 5.0 / 3.0 * dist * dist) * e;
+            let c = 5.0 / 3.0 * sigma * (1.0 + SQRT5 * dist) * e;
+            let bij = b[(i, j)];
+            // log σ gradient accumulates off-diagonal kernel part.
+            grad[d] += 0.5 * bij * kval;
+            for (kk, m) in d2.iter().enumerate() {
+                let r2 = m[(i, j)] / (ls[kk] * ls[kk]);
+                grad[kk] += 0.5 * bij * c * r2;
+            }
+        }
+    }
+    // Diagonal contributions: k_ii = σ (+ noise); ∂/∂logσ = σ, ∂/∂logσε² = σε².
+    for i in 0..n {
+        grad[d] += 0.5 * b[(i, i)] * sigma;
+        grad[d + 1] += 0.5 * b[(i, i)] * noise;
+    }
+
+    if let Some(p) = prior {
+        for (kk, l) in ls.iter().enumerate() {
+            nll -= p.log_pdf(*l);
+            grad[kk] -= p.dlog_pdf_dlogx(*l);
+        }
+    }
+
+    (nll, grad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::{ParamValue, SearchSpace};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn space_1d() -> SearchSpace {
+        SearchSpace::builder().integer("x", 0, 20).build().unwrap()
+    }
+
+    fn cfg_x(s: &SearchSpace, x: i64) -> Configuration {
+        s.configuration(&[("x", ParamValue::Int(x))]).unwrap()
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let s = space_1d();
+        let configs: Vec<_> = [0, 3, 7, 12, 20].iter().map(|&x| cfg_x(&s, x)).collect();
+        let y: Vec<f64> = configs
+            .iter()
+            .map(|c| (c.value("x").as_f64() / 5.0).sin())
+            .collect();
+        let inputs: Vec<ModelInput> = configs
+            .iter()
+            .map(|c| ModelInput::from_config(&s, c, true))
+            .collect();
+        let n = inputs.len();
+        let mut d2 = vec![Matrix::zeros(n, n)];
+        for i in 0..n {
+            for j in 0..n {
+                d2[0][(i, j)] = inputs[i].dim_dist2(&inputs[j], 0, PermMetric::Spearman);
+            }
+        }
+        let ym = mean(&y);
+        let ysd = std_dev(&y);
+        let ys: Vec<f64> = y.iter().map(|v| (v - ym) / ysd).collect();
+        let prior = GammaPrior::default();
+
+        let theta = vec![(0.4f64).ln(), (0.9f64).ln(), (1e-3f64).ln()];
+        let (f0, g) = neg_log_posterior(&theta, &d2, &ys, Some(&prior));
+        assert!(f0.is_finite());
+        let h = 1e-6;
+        for k in 0..theta.len() {
+            let mut tp = theta.clone();
+            tp[k] += h;
+            let (fp, _) = neg_log_posterior(&tp, &d2, &ys, Some(&prior));
+            let mut tm = theta.clone();
+            tm[k] -= h;
+            let (fm, _) = neg_log_posterior(&tm, &d2, &ys, Some(&prior));
+            let fd = (fp - fm) / (2.0 * h);
+            assert!(
+                (fd - g[k]).abs() < 1e-4 * (1.0 + fd.abs()),
+                "grad[{k}]: analytic {} vs fd {fd}",
+                g[k]
+            );
+        }
+    }
+
+    #[test]
+    fn interpolates_training_data_with_low_noise() {
+        let s = space_1d();
+        let configs: Vec<_> = (0..=20).step_by(2).map(|x| cfg_x(&s, x)).collect();
+        let y: Vec<f64> = configs
+            .iter()
+            .map(|c| {
+                let x = c.value("x").as_f64();
+                (x - 10.0) * (x - 10.0) / 20.0
+            })
+            .collect();
+        let mut rng = StdRng::seed_from_u64(2);
+        let gp = GaussianProcess::fit(&s, &configs, &y, &GpOptions::default(), &mut rng).unwrap();
+        for (c, yi) in configs.iter().zip(&y) {
+            let (m, v) = gp.predict(c);
+            assert!((m - yi).abs() < 0.35, "mean {m} vs {yi}");
+            assert!(v >= 0.0);
+        }
+        // Prediction between points should also be sane (smooth function).
+        let (m, _) = gp.predict(&cfg_x(&s, 9));
+        assert!((m - 0.05).abs() < 1.0, "interpolated mean {m}");
+    }
+
+    #[test]
+    fn variance_grows_away_from_data() {
+        let s = SearchSpace::builder().integer("x", 0, 100).build().unwrap();
+        let configs: Vec<_> = [0i64, 2, 4, 6, 8, 10].iter().map(|&x| {
+            s.configuration(&[("x", ParamValue::Int(x))]).unwrap()
+        }).collect();
+        let y = vec![1.0, 1.1, 0.9, 1.05, 0.95, 1.0];
+        let mut rng = StdRng::seed_from_u64(3);
+        let gp = GaussianProcess::fit(&s, &configs, &y, &GpOptions::default(), &mut rng).unwrap();
+        let (_, v_near) = gp.predict(&s.configuration(&[("x", ParamValue::Int(5))]).unwrap());
+        let (_, v_far) = gp.predict(&s.configuration(&[("x", ParamValue::Int(90))]).unwrap());
+        assert!(v_far > v_near, "far {v_far} vs near {v_near}");
+    }
+
+    #[test]
+    fn handles_single_point_and_constant_outputs() {
+        let s = space_1d();
+        let mut rng = StdRng::seed_from_u64(4);
+        let one = vec![cfg_x(&s, 5)];
+        let gp = GaussianProcess::fit(&s, &one, &[3.0], &GpOptions::default(), &mut rng).unwrap();
+        let (m, v) = gp.predict(&cfg_x(&s, 5));
+        assert!((m - 3.0).abs() < 0.5);
+        assert!(v >= 0.0);
+
+        let configs: Vec<_> = (0..5).map(|x| cfg_x(&s, x * 4)).collect();
+        let gp =
+            GaussianProcess::fit(&s, &configs, &[2.0; 5], &GpOptions::default(), &mut rng).unwrap();
+        let (m, _) = gp.predict(&cfg_x(&s, 3));
+        assert!((m - 2.0).abs() < 0.5, "constant mean {m}");
+    }
+
+    #[test]
+    fn duplicate_points_do_not_crash() {
+        let s = space_1d();
+        let mut rng = StdRng::seed_from_u64(5);
+        let configs = vec![cfg_x(&s, 5), cfg_x(&s, 5), cfg_x(&s, 9)];
+        let y = vec![1.0, 1.2, 2.0];
+        let gp = GaussianProcess::fit(&s, &configs, &y, &GpOptions::default(), &mut rng).unwrap();
+        let (m, _) = gp.predict(&cfg_x(&s, 5));
+        assert!((m - 1.1).abs() < 0.4, "noisy duplicate mean {m}");
+    }
+
+    #[test]
+    fn empty_fit_is_error() {
+        let s = space_1d();
+        let mut rng = StdRng::seed_from_u64(6);
+        assert!(GaussianProcess::fit(&s, &[], &[], &GpOptions::default(), &mut rng).is_err());
+    }
+
+    #[test]
+    fn mixed_space_with_permutation_fits() {
+        let s = SearchSpace::builder()
+            .ordinal_log("tile", vec![1.0, 2.0, 4.0, 8.0])
+            .categorical("m", vec!["a", "b"])
+            .permutation("p", 3)
+            .build()
+            .unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut configs = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..12 {
+            let cfg = s.sample_dense(&mut rng);
+            // Synthetic objective touching every type.
+            let t = cfg.value("tile").as_f64().log2();
+            let c = if cfg.value("m").as_str() == "a" { 0.0 } else { 1.0 };
+            let p0 = cfg.value("p").as_permutation()[0] as f64;
+            y.push(t + c + 0.5 * p0 + (i as f64) * 0.01);
+            configs.push(cfg);
+        }
+        let gp = GaussianProcess::fit(&s, &configs, &y, &GpOptions::default(), &mut rng).unwrap();
+        assert_eq!(gp.lengthscales().len(), 3);
+        let (m, v) = gp.predict(&configs[0]);
+        assert!(m.is_finite() && v.is_finite() && v >= 0.0);
+    }
+
+    #[test]
+    fn matern_kernel_basics() {
+        assert!((matern52(0.0, 2.0) - 2.0).abs() < 1e-12);
+        assert!(matern52(1.0, 1.0) < 1.0);
+        assert!(matern52(5.0, 1.0) < matern52(1.0, 1.0));
+        assert!(matern52(50.0, 1.0) >= 0.0);
+    }
+}

@@ -1,0 +1,34 @@
+//! Predictive models: the Gaussian-process value surrogate (Sec. 3.2) and the
+//! random-forest models used both as an alternative surrogate and as the
+//! hidden-constraint feasibility classifier (Sec. 4.2).
+
+mod features;
+pub mod gp;
+pub mod rf;
+
+pub use features::ModelInput;
+pub use gp::{GaussianProcess, GpOptions};
+pub use rf::{RandomForestClassifier, RandomForestRegressor, RfOptions};
+
+use crate::space::{Configuration, SearchSpace};
+
+/// A fitted value model: posterior mean and variance at a configuration.
+///
+/// Implemented by [`GaussianProcess`] and [`RandomForestRegressor`] so the
+/// tuner can swap surrogates (the paper's Fig. 8 comparison).
+pub trait ValueModel: std::fmt::Debug {
+    /// Posterior mean and (latent, noise-free) variance at `cfg`.
+    fn predict(&self, space: &SearchSpace, cfg: &Configuration) -> (f64, f64);
+}
+
+impl ValueModel for GaussianProcess {
+    fn predict(&self, _space: &SearchSpace, cfg: &Configuration) -> (f64, f64) {
+        self.predict(cfg)
+    }
+}
+
+impl ValueModel for RandomForestRegressor {
+    fn predict(&self, space: &SearchSpace, cfg: &Configuration) -> (f64, f64) {
+        self.predict_config(space, cfg)
+    }
+}

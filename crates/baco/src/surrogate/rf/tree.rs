@@ -1,0 +1,245 @@
+use rand::Rng;
+
+/// A CART-style decision tree over flat numeric feature vectors, trained by
+/// variance reduction. Works both for regression (arbitrary labels) and for
+/// binary classification (0/1 labels; leaf mean = class probability).
+#[derive(Debug, Clone)]
+pub(crate) struct DecisionTree {
+    nodes: Vec<Node>,
+}
+
+#[derive(Debug, Clone)]
+enum Node {
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: u32,
+        right: u32,
+    },
+    Leaf {
+        value: f64,
+    },
+}
+
+/// Per-tree hyperparameters.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct TreeOptions {
+    pub max_depth: usize,
+    pub min_samples_leaf: usize,
+    /// Number of candidate features per split (`mtry`).
+    pub features_per_split: usize,
+}
+
+impl DecisionTree {
+    /// Fits a tree on the rows of `x` (indices `idx`) with labels `y`.
+    pub(crate) fn fit<R: Rng + ?Sized>(
+        x: &[Vec<f64>],
+        y: &[f64],
+        idx: &[usize],
+        opts: &TreeOptions,
+        rng: &mut R,
+    ) -> Self {
+        let mut nodes = Vec::new();
+        let mut scratch: Vec<usize> = idx.to_vec();
+        build(x, y, &mut scratch, 0, opts, rng, &mut nodes);
+        DecisionTree { nodes }
+    }
+
+    /// Predicts a single feature vector.
+    pub(crate) fn predict(&self, features: &[f64]) -> f64 {
+        let mut cur = 0usize;
+        loop {
+            match &self.nodes[cur] {
+                Node::Leaf { value } => return *value,
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    cur = if features[*feature] <= *threshold {
+                        *left as usize
+                    } else {
+                        *right as usize
+                    };
+                }
+            }
+        }
+    }
+
+    #[cfg(test)]
+    pub(crate) fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+}
+
+fn mean_of(y: &[f64], idx: &[usize]) -> f64 {
+    idx.iter().map(|&i| y[i]).sum::<f64>() / idx.len() as f64
+}
+
+fn sse_of(y: &[f64], idx: &[usize]) -> f64 {
+    let m = mean_of(y, idx);
+    idx.iter().map(|&i| (y[i] - m).powi(2)).sum()
+}
+
+/// Recursively builds nodes; returns the index of the created node.
+fn build<R: Rng + ?Sized>(
+    x: &[Vec<f64>],
+    y: &[f64],
+    idx: &mut [usize],
+    depth: usize,
+    opts: &TreeOptions,
+    rng: &mut R,
+    nodes: &mut Vec<Node>,
+) -> u32 {
+    let node_id = nodes.len() as u32;
+    let leaf_value = mean_of(y, idx);
+    // Stopping conditions.
+    let pure = idx.iter().all(|&i| y[i] == y[idx[0]]);
+    if depth >= opts.max_depth || idx.len() < 2 * opts.min_samples_leaf || pure {
+        nodes.push(Node::Leaf { value: leaf_value });
+        return node_id;
+    }
+
+    let n_features = x[idx[0]].len();
+    let mut feats: Vec<usize> = (0..n_features).collect();
+    // Sample `features_per_split` features without replacement.
+    for i in 0..feats.len() {
+        let j = rng.gen_range(i..feats.len());
+        feats.swap(i, j);
+    }
+    feats.truncate(opts.features_per_split.clamp(1, n_features));
+
+    let parent_sse = sse_of(y, idx);
+    let mut best: Option<(f64, usize, f64)> = None; // (gain, feature, threshold)
+    for &f in &feats {
+        // Distinct sorted feature values among the samples.
+        let mut vals: Vec<f64> = idx.iter().map(|&i| x[i][f]).collect();
+        vals.sort_by(f64::total_cmp);
+        vals.dedup();
+        if vals.len() < 2 {
+            continue;
+        }
+        for w in vals.windows(2) {
+            let thr = 0.5 * (w[0] + w[1]);
+            let (mut ln, mut ls, mut ls2) = (0usize, 0.0f64, 0.0f64);
+            let (mut rn, mut rs, mut rs2) = (0usize, 0.0f64, 0.0f64);
+            for &i in idx.iter() {
+                if x[i][f] <= thr {
+                    ln += 1;
+                    ls += y[i];
+                    ls2 += y[i] * y[i];
+                } else {
+                    rn += 1;
+                    rs += y[i];
+                    rs2 += y[i] * y[i];
+                }
+            }
+            if ln < opts.min_samples_leaf || rn < opts.min_samples_leaf {
+                continue;
+            }
+            let sse = (ls2 - ls * ls / ln as f64) + (rs2 - rs * rs / rn as f64);
+            let gain = parent_sse - sse;
+            if best.map_or(true, |(g, _, _)| gain > g) && gain > 1e-12 {
+                best = Some((gain, f, thr));
+            }
+        }
+    }
+
+    let Some((_, feature, threshold)) = best else {
+        nodes.push(Node::Leaf { value: leaf_value });
+        return node_id;
+    };
+
+    // Partition indices in place.
+    let mut lhs: Vec<usize> = Vec::new();
+    let mut rhs: Vec<usize> = Vec::new();
+    for &i in idx.iter() {
+        if x[i][feature] <= threshold {
+            lhs.push(i);
+        } else {
+            rhs.push(i);
+        }
+    }
+
+    nodes.push(Node::Split {
+        feature,
+        threshold,
+        left: 0,
+        right: 0,
+    });
+    let left = build(x, y, &mut lhs, depth + 1, opts, rng, nodes);
+    let right = build(x, y, &mut rhs, depth + 1, opts, rng, nodes);
+    if let Node::Split {
+        left: l, right: r, ..
+    } = &mut nodes[node_id as usize]
+    {
+        *l = left;
+        *r = right;
+    }
+    node_id
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn opts() -> TreeOptions {
+        TreeOptions {
+            max_depth: 10,
+            min_samples_leaf: 1,
+            features_per_split: 2,
+        }
+    }
+
+    #[test]
+    fn fits_step_function_exactly() {
+        let x: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64, 0.0]).collect();
+        let y: Vec<f64> = (0..20).map(|i| if i < 10 { 1.0 } else { 5.0 }).collect();
+        let idx: Vec<usize> = (0..20).collect();
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = DecisionTree::fit(&x, &y, &idx, &opts(), &mut rng);
+        assert_eq!(t.predict(&[3.0, 0.0]), 1.0);
+        assert_eq!(t.predict(&[15.0, 0.0]), 5.0);
+    }
+
+    #[test]
+    fn pure_labels_make_single_leaf() {
+        let x: Vec<Vec<f64>> = (0..5).map(|i| vec![i as f64]).collect();
+        let y = vec![2.0; 5];
+        let idx: Vec<usize> = (0..5).collect();
+        let mut rng = StdRng::seed_from_u64(2);
+        let t = DecisionTree::fit(&x, &y, &idx, &opts(), &mut rng);
+        assert_eq!(t.node_count(), 1);
+        assert_eq!(t.predict(&[99.0]), 2.0);
+    }
+
+    #[test]
+    fn respects_max_depth() {
+        let x: Vec<Vec<f64>> = (0..64).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = (0..64).map(|i| i as f64).collect();
+        let idx: Vec<usize> = (0..64).collect();
+        let mut rng = StdRng::seed_from_u64(3);
+        let shallow = TreeOptions {
+            max_depth: 1,
+            min_samples_leaf: 1,
+            features_per_split: 1,
+        };
+        let t = DecisionTree::fit(&x, &y, &idx, &shallow, &mut rng);
+        // Depth 1 → at most 3 nodes (root + 2 leaves).
+        assert!(t.node_count() <= 3);
+    }
+
+    #[test]
+    fn binary_labels_give_probabilities() {
+        let x: Vec<Vec<f64>> = (0..10).map(|i| vec![(i % 2) as f64]).collect();
+        let y: Vec<f64> = (0..10).map(|i| (i % 2) as f64).collect();
+        let idx: Vec<usize> = (0..10).collect();
+        let mut rng = StdRng::seed_from_u64(4);
+        let t = DecisionTree::fit(&x, &y, &idx, &opts(), &mut rng);
+        assert_eq!(t.predict(&[0.0]), 0.0);
+        assert_eq!(t.predict(&[1.0]), 1.0);
+    }
+}

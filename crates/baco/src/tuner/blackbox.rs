@@ -1,0 +1,163 @@
+use crate::space::Configuration;
+use std::fmt;
+
+/// The outcome of evaluating one configuration on the target system.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Evaluation {
+    value: Option<f64>,
+    feasible: bool,
+}
+
+impl Evaluation {
+    /// A successful evaluation with the measured objective (lower is better;
+    /// typically a runtime).
+    pub fn feasible(value: f64) -> Self {
+        Evaluation {
+            value: Some(value),
+            feasible: true,
+        }
+    }
+
+    /// A failed evaluation — a *hidden constraint* violation: the compiler
+    /// crashed, the kernel ran out of memory, the design did not fit, …
+    ///
+    /// Unlike frameworks that feed a penalty value to the model, BaCO routes
+    /// these to the feasibility classifier (Sec. 4.2).
+    pub fn infeasible() -> Self {
+        Evaluation {
+            value: None,
+            feasible: false,
+        }
+    }
+
+    /// The measured objective, if the evaluation succeeded.
+    pub fn value(&self) -> Option<f64> {
+        self.value
+    }
+
+    /// Whether the evaluation succeeded.
+    pub fn is_feasible(&self) -> bool {
+        self.feasible
+    }
+}
+
+impl fmt::Display for Evaluation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.value {
+            Some(v) => write!(f, "{v}"),
+            None => write!(f, "infeasible"),
+        }
+    }
+}
+
+/// A system under autotuning: compiler + benchmark, treated as a black box
+/// (Sec. 1: "it is vital for an autoscheduler to treat each compiler as a
+/// black-box system").
+pub trait BlackBox {
+    /// Compiles and runs `cfg`, returning the measured objective or an
+    /// infeasibility signal.
+    fn evaluate(&self, cfg: &Configuration) -> Evaluation;
+
+    /// A human-readable name for reports.
+    fn name(&self) -> &str {
+        "blackbox"
+    }
+}
+
+impl<T: BlackBox + ?Sized> BlackBox for &T {
+    fn evaluate(&self, cfg: &Configuration) -> Evaluation {
+        (**self).evaluate(cfg)
+    }
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+}
+
+impl<T: BlackBox + ?Sized> BlackBox for Box<T> {
+    fn evaluate(&self, cfg: &Configuration) -> Evaluation {
+        (**self).evaluate(cfg)
+    }
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+}
+
+/// Adapts a closure into a [`BlackBox`].
+///
+/// ```
+/// use baco::{Evaluation, FnBlackBox, SearchSpace};
+/// use baco::tuner::BlackBox;
+/// let space = SearchSpace::builder().integer("x", 0, 7).build()?;
+/// let f = FnBlackBox::new(|cfg| Evaluation::feasible(cfg.value("x").as_f64()));
+/// let e = f.evaluate(&space.default_configuration());
+/// assert_eq!(e.value(), Some(0.0));
+/// # Ok::<(), baco::Error>(())
+/// ```
+pub struct FnBlackBox<F> {
+    f: F,
+    name: String,
+}
+
+impl<F> FnBlackBox<F>
+where
+    F: Fn(&Configuration) -> Evaluation,
+{
+    /// Wraps `f`.
+    pub fn new(f: F) -> Self {
+        FnBlackBox {
+            f,
+            name: "fn-blackbox".to_string(),
+        }
+    }
+
+    /// Wraps `f` with a display name.
+    pub fn named(name: &str, f: F) -> Self {
+        FnBlackBox {
+            f,
+            name: name.to_string(),
+        }
+    }
+}
+
+impl<F> BlackBox for FnBlackBox<F>
+where
+    F: Fn(&Configuration) -> Evaluation,
+{
+    fn evaluate(&self, cfg: &Configuration) -> Evaluation {
+        (self.f)(cfg)
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+impl<F> fmt::Debug for FnBlackBox<F> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "FnBlackBox({})", self.name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evaluation_constructors() {
+        let ok = Evaluation::feasible(1.5);
+        assert_eq!(ok.value(), Some(1.5));
+        assert!(ok.is_feasible());
+        assert_eq!(ok.to_string(), "1.5");
+        let bad = Evaluation::infeasible();
+        assert_eq!(bad.value(), None);
+        assert!(!bad.is_feasible());
+        assert_eq!(bad.to_string(), "infeasible");
+    }
+
+    #[test]
+    fn fn_blackbox_named() {
+        let f = FnBlackBox::named("demo", |_| Evaluation::infeasible());
+        assert_eq!(f.name(), "demo");
+        assert!(format!("{f:?}").contains("demo"));
+    }
+}

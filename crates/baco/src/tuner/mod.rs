@@ -1,0 +1,700 @@
+//! The BaCO recommendation/evaluation loop (Fig. 2 of the paper): an initial
+//! random phase followed by Bayesian optimization with a GP value model, an
+//! RF feasibility model, noise-free EI and multi-start local search, all over
+//! the Chain-of-Trees feasible set.
+
+mod blackbox;
+mod report;
+mod session;
+
+pub use blackbox::{BlackBox, Evaluation, FnBlackBox};
+pub use report::{Trial, TuningReport};
+pub use session::Session;
+
+use crate::acquisition::{expected_improvement, feasibility_weighted_ei, EpsilonSchedule, OptimumPrior};
+use crate::search::{doe_sample, local_search, random_search, FeasibleSampler, LocalSearchOptions};
+use crate::space::{Configuration, SearchSpace};
+use crate::surrogate::{
+    GaussianProcess, GpOptions, RandomForestClassifier, RandomForestRegressor, RfOptions,
+    ValueModel,
+};
+use crate::{Error, Result};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+use std::time::Instant;
+
+/// Which value surrogate drives the acquisition (Fig. 8 compares them).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SurrogateKind {
+    /// Gaussian process (BaCO default).
+    #[default]
+    GaussianProcess,
+    /// Random forest (the "RFs" arm of Fig. 8).
+    RandomForest,
+}
+
+/// Tunable knobs of the BaCO loop. Every ablation in the paper's Sec. 5.3
+/// corresponds to a field here.
+#[derive(Debug, Clone)]
+pub struct BacoOptions {
+    /// Total evaluation budget (Table 3's "Full Budget").
+    pub budget: usize,
+    /// Evaluations in the initial random phase (DoE).
+    pub doe_samples: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// GP configuration (permutation metric, transforms, priors, multistart).
+    pub gp: GpOptions,
+    /// RF configuration (feasibility classifier and RF surrogate).
+    pub rf: RfOptions,
+    /// Value surrogate choice.
+    pub surrogate: SurrogateKind,
+    /// Learn hidden constraints with a feasibility classifier (Sec. 4.2).
+    pub hidden_constraints: bool,
+    /// Apply the minimum-feasibility threshold ε_f (Fig. 10 ablates this).
+    pub feasibility_limit: bool,
+    /// ε_f distribution.
+    pub epsilon_schedule: EpsilonSchedule,
+    /// Optimize the acquisition with multi-start local search; `false` falls
+    /// back to scoring random candidates (the `BaCO--` ablation).
+    pub local_search: bool,
+    /// Local-search parameters.
+    pub ls: LocalSearchOptions,
+    /// Log-transform the objective before modelling (Sec. 4.2: runtimes are
+    /// positive and heavy-tailed).
+    pub log_objective: bool,
+    /// Optional user prior over the optimum's location (Sec. 6), applied as
+    /// a decaying multiplicative weight on the acquisition.
+    pub optimum_prior: Option<OptimumPrior>,
+}
+
+impl Default for BacoOptions {
+    fn default() -> Self {
+        BacoOptions {
+            budget: 60,
+            doe_samples: 10,
+            seed: 0,
+            gp: GpOptions::default(),
+            rf: RfOptions::default(),
+            surrogate: SurrogateKind::GaussianProcess,
+            hidden_constraints: true,
+            feasibility_limit: true,
+            epsilon_schedule: EpsilonSchedule::default(),
+            local_search: true,
+            ls: LocalSearchOptions::default(),
+            log_objective: true,
+            optimum_prior: None,
+        }
+    }
+}
+
+/// Builder for [`Baco`]; see the [crate docs](crate) for an example.
+#[derive(Debug)]
+pub struct BacoBuilder {
+    space: SearchSpace,
+    opts: BacoOptions,
+}
+
+impl BacoBuilder {
+    /// Total evaluation budget.
+    pub fn budget(mut self, n: usize) -> Self {
+        self.opts.budget = n;
+        self
+    }
+
+    /// Number of initial random samples.
+    pub fn doe_samples(mut self, n: usize) -> Self {
+        self.opts.doe_samples = n;
+        self
+    }
+
+    /// RNG seed (runs are fully deterministic given the seed and a
+    /// deterministic black box).
+    pub fn seed(mut self, s: u64) -> Self {
+        self.opts.seed = s;
+        self
+    }
+
+    /// Overrides the GP configuration.
+    pub fn gp_options(mut self, gp: GpOptions) -> Self {
+        self.opts.gp = gp;
+        self
+    }
+
+    /// Overrides the RF configuration.
+    pub fn rf_options(mut self, rf: RfOptions) -> Self {
+        self.opts.rf = rf;
+        self
+    }
+
+    /// Chooses the value surrogate.
+    pub fn surrogate(mut self, s: SurrogateKind) -> Self {
+        self.opts.surrogate = s;
+        self
+    }
+
+    /// Enables/disables the hidden-constraint feasibility model.
+    pub fn hidden_constraints(mut self, on: bool) -> Self {
+        self.opts.hidden_constraints = on;
+        self
+    }
+
+    /// Enables/disables the ε_f minimum-feasibility threshold.
+    pub fn feasibility_limit(mut self, on: bool) -> Self {
+        self.opts.feasibility_limit = on;
+        self
+    }
+
+    /// Enables/disables local search for the acquisition optimizer.
+    pub fn local_search(mut self, on: bool) -> Self {
+        self.opts.local_search = on;
+        self
+    }
+
+    /// Overrides the local-search parameters.
+    pub fn ls_options(mut self, ls: LocalSearchOptions) -> Self {
+        self.opts.ls = ls;
+        self
+    }
+
+    /// Enables/disables the output log transform.
+    pub fn log_objective(mut self, on: bool) -> Self {
+        self.opts.log_objective = on;
+        self
+    }
+
+    /// Installs a user prior over the optimum's location (Sec. 6).
+    pub fn optimum_prior(mut self, p: OptimumPrior) -> Self {
+        self.opts.optimum_prior = Some(p);
+        self
+    }
+
+    /// Replaces all options at once.
+    pub fn options(mut self, opts: BacoOptions) -> Self {
+        self.opts = opts;
+        self
+    }
+
+    /// Validates options and precomputes the Chain-of-Trees.
+    ///
+    /// # Errors
+    /// [`Error::InvalidConfig`] for a zero budget; CoT construction errors
+    /// for unsatisfiable or oversized known constraints.
+    pub fn build(self) -> Result<Baco> {
+        if self.opts.budget == 0 {
+            return Err(Error::InvalidConfig("budget must be positive".into()));
+        }
+        if self.space.is_empty() {
+            return Err(Error::InvalidConfig("search space has no parameters".into()));
+        }
+        let sampler = FeasibleSampler::new(&self.space)?;
+        Ok(Baco {
+            space: self.space,
+            sampler,
+            opts: self.opts,
+        })
+    }
+}
+
+/// The BaCO autotuner. Construct with [`Baco::builder`], then call
+/// [`Baco::run`] with the black box to optimize.
+#[derive(Debug)]
+pub struct Baco {
+    space: SearchSpace,
+    sampler: FeasibleSampler,
+    opts: BacoOptions,
+}
+
+impl Baco {
+    /// Starts configuring a tuner for `space`.
+    pub fn builder(space: SearchSpace) -> BacoBuilder {
+        BacoBuilder {
+            space,
+            opts: BacoOptions::default(),
+        }
+    }
+
+    /// The search space being tuned.
+    pub fn space(&self) -> &SearchSpace {
+        &self.space
+    }
+
+    /// The options in effect.
+    pub fn options(&self) -> &BacoOptions {
+        &self.opts
+    }
+
+    /// The feasible-set sampler (CoT-backed for discrete spaces).
+    pub fn sampler(&self) -> &FeasibleSampler {
+        &self.sampler
+    }
+
+    /// Runs the full recommendation/evaluation loop against `bb`.
+    ///
+    /// # Errors
+    /// Propagates surrogate-fitting failures. Black-box failures are not
+    /// errors — they are hidden-constraint observations.
+    pub fn run(&self, bb: &dyn BlackBox) -> Result<TuningReport> {
+        let mut rng = StdRng::seed_from_u64(self.opts.seed);
+        let mut report = TuningReport::new("BaCO");
+        let mut seen: HashSet<Configuration> = HashSet::new();
+
+        // ── Initial phase ────────────────────────────────────────────────
+        let doe_n = self.opts.doe_samples.min(self.opts.budget);
+        let t0 = Instant::now();
+        let initial = doe_sample(&self.sampler, &mut rng, doe_n, &seen);
+        let doe_pick_time = t0.elapsed() / doe_n.max(1) as u32;
+        for cfg in initial {
+            self.evaluate_into(bb, cfg, doe_pick_time, &mut seen, &mut report);
+        }
+
+        // ── Learning phase ───────────────────────────────────────────────
+        while report.len() < self.opts.budget {
+            let t0 = Instant::now();
+            let next = self.recommend(&mut rng, &report, &seen)?;
+            let tuner_time = t0.elapsed();
+            let Some(cfg) = next else {
+                break; // feasible set exhausted
+            };
+            self.evaluate_into(bb, cfg, tuner_time, &mut seen, &mut report);
+        }
+        Ok(report)
+    }
+
+    /// One recommendation step: fit models on the history in `report` and
+    /// optimize the acquisition. Exposed for benchmarking the tuner's own
+    /// overhead (Table 10) and for custom loops.
+    ///
+    /// # Errors
+    /// Propagates surrogate-fitting failures.
+    pub fn recommend(
+        &self,
+        rng: &mut StdRng,
+        report: &TuningReport,
+        seen: &HashSet<Configuration>,
+    ) -> Result<Option<Configuration>> {
+        let (feas_cfgs, feas_vals): (Vec<Configuration>, Vec<f64>) = report
+            .trials()
+            .iter()
+            .filter(|t| t.feasible && t.value.is_some())
+            .map(|t| (t.config.clone(), t.value.unwrap()))
+            .unzip();
+
+        // Too little signal: keep sampling randomly.
+        if feas_cfgs.len() < 2 {
+            return Ok(self.random_unseen(rng, seen));
+        }
+
+        let transform = |v: f64| {
+            if self.opts.log_objective {
+                v.max(1e-12).ln()
+            } else {
+                v
+            }
+        };
+        let y: Vec<f64> = feas_vals.iter().map(|&v| transform(v)).collect();
+
+        // Value model.
+        let model: Box<dyn ValueModel> = match self.opts.surrogate {
+            SurrogateKind::GaussianProcess => Box::new(GaussianProcess::fit(
+                &self.space,
+                &feas_cfgs,
+                &y,
+                &self.opts.gp,
+                rng,
+            )?),
+            SurrogateKind::RandomForest => Box::new(RandomForestRegressor::fit(
+                &self.space,
+                &feas_cfgs,
+                &y,
+                &self.opts.rf,
+                rng,
+            )?),
+        };
+
+        // Feasibility model, once at least one failure has been observed.
+        let classifier = if self.opts.hidden_constraints
+            && report.trials().iter().any(|t| !t.feasible)
+        {
+            let cfgs: Vec<Configuration> =
+                report.trials().iter().map(|t| t.config.clone()).collect();
+            let labels: Vec<bool> = report.trials().iter().map(|t| t.feasible).collect();
+            Some(RandomForestClassifier::fit(
+                &self.space,
+                &cfgs,
+                &labels,
+                &self.opts.rf,
+                rng,
+            )?)
+        } else {
+            None
+        };
+
+        let epsilon_f = if self.opts.feasibility_limit && classifier.is_some() {
+            self.opts.epsilon_schedule.sample(rng)
+        } else {
+            0.0
+        };
+
+        // Noise-free incumbent (Sec. 3.3): the best *posterior mean* over
+        // the evaluated points, not the best raw observation — a noise-lucky
+        // observation would otherwise freeze EI everywhere.
+        let incumbent = feas_cfgs
+            .iter()
+            .map(|c| model.predict(&self.space, c).0)
+            .fold(f64::INFINITY, f64::min)
+            .min(y.iter().copied().fold(f64::INFINITY, f64::min) + 1.0); // sanity cap
+
+        let space = &self.space;
+        let guided_iter = report.len().saturating_sub(self.opts.doe_samples);
+        let score = |cfg: &Configuration| -> f64 {
+            let (mean, var) = model.predict(space, cfg);
+            let ei = expected_improvement(mean, var, incumbent);
+            let acq = match &classifier {
+                Some(c) => {
+                    let p = c.predict_proba(space, cfg);
+                    feasibility_weighted_ei(ei, p, epsilon_f)
+                }
+                None => ei,
+            };
+            match &self.opts.optimum_prior {
+                Some(prior) => prior.apply(acq, cfg, guided_iter),
+                None => acq,
+            }
+        };
+
+        let picked = if self.opts.local_search {
+            local_search(&self.sampler, rng, score, &self.opts.ls, seen)
+        } else {
+            random_search(&self.sampler, rng, score, self.opts.ls.n_candidates, seen)
+        };
+        match picked {
+            Some(c) => Ok(Some(c)),
+            // Acquisition found nothing new (e.g. ε_f gated everything):
+            // fall back to a random unseen feasible point.
+            None => Ok(self.random_unseen(rng, seen)),
+        }
+    }
+
+    fn random_unseen<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        seen: &HashSet<Configuration>,
+    ) -> Option<Configuration> {
+        for _ in 0..2000 {
+            let cfg = self.sampler.sample(rng);
+            if !seen.contains(&cfg) {
+                return Some(cfg);
+            }
+        }
+        None
+    }
+
+    fn evaluate_into(
+        &self,
+        bb: &dyn BlackBox,
+        cfg: Configuration,
+        tuner_time: std::time::Duration,
+        seen: &mut HashSet<Configuration>,
+        report: &mut TuningReport,
+    ) {
+        let t0 = Instant::now();
+        let eval = bb.evaluate(&cfg);
+        let eval_time = t0.elapsed();
+        seen.insert(cfg.clone());
+        report.push(Trial {
+            config: cfg,
+            value: eval.value(),
+            feasible: eval.is_feasible(),
+            eval_time,
+            tuner_time,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::ParamValue;
+
+    fn quadratic_space() -> SearchSpace {
+        SearchSpace::builder()
+            .integer("a", 0, 15)
+            .integer("b", 0, 15)
+            .build()
+            .unwrap()
+    }
+
+    fn quadratic_bb() -> FnBlackBox<impl Fn(&Configuration) -> Evaluation> {
+        FnBlackBox::new(|cfg: &Configuration| {
+            let a = cfg.value("a").as_f64();
+            let b = cfg.value("b").as_f64();
+            Evaluation::feasible(1.0 + (a - 11.0).powi(2) + (b - 4.0).powi(2))
+        })
+    }
+
+    #[test]
+    fn finds_optimum_of_smooth_function() {
+        let tuner = Baco::builder(quadratic_space())
+            .budget(35)
+            .doe_samples(8)
+            .seed(42)
+            .build()
+            .unwrap();
+        let report = tuner.run(&quadratic_bb()).unwrap();
+        assert_eq!(report.len(), 35);
+        let best = report.best_value().unwrap();
+        assert!(best <= 3.0, "best {best}");
+    }
+
+    #[test]
+    fn beats_pure_random_sampling_on_average() {
+        let space = quadratic_space();
+        let bb = quadratic_bb();
+        let mut baco_total = 0.0;
+        let mut rand_total = 0.0;
+        for seed in 0..5 {
+            let report = Baco::builder(space.clone())
+                .budget(25)
+                .doe_samples(6)
+                .seed(seed)
+                .build()
+                .unwrap()
+                .run(&bb)
+                .unwrap();
+            baco_total += report.best_value().unwrap();
+            // Random baseline with the same budget.
+            let mut rng = StdRng::seed_from_u64(seed + 1000);
+            let mut best = f64::INFINITY;
+            for _ in 0..25 {
+                let cfg = space.sample_dense(&mut rng);
+                if let Some(v) = bb.evaluate(&cfg).value() {
+                    best = best.min(v);
+                }
+            }
+            rand_total += best;
+        }
+        assert!(
+            baco_total < rand_total,
+            "BaCO {baco_total} should beat random {rand_total}"
+        );
+    }
+
+    #[test]
+    fn respects_known_constraints() {
+        let space = SearchSpace::builder()
+            .integer("a", 0, 15)
+            .integer("b", 0, 15)
+            .known_constraint("a % 4 == 0 && b <= a")
+            .build()
+            .unwrap();
+        let bb = FnBlackBox::new(|cfg: &Configuration| {
+            let a = cfg.value("a").as_i64();
+            let b = cfg.value("b").as_i64();
+            assert!(a % 4 == 0 && b <= a, "constraint violated: a={a} b={b}");
+            Evaluation::feasible((a - b) as f64 + 1.0)
+        });
+        let report = Baco::builder(space)
+            .budget(20)
+            .doe_samples(5)
+            .seed(1)
+            .build()
+            .unwrap()
+            .run(&bb)
+            .unwrap();
+        assert!(report.best_value().unwrap() <= 2.0);
+    }
+
+    #[test]
+    fn learns_hidden_constraints() {
+        // Only a quarter of the space (x ≤ 7) evaluates successfully; the
+        // optimum sits safely inside that region.
+        let space = SearchSpace::builder()
+            .integer("x", 0, 31)
+            .integer("y", 0, 31)
+            .build()
+            .unwrap();
+        let bb = FnBlackBox::new(|cfg: &Configuration| {
+            let x = cfg.value("x").as_f64();
+            let y = cfg.value("y").as_f64();
+            if x > 7.0 {
+                Evaluation::infeasible()
+            } else {
+                Evaluation::feasible(1.0 + (x - 4.0).powi(2) + (y - 20.0).powi(2))
+            }
+        });
+        let report = Baco::builder(space)
+            .budget(40)
+            .doe_samples(10)
+            .seed(3)
+            .build()
+            .unwrap()
+            .run(&bb)
+            .unwrap();
+        let best = report.best_value().unwrap();
+        assert!(best < 20.0, "best {best}");
+        // The classifier should steer sampling well above the 25 % random
+        // feasibility rate after the DoE phase.
+        let post = &report.trials()[10..];
+        let feas = post.iter().filter(|t| t.feasible).count();
+        assert!(
+            feas as f64 >= 0.4 * post.len() as f64,
+            "feasible {}/{}",
+            feas,
+            post.len()
+        );
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let bb = quadratic_bb();
+        let run = |seed: u64| {
+            Baco::builder(quadratic_space())
+                .budget(18)
+                .doe_samples(5)
+                .seed(seed)
+                .build()
+                .unwrap()
+                .run(&bb)
+                .unwrap()
+                .trials()
+                .iter()
+                .map(|t| t.config.clone())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn zero_budget_rejected() {
+        assert!(matches!(
+            Baco::builder(quadratic_space()).budget(0).build(),
+            Err(Error::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn budget_larger_than_space_terminates() {
+        let space = SearchSpace::builder().integer("x", 0, 4).build().unwrap();
+        let bb = FnBlackBox::new(|c: &Configuration| {
+            Evaluation::feasible(c.value("x").as_f64() + 1.0)
+        });
+        let report = Baco::builder(space)
+            .budget(50)
+            .doe_samples(3)
+            .seed(0)
+            .build()
+            .unwrap()
+            .run(&bb)
+            .unwrap();
+        // Only 5 configs exist.
+        assert_eq!(report.len(), 5);
+        assert_eq!(report.best_value(), Some(1.0));
+    }
+
+    #[test]
+    fn all_infeasible_run_is_graceful() {
+        let space = quadratic_space();
+        let bb = FnBlackBox::new(|_: &Configuration| Evaluation::infeasible());
+        let report = Baco::builder(space)
+            .budget(12)
+            .doe_samples(4)
+            .seed(2)
+            .build()
+            .unwrap()
+            .run(&bb)
+            .unwrap();
+        assert_eq!(report.len(), 12);
+        assert!(report.best().is_none());
+        assert_eq!(report.feasible_fraction(), 0.0);
+    }
+
+    #[test]
+    fn rf_surrogate_mode_works() {
+        let report = Baco::builder(quadratic_space())
+            .budget(25)
+            .doe_samples(8)
+            .seed(5)
+            .surrogate(SurrogateKind::RandomForest)
+            .build()
+            .unwrap()
+            .run(&quadratic_bb())
+            .unwrap();
+        assert!(report.best_value().unwrap() < 60.0);
+    }
+
+    #[test]
+    fn tuning_with_permutation_parameter() {
+        // Objective prefers element 2 early and element 0 late.
+        let space = SearchSpace::builder()
+            .permutation("ord", 4)
+            .ordinal_log("tile", vec![1.0, 2.0, 4.0, 8.0])
+            .build()
+            .unwrap();
+        let bb = FnBlackBox::new(|cfg: &Configuration| {
+            let p = cfg.value("ord");
+            let p = p.as_permutation();
+            let pos2 = p.iter().position(|&e| e == 2).unwrap() as f64;
+            let pos0 = p.iter().position(|&e| e == 0).unwrap() as f64;
+            let t = cfg.value("tile").as_f64();
+            Evaluation::feasible(1.0 + pos2 + (3.0 - pos0) + (t.log2() - 2.0).abs())
+        });
+        let report = Baco::builder(space)
+            .budget(40)
+            .doe_samples(10)
+            .seed(11)
+            .build()
+            .unwrap()
+            .run(&bb)
+            .unwrap();
+        // Global optimum: ord = [2,*,*,0] with tile = 4 → value 1.0.
+        let best = report.best_value().unwrap();
+        assert!(best <= 2.0, "best {best}");
+    }
+
+    #[test]
+    fn optimum_prior_accelerates_convergence() {
+        use crate::acquisition::OptimumPrior;
+        // A needle at (14, 2) in a flat landscape: with a tiny budget the
+        // prior-guided run should find better values than the blind run.
+        let space = quadratic_space();
+        let bb = FnBlackBox::new(|cfg: &Configuration| {
+            let a = cfg.value("a").as_f64();
+            let b = cfg.value("b").as_f64();
+            Evaluation::feasible(1.0 + ((a - 14.0).abs() + (b - 2.0).abs()).min(6.0))
+        });
+        let run = |prior: Option<OptimumPrior>, seed| {
+            let mut builder = Baco::builder(quadratic_space())
+                .budget(16)
+                .doe_samples(5)
+                .seed(seed);
+            if let Some(p) = prior {
+                builder = builder.optimum_prior(p);
+            }
+            builder.build().unwrap().run(&bb).unwrap().best_value().unwrap()
+        };
+        let _ = &space;
+        let mut with = 0.0;
+        let mut without = 0.0;
+        for seed in 0..4 {
+            with += run(
+                Some(OptimumPrior::new(|c: &Configuration| {
+                    let a = c.value("a").as_f64();
+                    let b = c.value("b").as_f64();
+                    (-((a - 14.0).powi(2) + (b - 2.0).powi(2)) / 8.0).exp()
+                })),
+                seed,
+            );
+            without += run(None, seed);
+        }
+        assert!(with <= without, "prior {with} vs blind {without}");
+    }
+
+    #[test]
+    fn value_of_default_configuration() {
+        let cfg = quadratic_space().default_configuration();
+        assert_eq!(cfg.value("a"), ParamValue::Int(0));
+    }
+}

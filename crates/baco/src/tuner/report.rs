@@ -1,0 +1,164 @@
+use crate::space::Configuration;
+use std::time::Duration;
+
+/// One evaluated configuration in a tuning run.
+#[derive(Debug, Clone)]
+pub struct Trial {
+    /// The configuration that was evaluated.
+    pub config: Configuration,
+    /// Measured objective (`None` for hidden-constraint failures).
+    pub value: Option<f64>,
+    /// Whether the evaluation succeeded.
+    pub feasible: bool,
+    /// Time spent inside the black box.
+    pub eval_time: Duration,
+    /// Time the tuner spent deciding on this configuration (model fitting +
+    /// acquisition optimization).
+    pub tuner_time: Duration,
+}
+
+/// The full record of a tuning run: every trial in evaluation order.
+#[derive(Debug, Clone, Default)]
+pub struct TuningReport {
+    trials: Vec<Trial>,
+    tuner_name: String,
+}
+
+impl TuningReport {
+    pub(crate) fn new(tuner_name: &str) -> Self {
+        TuningReport {
+            trials: Vec::new(),
+            tuner_name: tuner_name.to_string(),
+        }
+    }
+
+    pub(crate) fn push(&mut self, t: Trial) {
+        self.trials.push(t);
+    }
+
+    /// Name of the tuner that produced this report.
+    pub fn tuner_name(&self) -> &str {
+        &self.tuner_name
+    }
+
+    /// All trials, in evaluation order.
+    pub fn trials(&self) -> &[Trial] {
+        &self.trials
+    }
+
+    /// Number of evaluations performed.
+    pub fn len(&self) -> usize {
+        self.trials.len()
+    }
+
+    /// Whether no evaluations were performed.
+    pub fn is_empty(&self) -> bool {
+        self.trials.is_empty()
+    }
+
+    /// The best (lowest-value) feasible trial.
+    pub fn best(&self) -> Option<&Trial> {
+        self.trials
+            .iter()
+            .filter(|t| t.feasible && t.value.is_some())
+            .min_by(|a, b| a.value.unwrap().total_cmp(&b.value.unwrap()))
+    }
+
+    /// The best feasible objective value.
+    pub fn best_value(&self) -> Option<f64> {
+        self.best().and_then(|t| t.value)
+    }
+
+    /// Best-so-far objective after each evaluation (`None` until the first
+    /// feasible result). This is the series plotted in Fig. 6/7/11.
+    pub fn trajectory(&self) -> Vec<Option<f64>> {
+        let mut best = None;
+        self.trials
+            .iter()
+            .map(|t| {
+                if let (true, Some(v)) = (t.feasible, t.value) {
+                    best = Some(best.map_or(v, |b: f64| b.min(v)));
+                }
+                best
+            })
+            .collect()
+    }
+
+    /// Best value within the first `n` evaluations.
+    pub fn best_within(&self, n: usize) -> Option<f64> {
+        self.trajectory().into_iter().take(n).flatten().last()
+    }
+
+    /// First evaluation index (1-based) at which the best-so-far value
+    /// reaches `target` (≤), or `None`.
+    pub fn evals_to_reach(&self, target: f64) -> Option<usize> {
+        self.trajectory()
+            .iter()
+            .position(|v| v.is_some_and(|x| x <= target))
+            .map(|i| i + 1)
+    }
+
+    /// Fraction of trials that were feasible.
+    pub fn feasible_fraction(&self) -> f64 {
+        if self.trials.is_empty() {
+            return 0.0;
+        }
+        self.trials.iter().filter(|t| t.feasible).count() as f64 / self.trials.len() as f64
+    }
+
+    /// Total time spent in the black box.
+    pub fn total_eval_time(&self) -> Duration {
+        self.trials.iter().map(|t| t.eval_time).sum()
+    }
+
+    /// Total time spent inside the tuner.
+    pub fn total_tuner_time(&self) -> Duration {
+        self.trials.iter().map(|t| t.tuner_time).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::{ParamValue, SearchSpace};
+
+    fn trial(v: Option<f64>) -> Trial {
+        let s = SearchSpace::builder().integer("x", 0, 3).build().unwrap();
+        Trial {
+            config: s.configuration(&[("x", ParamValue::Int(0))]).unwrap(),
+            value: v,
+            feasible: v.is_some(),
+            eval_time: Duration::from_millis(2),
+            tuner_time: Duration::from_millis(1),
+        }
+    }
+
+    #[test]
+    fn trajectory_and_best() {
+        let mut r = TuningReport::new("t");
+        for v in [None, Some(5.0), Some(7.0), None, Some(3.0), Some(4.0)] {
+            r.push(trial(v));
+        }
+        assert_eq!(
+            r.trajectory(),
+            vec![None, Some(5.0), Some(5.0), Some(5.0), Some(3.0), Some(3.0)]
+        );
+        assert_eq!(r.best_value(), Some(3.0));
+        assert_eq!(r.best_within(3), Some(5.0));
+        assert_eq!(r.best_within(0), None);
+        assert_eq!(r.evals_to_reach(5.0), Some(2));
+        assert_eq!(r.evals_to_reach(3.0), Some(5));
+        assert_eq!(r.evals_to_reach(1.0), None);
+        assert!((r.feasible_fraction() - 4.0 / 6.0).abs() < 1e-12);
+        assert_eq!(r.total_eval_time(), Duration::from_millis(12));
+        assert_eq!(r.total_tuner_time(), Duration::from_millis(6));
+    }
+
+    #[test]
+    fn empty_report() {
+        let r = TuningReport::new("t");
+        assert!(r.is_empty());
+        assert!(r.best().is_none());
+        assert_eq!(r.feasible_fraction(), 0.0);
+    }
+}

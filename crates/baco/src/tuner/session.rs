@@ -1,0 +1,222 @@
+//! The ask–tell interface: incremental tuning for callers who own the
+//! evaluation loop (build farms, CI systems, interactive tools) instead of
+//! handing BaCO a [`BlackBox`](crate::tuner::BlackBox) closure.
+//!
+//! ```
+//! use baco::prelude::*;
+//! use baco::tuner::Session;
+//!
+//! let space = SearchSpace::builder().integer("x", 0, 15).build()?;
+//! let mut session = Session::new(Baco::builder(space).budget(12).seed(1).build()?)?;
+//! while let Some(cfg) = session.ask()? {
+//!     let x = cfg.value("x").as_f64();
+//!     session.tell(cfg, Evaluation::feasible((x - 11.0).powi(2)));
+//! }
+//! assert_eq!(session.report().best().unwrap().config.value("x").as_i64(), 11);
+//! # Ok::<(), baco::Error>(())
+//! ```
+
+use super::{Baco, Evaluation, Trial, TuningReport};
+use crate::search::doe_sample;
+use crate::space::Configuration;
+use crate::Result;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashSet;
+use std::time::{Duration, Instant};
+
+/// An incremental tuning session around a configured [`Baco`] tuner.
+///
+/// Call [`Session::ask`] for the next configuration to evaluate and
+/// [`Session::tell`] with the result. `ask` returns `None` once the budget
+/// is exhausted or the feasible set has been fully evaluated.
+#[derive(Debug)]
+pub struct Session {
+    tuner: Baco,
+    rng: StdRng,
+    report: TuningReport,
+    seen: HashSet<Configuration>,
+    /// Configurations asked but not yet told.
+    pending: Vec<Configuration>,
+    /// Pre-drawn DoE configurations still to hand out.
+    doe_queue: Vec<Configuration>,
+    last_ask: Option<Instant>,
+    last_think: Duration,
+}
+
+impl Session {
+    /// Starts a session; draws the initial-phase configurations up front.
+    ///
+    /// # Errors
+    /// Propagates tuner construction state errors (none today; reserved).
+    pub fn new(tuner: Baco) -> Result<Self> {
+        let mut rng = StdRng::seed_from_u64(tuner.options().seed);
+        let doe_n = tuner.options().doe_samples.min(tuner.options().budget);
+        let mut doe_queue = doe_sample(tuner.sampler(), &mut rng, doe_n, &HashSet::new());
+        doe_queue.reverse(); // pop() hands them out in draw order
+        Ok(Session {
+            tuner,
+            rng,
+            report: TuningReport::new("BaCO"),
+            seen: HashSet::new(),
+            pending: Vec::new(),
+            doe_queue,
+            last_ask: None,
+            last_think: Duration::ZERO,
+        })
+    }
+
+    /// The tuning history so far.
+    pub fn report(&self) -> &TuningReport {
+        &self.report
+    }
+
+    /// Evaluations still allowed by the budget (told + pending count
+    /// against it).
+    pub fn remaining_budget(&self) -> usize {
+        self.tuner
+            .options()
+            .budget
+            .saturating_sub(self.report.len() + self.pending.len())
+    }
+
+    /// Recommends the next configuration, or `None` when the budget is
+    /// exhausted or no unevaluated feasible configuration remains.
+    ///
+    /// # Errors
+    /// Propagates surrogate-fitting failures.
+    pub fn ask(&mut self) -> Result<Option<Configuration>> {
+        if self.remaining_budget() == 0 {
+            return Ok(None);
+        }
+        let t0 = Instant::now();
+        let next = if let Some(cfg) = self.doe_queue.pop() {
+            Some(cfg)
+        } else {
+            // Exclude pending proposals as well as evaluated ones.
+            let mut excluded = self.seen.clone();
+            excluded.extend(self.pending.iter().cloned());
+            self.tuner.recommend(&mut self.rng, &self.report, &excluded)?
+        };
+        self.last_think = t0.elapsed();
+        self.last_ask = Some(t0);
+        if let Some(cfg) = &next {
+            self.pending.push(cfg.clone());
+        }
+        Ok(next)
+    }
+
+    /// Reports the outcome of evaluating `cfg` (which should have come from
+    /// [`Session::ask`]; foreign configurations are accepted and simply
+    /// added to the history).
+    pub fn tell(&mut self, cfg: Configuration, eval: Evaluation) {
+        self.pending.retain(|c| c != &cfg);
+        self.seen.insert(cfg.clone());
+        let eval_time = self
+            .last_ask
+            .map(|t| t.elapsed().saturating_sub(self.last_think))
+            .unwrap_or_default();
+        self.report.push(Trial {
+            config: cfg,
+            value: eval.value(),
+            feasible: eval.is_feasible(),
+            eval_time,
+            tuner_time: self.last_think,
+        });
+    }
+
+    /// Consumes the session, returning the final report.
+    pub fn into_report(self) -> TuningReport {
+        self.report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::{ParamValue, SearchSpace};
+
+    fn space() -> SearchSpace {
+        SearchSpace::builder()
+            .integer("a", 0, 15)
+            .integer("b", 0, 15)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn ask_tell_loop_matches_budget_and_optimizes() {
+        let tuner = Baco::builder(space())
+            .budget(25)
+            .doe_samples(6)
+            .seed(3)
+            .build()
+            .unwrap();
+        let mut s = Session::new(tuner).unwrap();
+        let mut n = 0;
+        while let Some(cfg) = s.ask().unwrap() {
+            let a = cfg.value("a").as_f64();
+            let b = cfg.value("b").as_f64();
+            s.tell(cfg, Evaluation::feasible(1.0 + (a - 3.0).powi(2) + (b - 13.0).powi(2)));
+            n += 1;
+        }
+        assert_eq!(n, 25);
+        let report = s.into_report();
+        assert_eq!(report.len(), 25);
+        assert!(report.best_value().unwrap() <= 5.0, "{:?}", report.best_value());
+    }
+
+    #[test]
+    fn session_never_repeats_configurations() {
+        let tuner = Baco::builder(space()).budget(30).doe_samples(8).seed(5).build().unwrap();
+        let mut s = Session::new(tuner).unwrap();
+        let mut seen = HashSet::new();
+        while let Some(cfg) = s.ask().unwrap() {
+            assert!(seen.insert(cfg.clone()), "repeated {cfg}");
+            s.tell(cfg, Evaluation::feasible(1.0));
+        }
+    }
+
+    #[test]
+    fn tell_accepts_foreign_configurations() {
+        let sp = space();
+        let tuner = Baco::builder(sp.clone()).budget(10).doe_samples(2).seed(1).build().unwrap();
+        let mut s = Session::new(tuner).unwrap();
+        let foreign = sp
+            .configuration(&[("a", ParamValue::Int(7)), ("b", ParamValue::Int(7))])
+            .unwrap();
+        s.tell(foreign, Evaluation::feasible(0.5));
+        assert_eq!(s.report().len(), 1);
+        assert_eq!(s.report().best_value(), Some(0.5));
+        // The budget accounts for the told evaluation.
+        assert_eq!(s.remaining_budget(), 9);
+    }
+
+    #[test]
+    fn infeasible_tells_feed_the_classifier() {
+        let tuner = Baco::builder(space()).budget(20).doe_samples(5).seed(2).build().unwrap();
+        let mut s = Session::new(tuner).unwrap();
+        while let Some(cfg) = s.ask().unwrap() {
+            let a = cfg.value("a").as_i64();
+            if a > 7 {
+                s.tell(cfg, Evaluation::infeasible());
+            } else {
+                s.tell(cfg, Evaluation::feasible(1.0 + (7 - a) as f64));
+            }
+        }
+        let r = s.into_report();
+        assert_eq!(r.len(), 20);
+        assert!(r.best_value().unwrap() <= 3.0);
+    }
+
+    #[test]
+    fn remaining_budget_counts_pending_asks() {
+        let tuner = Baco::builder(space()).budget(5).doe_samples(2).seed(0).build().unwrap();
+        let mut s = Session::new(tuner).unwrap();
+        assert_eq!(s.remaining_budget(), 5);
+        let c = s.ask().unwrap().unwrap();
+        assert_eq!(s.remaining_budget(), 4);
+        s.tell(c, Evaluation::feasible(1.0));
+        assert_eq!(s.remaining_budget(), 4);
+    }
+}

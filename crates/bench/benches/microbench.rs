@@ -1,0 +1,193 @@
+//! Criterion microbenchmarks for BaCO's core primitives: GP fit/predict
+//! scaling, CoT construction/sampling/membership, permutation semimetrics,
+//! random-forest fit, acquisition scoring, and one real sparse-kernel
+//! execution per code path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+use baco::acquisition::expected_improvement;
+use baco::cot::ChainOfTrees;
+use baco::space::{perm, PermMetric, SearchSpace};
+use baco::surrogate::{GaussianProcess, GpOptions, RandomForestClassifier, RfOptions};
+
+fn mixed_space() -> SearchSpace {
+    SearchSpace::builder()
+        .ordinal_log("tile", vec![1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0])
+        .integer("unroll", 1, 8)
+        .categorical("par", vec!["seq", "static", "dynamic"])
+        .permutation("ord", 4)
+        .known_constraint("tile % unroll == 0")
+        .known_constraint("pos(ord, 0) < pos(ord, 1)")
+        .build()
+        .unwrap()
+}
+
+fn bench_gp(c: &mut Criterion) {
+    let space = mixed_space();
+    let cot = ChainOfTrees::build(&space).unwrap();
+    let mut group = c.benchmark_group("gp");
+    for n in [20usize, 60] {
+        let mut rng = StdRng::seed_from_u64(1);
+        let configs: Vec<_> = (0..n).map(|_| cot.sample_uniform(&mut rng)).collect();
+        let y: Vec<f64> = configs
+            .iter()
+            .map(|c| c.value("tile").as_f64().log2() + c.value("unroll").as_f64())
+            .collect();
+        group.bench_with_input(BenchmarkId::new("fit", n), &n, |b, _| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(2);
+                GaussianProcess::fit(&space, &configs, &y, &GpOptions::default(), &mut rng)
+                    .unwrap()
+            });
+        });
+        let mut rng2 = StdRng::seed_from_u64(2);
+        let gp =
+            GaussianProcess::fit(&space, &configs, &y, &GpOptions::default(), &mut rng2).unwrap();
+        let probe = cot.sample_uniform(&mut rng2);
+        group.bench_with_input(BenchmarkId::new("predict", n), &n, |b, _| {
+            b.iter(|| black_box(gp.predict(black_box(&probe))));
+        });
+    }
+    group.finish();
+}
+
+fn bench_cot(c: &mut Criterion) {
+    let space = gpu_sim::kernels::mm_gpu::space();
+    let mut group = c.benchmark_group("cot");
+    group.bench_function("build_mm_gpu", |b| {
+        b.iter(|| ChainOfTrees::build(black_box(&space)).unwrap());
+    });
+    let cot = ChainOfTrees::build(&space).unwrap();
+    let mut rng = StdRng::seed_from_u64(3);
+    group.bench_function("sample_uniform", |b| {
+        b.iter(|| black_box(cot.sample_uniform(&mut rng)));
+    });
+    group.bench_function("sample_biased", |b| {
+        b.iter(|| black_box(cot.sample_biased(&mut rng)));
+    });
+    let probe = cot.sample_uniform(&mut rng);
+    group.bench_function("contains", |b| {
+        b.iter(|| black_box(cot.contains(black_box(&probe))));
+    });
+    group.bench_function("expression_eval", |b| {
+        b.iter(|| black_box(space.satisfies_known(black_box(&probe)).unwrap()));
+    });
+    group.finish();
+}
+
+fn bench_perm(c: &mut Criterion) {
+    let a = perm::unrank(1234 % perm::factorial(7), 7);
+    let bpm = perm::unrank(4321 % perm::factorial(7), 7);
+    let mut group = c.benchmark_group("perm");
+    for (name, m) in [
+        ("spearman", PermMetric::Spearman),
+        ("kendall", PermMetric::Kendall),
+        ("hamming", PermMetric::Hamming),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(perm::distance(m, black_box(&a), black_box(&bpm))));
+        });
+    }
+    group.bench_function("rank_unrank", |b| {
+        b.iter(|| {
+            let p = perm::unrank(black_box(999), 7);
+            black_box(perm::rank(&p))
+        });
+    });
+    group.finish();
+}
+
+fn bench_rf_and_acquisition(c: &mut Criterion) {
+    let space = mixed_space();
+    let cot = ChainOfTrees::build(&space).unwrap();
+    let mut rng = StdRng::seed_from_u64(4);
+    let configs: Vec<_> = (0..60).map(|_| cot.sample_uniform(&mut rng)).collect();
+    let labels: Vec<bool> = configs.iter().map(|c| c.value("unroll").as_i64() < 5).collect();
+    let mut group = c.benchmark_group("rf");
+    group.bench_function("classifier_fit_60", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(5);
+            RandomForestClassifier::fit(&space, &configs, &labels, &RfOptions::default(), &mut rng)
+                .unwrap()
+        });
+    });
+    let mut rng2 = StdRng::seed_from_u64(5);
+    let rf = RandomForestClassifier::fit(&space, &configs, &labels, &RfOptions::default(), &mut rng2)
+        .unwrap();
+    let probe = cot.sample_uniform(&mut rng2);
+    group.bench_function("classifier_predict", |b| {
+        b.iter(|| black_box(rf.predict_proba(&space, black_box(&probe))));
+    });
+    group.bench_function("expected_improvement", |b| {
+        b.iter(|| black_box(expected_improvement(black_box(1.2), black_box(0.5), black_box(1.0))));
+    });
+    group.finish();
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    use taco_sim::generate::{matrix, spec};
+    use taco_sim::kernels::{spmm, spmv, SpmmSchedule, SpmvSchedule};
+    use taco_sim::parallel::Scheme;
+    use taco_sim::sparse::DenseMatrix;
+
+    let a = matrix(&spec("scircuit"), 0.01);
+    let csc = a.to_csc();
+    let x = vec![1.0; a.ncols];
+    let mut group = c.benchmark_group("taco_kernels");
+    group.sample_size(20);
+    let spmv_sched = SpmvSchedule {
+        order: [0, 1, 2],
+        block: 1024,
+        chunk: 64,
+        threads: 4,
+        scheme: Scheme::Dynamic,
+        unroll: 4,
+        wide_acc: true,
+    };
+    group.bench_function("spmv_scircuit", |b| {
+        b.iter(|| black_box(spmv(&a, &csc, &x, &spmv_sched)));
+    });
+    let cmat = DenseMatrix::random(a.ncols, 32, 1);
+    let spmm_sched = SpmmSchedule {
+        order: [0, 1, 2],
+        j_tile: 32,
+        chunk: 128,
+        threads: 4,
+        scheme: Scheme::Dynamic,
+        unroll: 4,
+    };
+    group.bench_function("spmm_scircuit", |b| {
+        b.iter(|| black_box(spmm(&a, &cmat, &spmm_sched)));
+    });
+    group.finish();
+}
+
+fn bench_gpu_models(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gpu_model");
+    let s = gpu_sim::kernels::mm_gpu::space();
+    let cfg = gpu_sim::kernels::mm_gpu::expert_config(&s);
+    group.bench_function("mm_gpu_evaluate", |b| {
+        b.iter(|| black_box(gpu_sim::kernels::mm_gpu::evaluate(black_box(&cfg))));
+    });
+    let s = fpga_sim::benchmarks::audio_space();
+    let cfg = s.default_configuration();
+    let bench = fpga_sim::benchmarks::audio();
+    group.bench_function("fpga_audio_evaluate", |b| {
+        b.iter(|| black_box(bench.blackbox.evaluate(black_box(&cfg))));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_gp,
+    bench_cot,
+    bench_perm,
+    bench_rf_and_acquisition,
+    bench_kernels,
+    bench_gpu_models
+);
+criterion_main!(benches);

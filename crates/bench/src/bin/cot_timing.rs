@@ -1,0 +1,73 @@
+//! Sec. 5.3's Chain-of-Trees statistics: how much faster CoT membership
+//! tests and CoT sampling are than operating directly on the constraint
+//! expressions (the paper reports 6× for local-search constraint evaluation
+//! and 80× for random sampling on MM_GPU).
+
+use baco::cot::ChainOfTrees;
+use baco_bench::stats::fmt_factor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+fn main() {
+    let space = gpu_sim::kernels::mm_gpu::space();
+    let t0 = Instant::now();
+    let cot = ChainOfTrees::build(&space).expect("CoT builds");
+    let build_time = t0.elapsed();
+    println!("== Sec. 5.3 — Chain-of-Trees efficiency on the MM_GPU space ==");
+    println!(
+        "built in {build_time:?}: {} trees, {:.3e} feasible of {:.3e} dense",
+        cot.trees().len(),
+        cot.feasible_size(),
+        space.dense_size().unwrap_or(f64::NAN),
+    );
+
+    let mut rng = StdRng::seed_from_u64(1);
+
+    // Membership checks (what local search does per neighbor) vs evaluating
+    // the constraint expressions directly.
+    let probes: Vec<_> = (0..5000).map(|_| space.sample_dense(&mut rng)).collect();
+    let t0 = Instant::now();
+    let mut n1 = 0usize;
+    for c in &probes {
+        if cot.contains(c) {
+            n1 += 1;
+        }
+    }
+    let t_member = t0.elapsed();
+    let t0 = Instant::now();
+    let mut n2 = 0usize;
+    for c in &probes {
+        if space.satisfies_known(c).unwrap_or(false) {
+            n2 += 1;
+        }
+    }
+    let t_expr = t0.elapsed();
+    assert_eq!(n1, n2, "CoT and expressions must agree");
+    println!(
+        "feasibility checks: CoT membership {t_member:?} vs expression eval {t_expr:?} → {}",
+        fmt_factor(t_expr.as_secs_f64() / t_member.as_secs_f64().max(1e-12)),
+    );
+
+    // Feasible sampling: CoT leaf sampling vs rejection sampling.
+    let n = 20_000;
+    let t0 = Instant::now();
+    for _ in 0..n {
+        std::hint::black_box(cot.sample_uniform(&mut rng));
+    }
+    let t_cot = t0.elapsed();
+    let t0 = Instant::now();
+    let mut drawn = 0usize;
+    while drawn < n {
+        let c = space.sample_dense(&mut rng);
+        if space.satisfies_known(&c).unwrap_or(false) {
+            drawn += 1;
+            std::hint::black_box(c);
+        }
+    }
+    let t_rej = t0.elapsed();
+    println!(
+        "feasible sampling ({n} draws): CoT {t_cot:?} vs rejection {t_rej:?} → {}",
+        fmt_factor(t_rej.as_secs_f64() / t_cot.as_secs_f64().max(1e-12)),
+    );
+}

@@ -1,0 +1,70 @@
+//! Figs. 7 & 11: evolution of the mean best runtime for **all** benchmarks,
+//! with the ★ marker: the evaluation at which each tuner first beats the
+//! expert configuration. Reads the sweep CSV. Pass benchmark substrings to
+//! restrict the output.
+
+use baco_bench::agg::Agg;
+use baco_bench::runner::TunerKind;
+use baco_bench::{cli, stats, store};
+
+fn main() {
+    let args = cli::parse();
+    let agg = Agg::new(store::load_or_exit(args.out.as_deref()));
+    for (bench, group) in agg.benchmarks() {
+        if !args.positional.is_empty()
+            && !args.positional.iter().any(|p| bench.contains(p.as_str()))
+        {
+            continue;
+        }
+        println!("== Fig. 7/11 — [{group}] {bench} ==");
+        let expert = agg.expert_ref(&bench);
+        let default = agg.default_ref(&bench);
+        println!(
+            "expert = {}, default = {}",
+            expert.map_or("-".into(), |v| format!("{v:.4} ms")),
+            default.map_or("-".into(), |v| format!("{v:.4} ms")),
+        );
+        let budget = agg.budget(&bench);
+        let step = (budget / 10).max(1);
+        let trajs: Vec<(TunerKind, Vec<Option<f64>>)> = TunerKind::all()
+            .into_iter()
+            .map(|k| (k, agg.mean_trajectory(&bench, k.name())))
+            .collect();
+        let mut rows = Vec::new();
+        let mut i = step - 1;
+        while i < budget {
+            let mut row = vec![format!("{}", i + 1)];
+            for (_, t) in &trajs {
+                row.push(
+                    t.get(i)
+                        .copied()
+                        .flatten()
+                        .map_or("-".into(), |v| format!("{v:.4}")),
+                );
+            }
+            rows.push(row);
+            i += step;
+        }
+        let headers: Vec<&str> = ["eval"]
+            .into_iter()
+            .chain(TunerKind::all().iter().map(|k| k.name()))
+            .collect();
+        println!("{}", stats::render_table(&headers, &rows));
+        if let Some(e) = expert {
+            let stars: Vec<String> = TunerKind::all()
+                .into_iter()
+                .map(|k| {
+                    let star = agg.mean_evals_to_reach(&bench, k.name(), e);
+                    format!(
+                        "{}: {}",
+                        k.name(),
+                        star.map_or("never".into(), |n| format!("eval {n} ★"))
+                    )
+                })
+                .collect();
+            println!("beats expert at — {}\n", stars.join(", "));
+        } else {
+            println!();
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! Fig. 8: comparison of BO implementations — BaCO, BaCO-- (no transforms,
+//! no priors, no local search, naive permutation distance, crippled GP fit),
+//! Ytopt with its GP surrogate, and BaCO with an RF surrogate — as the
+//! geometric mean of performance relative to expert on the SpMM kernel over
+//! filter3D, email-Enron and amazon0312, after 20/40/60 evaluations.
+
+use baco::baselines::{Tuner, YtoptOptions, YtoptSurrogate, YtoptTuner};
+use baco::surrogate::GpOptions;
+use baco::tuner::{BacoOptions, SurrogateKind};
+use baco_bench::ablation::{print_matrix, run_matrix, Variant};
+use baco_bench::cli;
+use taco_sim::benchmarks::spmm_benchmark;
+
+fn main() {
+    let args = cli::parse();
+    let benches = vec![
+        spmm_benchmark("filter3D", args.scale),
+        spmm_benchmark("email-Enron", args.scale),
+        spmm_benchmark("amazon0312", args.scale),
+    ];
+    let variants = vec![
+        Variant::Baco(
+            "BaCO",
+            Box::new(|seed| BacoOptions {
+                seed,
+                ..Default::default()
+            }),
+        ),
+        Variant::Baco(
+            "BaCO--",
+            Box::new(|seed| BacoOptions {
+                seed,
+                gp: GpOptions::baco_minus_minus(),
+                local_search: false,
+                log_objective: false,
+                ..Default::default()
+            }),
+        ),
+        Variant::Other(
+            "Ytopt (GP)",
+            Box::new(|bench, seed| {
+                Box::new(
+                    YtoptTuner::new(
+                        &bench.space,
+                        YtoptOptions {
+                            budget: 60,
+                            seed,
+                            surrogate: YtoptSurrogate::GaussianProcess,
+                            ..Default::default()
+                        },
+                    )
+                    .expect("tuner builds"),
+                ) as Box<dyn Tuner>
+            }),
+        ),
+        Variant::Baco(
+            "RFs",
+            Box::new(|seed| BacoOptions {
+                seed,
+                surrogate: SurrogateKind::RandomForest,
+                ..Default::default()
+            }),
+        ),
+    ];
+    let rows = run_matrix(&benches, &variants, &[20, 40, 60], args.reps, args.seed);
+    print_matrix(
+        "Fig. 8 — BO implementations, SpMM geomean vs expert",
+        &[20, 40, 60],
+        &rows,
+    );
+}

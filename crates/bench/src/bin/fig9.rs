@@ -1,0 +1,66 @@
+//! Fig. 9: ablation of BaCO's design choices on the SpMM kernel
+//! (filter3D, email-Enron, amazon0312): permutation semimetric
+//! (Spearman default vs Kendall vs Hamming vs naive-categorical), removing
+//! the log variable/output transforms, and removing the lengthscale priors.
+
+use baco::space::PermMetric;
+use baco::surrogate::GpOptions;
+use baco::tuner::BacoOptions;
+use baco_bench::ablation::{print_matrix, run_matrix, Variant};
+use baco_bench::cli;
+use taco_sim::benchmarks::spmm_benchmark;
+
+fn with_metric(metric: PermMetric) -> Box<dyn Fn(u64) -> BacoOptions> {
+    Box::new(move |seed| BacoOptions {
+        seed,
+        gp: GpOptions {
+            perm_metric: metric,
+            ..Default::default()
+        },
+        ..Default::default()
+    })
+}
+
+fn main() {
+    let args = cli::parse();
+    let benches = vec![
+        spmm_benchmark("filter3D", args.scale),
+        spmm_benchmark("email-Enron", args.scale),
+        spmm_benchmark("amazon0312", args.scale),
+    ];
+    let variants = vec![
+        Variant::Baco("BaCO (Spearman)", with_metric(PermMetric::Spearman)),
+        Variant::Baco("Kendall", with_metric(PermMetric::Kendall)),
+        Variant::Baco("Hamming", with_metric(PermMetric::Hamming)),
+        Variant::Baco("Naive (categorical)", with_metric(PermMetric::Naive)),
+        Variant::Baco(
+            "No transformations",
+            Box::new(|seed| BacoOptions {
+                seed,
+                log_objective: false,
+                gp: GpOptions {
+                    input_transforms: false,
+                    ..Default::default()
+                },
+                ..Default::default()
+            }),
+        ),
+        Variant::Baco(
+            "No priors",
+            Box::new(|seed| BacoOptions {
+                seed,
+                gp: GpOptions {
+                    lengthscale_prior: None,
+                    ..Default::default()
+                },
+                ..Default::default()
+            }),
+        ),
+    ];
+    let rows = run_matrix(&benches, &variants, &[20, 40, 60], args.reps, args.seed);
+    print_matrix(
+        "Fig. 9 — design-choice ablation, SpMM geomean vs expert",
+        &[20, 40, 60],
+        &rows,
+    );
+}

@@ -1,0 +1,53 @@
+//! Table 5: out of N autotuning runs with the full budget, how many reached
+//! expert-level performance. Reads the sweep CSV.
+
+use baco_bench::agg::Agg;
+use baco_bench::runner::TunerKind;
+use baco_bench::{cli, stats, store};
+
+fn main() {
+    let args = cli::parse();
+    let agg = Agg::new(store::load_or_exit(args.out.as_deref()));
+    println!("== Table 5 — runs reaching expert-level performance ==");
+    let mut rows = Vec::new();
+    let mut totals = vec![(0usize, 0usize); TunerKind::all().len()];
+    let mut group_totals: Vec<(String, Vec<(usize, usize)>)> = Vec::new();
+    for (bench, group) in agg.benchmarks() {
+        let mut row = vec![group.clone(), bench.clone()];
+        let mut cells = Vec::new();
+        for (t, kind) in TunerKind::all().into_iter().enumerate() {
+            let (hit, total) = agg.reached_expert(&bench, kind.name());
+            row.push(format!("{hit}/{total}"));
+            totals[t].0 += hit;
+            totals[t].1 += total;
+            cells.push((hit, total));
+        }
+        match group_totals.iter_mut().find(|(g, _)| *g == group) {
+            Some((_, acc)) => {
+                for (a, c) in acc.iter_mut().zip(&cells) {
+                    a.0 += c.0;
+                    a.1 += c.1;
+                }
+            }
+            None => group_totals.push((group, cells)),
+        }
+        rows.push(row);
+    }
+    for (group, acc) in group_totals {
+        let mut row = vec![group, "(total)".into()];
+        for (h, t) in acc {
+            row.push(format!("{h}/{t}"));
+        }
+        rows.push(row);
+    }
+    let mut row = vec!["All".into(), "(total)".into()];
+    for (h, t) in totals {
+        row.push(format!("{h}/{t}"));
+    }
+    rows.push(row);
+    let headers: Vec<&str> = ["group", "benchmark"]
+        .into_iter()
+        .chain(TunerKind::all().iter().map(|k| k.name()))
+        .collect();
+    println!("{}", stats::render_table(&headers, &rows));
+}

@@ -1,0 +1,96 @@
+//! Small statistics helpers for the experiment binaries.
+
+/// Arithmetic mean (`None` for empty input).
+pub fn mean(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() {
+        None
+    } else {
+        Some(xs.iter().sum::<f64>() / xs.len() as f64)
+    }
+}
+
+/// Geometric mean of positive values (`None` for empty input).
+///
+/// # Panics
+/// Panics (in debug builds) if a value is not positive.
+pub fn geomean(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() {
+        return None;
+    }
+    debug_assert!(xs.iter().all(|&x| x > 0.0), "geomean needs positive values");
+    Some((xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp())
+}
+
+/// Median (`None` for empty input).
+pub fn median(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() {
+        return None;
+    }
+    let mut v = xs.to_vec();
+    v.sort_by(f64::total_cmp);
+    Some(v[v.len() / 2])
+}
+
+/// Formats a ratio as the paper prints them (`3.33×`).
+pub fn fmt_factor(x: f64) -> String {
+    format!("{x:.2}×")
+}
+
+/// Renders a simple fixed-width text table.
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let ncols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.chars().count()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(ncols) {
+            widths[i] = widths[i].max(cell.chars().count());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            let pad = widths[i].saturating_sub(c.chars().count());
+            line.push_str(c);
+            line.push_str(&" ".repeat(pad + 2));
+        }
+        line.trim_end().to_string()
+    };
+    let hdr: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
+    out.push_str(&fmt_row(&hdr, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (ncols - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn means() {
+        assert_eq!(mean(&[]), None);
+        assert_eq!(mean(&[2.0, 4.0]), Some(3.0));
+        assert!((geomean(&[1.0, 4.0]).unwrap() - 2.0).abs() < 1e-12);
+        assert_eq!(median(&[3.0, 1.0, 2.0]), Some(2.0));
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let t = render_table(
+            &["name", "v"],
+            &[vec!["a".into(), "1.0".into()], vec!["long-name".into(), "2".into()]],
+        );
+        assert!(t.contains("long-name"));
+        assert!(t.lines().count() == 4);
+    }
+
+    #[test]
+    fn factor_format() {
+        assert_eq!(fmt_factor(3.333), "3.33×");
+    }
+}

@@ -1,0 +1,134 @@
+//! The FPGA device model: an Arria-10-GX-class part with ALM/DSP/BRAM
+//! budgets and a routing-pressure clock model.
+
+/// FPGA resource budgets.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FpgaDevice {
+    /// Adaptive logic modules.
+    pub alms: f64,
+    /// DSP blocks.
+    pub dsps: f64,
+    /// Block RAM (bytes).
+    pub bram_bytes: f64,
+    /// Best-case clock (MHz).
+    pub fmax_mhz: f64,
+}
+
+/// An Arria 10 GX 1150-class device.
+pub fn arria10() -> FpgaDevice {
+    FpgaDevice {
+        alms: 427_200.0,
+        dsps: 1518.0,
+        bram_bytes: 6.6e6,
+        fmax_mhz: 240.0,
+    }
+}
+
+/// Resource usage of a candidate design.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Resources {
+    /// ALMs used.
+    pub alms: f64,
+    /// DSP blocks used.
+    pub dsps: f64,
+    /// Block RAM used (bytes).
+    pub bram_bytes: f64,
+}
+
+impl Resources {
+    /// Component-wise sum.
+    pub fn add(self, other: Resources) -> Resources {
+        Resources {
+            alms: self.alms + other.alms,
+            dsps: self.dsps + other.dsps,
+            bram_bytes: self.bram_bytes + other.bram_bytes,
+        }
+    }
+
+    /// Highest utilization fraction across resource classes.
+    pub fn max_utilization(&self, dev: &FpgaDevice) -> f64 {
+        (self.alms / dev.alms)
+            .max(self.dsps / dev.dsps)
+            .max(self.bram_bytes / dev.bram_bytes)
+    }
+}
+
+impl FpgaDevice {
+    /// Whether the design fits the device.
+    pub fn fits(&self, r: &Resources) -> bool {
+        r.max_utilization(self) <= 1.0
+    }
+
+    /// Achievable clock: routing pressure degrades fmax superlinearly with
+    /// utilization (the familiar timing-closure wall).
+    pub fn clock_mhz(&self, r: &Resources) -> f64 {
+        let u = r.max_utilization(self).clamp(0.0, 1.0);
+        self.fmax_mhz * (1.0 - 0.35 * u * u)
+    }
+
+    /// Seconds taken by `cycles` at the achieved clock.
+    pub fn time(&self, r: &Resources, cycles: f64) -> f64 {
+        cycles / (self.clock_mhz(r) * 1e6)
+    }
+}
+
+/// Deterministic per-configuration jitter (same role as in `gpu-sim`).
+pub fn config_jitter(cfg: &baco::Configuration, amp: f64) -> f64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in cfg.to_string().bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    let u = (h >> 11) as f64 / (1u64 << 53) as f64;
+    1.0 + amp * u
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fits_and_clock() {
+        let d = arria10();
+        let small = Resources {
+            alms: 1000.0,
+            dsps: 10.0,
+            bram_bytes: 1e5,
+        };
+        assert!(d.fits(&small));
+        let big = Resources {
+            alms: 5e5,
+            ..Default::default()
+        };
+        assert!(!d.fits(&big));
+        // Clock degrades with utilization.
+        let half = Resources {
+            alms: d.alms * 0.5,
+            ..Default::default()
+        };
+        let ninety = Resources {
+            alms: d.alms * 0.9,
+            ..Default::default()
+        };
+        assert!(d.clock_mhz(&half) > d.clock_mhz(&ninety));
+        assert!(d.clock_mhz(&ninety) > 0.5 * d.fmax_mhz);
+    }
+
+    #[test]
+    fn time_scales_with_cycles() {
+        let d = arria10();
+        let r = Resources::default();
+        assert!((d.time(&r, 2e6) / d.time(&r, 1e6) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn utilization_takes_max() {
+        let d = arria10();
+        let r = Resources {
+            alms: d.alms * 0.1,
+            dsps: d.dsps * 0.8,
+            bram_bytes: d.bram_bytes * 0.3,
+        };
+        assert!((r.max_utilization(&d) - 0.8).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,19 @@
+//! # fpga-sim — an FPGA design-space estimator
+//!
+//! The HPVM2FPGA substrate of the BaCO reproduction. The paper's evaluation
+//! reports *estimated* execution times of compiler-transformed designs on an
+//! Intel Arria 10 GX — so this substrate is an estimator by construction,
+//! mirroring the original methodology: each benchmark (BFS, PreEuler, 3-D
+//! spatial audio) is a set of pipelined loop nests whose initiation
+//! intervals, resource usage and achievable clock react to the compiler
+//! transformations HPVM2FPGA explores (loop unrolling, memory banking,
+//! kernel fusion, argument privatization).
+//!
+//! The spaces are integer/categorical-heavy with **hidden constraints only**
+//! (Table 2/3 of the paper): resource overflow or illegal transformation
+//! interactions abort the build, and the tuner has to learn those regions.
+
+#![warn(missing_docs)]
+
+pub mod benchmarks;
+pub mod device;

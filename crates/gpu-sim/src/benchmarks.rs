@@ -1,0 +1,147 @@
+//! The seven RISE & ELEVATE benchmark instances, packaged as
+//! [`baco::benchmark::Benchmark`] values (Table 3 rows `MM_CPU` …
+//! `Stencil_GPU`).
+
+use crate::kernels;
+use baco::benchmark::{Benchmark, Group};
+use baco::{BlackBox, Configuration, Evaluation, SearchSpace};
+
+type EvalFn = fn(&Configuration) -> Option<f64>;
+type CfgFn = fn(&SearchSpace) -> Configuration;
+
+struct ModelBench {
+    name: String,
+    eval: EvalFn,
+}
+
+impl BlackBox for ModelBench {
+    fn evaluate(&self, cfg: &Configuration) -> Evaluation {
+        match (self.eval)(cfg) {
+            Some(ms) => Evaluation::feasible(ms),
+            None => Evaluation::infeasible(),
+        }
+    }
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn build(
+    name: &str,
+    space: SearchSpace,
+    eval: EvalFn,
+    default: CfgFn,
+    expert: CfgFn,
+    budget: usize,
+    hidden: bool,
+) -> Benchmark {
+    Benchmark {
+        name: name.to_string(),
+        group: Group::Rise,
+        default_config: default(&space),
+        expert_config: Some(expert(&space)),
+        blackbox: Box::new(ModelBench {
+            name: name.to_string(),
+            eval,
+        }),
+        space,
+        budget,
+        has_hidden_constraints: hidden,
+    }
+}
+
+/// The MM_CPU benchmark (budget 100, K/H).
+pub fn mm_cpu() -> Benchmark {
+    use kernels::mm_cpu as k;
+    build("MM_CPU", k::space(), k::evaluate, k::default_config, k::expert_config, 100, true)
+}
+
+/// The MM_GPU benchmark (budget 120, K/H) — the paper's hardest space.
+pub fn mm_gpu() -> Benchmark {
+    use kernels::mm_gpu as k;
+    build("MM_GPU", k::space(), k::evaluate, k::default_config, k::expert_config, 120, true)
+}
+
+/// The Asum_GPU benchmark (budget 60, K).
+pub fn asum_gpu() -> Benchmark {
+    use kernels::asum as k;
+    build("Asum_GPU", k::space(), k::evaluate, k::default_config, k::expert_config, 60, false)
+}
+
+/// The Scal_GPU benchmark (budget 60, K/H).
+pub fn scal_gpu() -> Benchmark {
+    use kernels::scal as k;
+    build("Scal_GPU", k::space(), k::evaluate, k::default_config, k::expert_config, 60, true)
+}
+
+/// The K-means_GPU benchmark (budget 60, K/H).
+pub fn kmeans_gpu() -> Benchmark {
+    use kernels::kmeans as k;
+    build("K-means_GPU", k::space(), k::evaluate, k::default_config, k::expert_config, 60, true)
+}
+
+/// The Harris_GPU benchmark (budget 100, K).
+pub fn harris_gpu() -> Benchmark {
+    use kernels::harris as k;
+    build("Harris_GPU", k::space(), k::evaluate, k::default_config, k::expert_config, 100, false)
+}
+
+/// The Stencil_GPU benchmark (budget 60, K).
+pub fn stencil_gpu() -> Benchmark {
+    use kernels::stencil as k;
+    build("Stencil_GPU", k::space(), k::evaluate, k::default_config, k::expert_config, 60, false)
+}
+
+/// The full RISE & ELEVATE suite in Table 3 order.
+pub fn rise_benchmarks() -> Vec<Benchmark> {
+    vec![
+        mm_cpu(),
+        mm_gpu(),
+        asum_gpu(),
+        scal_gpu(),
+        kmeans_gpu(),
+        harris_gpu(),
+        stencil_gpu(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_shape_matches_table3() {
+        let benches = rise_benchmarks();
+        assert_eq!(benches.len(), 7);
+        let dims: Vec<usize> = benches.iter().map(|b| b.space.len()).collect();
+        assert_eq!(dims, vec![5, 10, 5, 7, 4, 7, 4]);
+        let budgets: Vec<usize> = benches.iter().map(|b| b.budget).collect();
+        assert_eq!(budgets, vec![100, 120, 60, 60, 60, 100, 60]);
+        // Constraint kinds per Table 3.
+        let kinds: Vec<String> = benches.iter().map(|b| b.constraint_kinds()).collect();
+        assert_eq!(kinds, vec!["K/H", "K/H", "K", "K/H", "K/H", "K", "K"]);
+        // All-ordinal parameter types (Table 3 lists `O` for RISE rows).
+        for b in &benches {
+            assert_eq!(b.param_kinds(), "O", "{}", b.name);
+        }
+    }
+
+    #[test]
+    fn references_evaluate_and_expert_wins() {
+        for b in rise_benchmarks() {
+            let d = b.default_value().unwrap();
+            let e = b.expert_value().unwrap();
+            assert!(d > 0.0 && e > 0.0);
+            assert!(e <= d, "{}: expert {e} vs default {d}", b.name);
+        }
+    }
+
+    #[test]
+    fn cots_build_for_every_space() {
+        for b in rise_benchmarks() {
+            let cot = baco::cot::ChainOfTrees::build(&b.space).unwrap();
+            assert!(cot.feasible_size() >= 50.0, "{}", b.name);
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! The seven RISE & ELEVATE kernels (Sec. 5.2 of the paper), each an
+//! analytic performance model over the K80-class [`crate::device`]:
+//!
+//! | kernel | domain | params | constraints |
+//! |---|---|---|---|
+//! | [`mm_cpu`]  | dense MM, CPU  | 5  | K/H |
+//! | [`mm_gpu`]  | dense MM, GPU  | 10 | K/H |
+//! | [`asum`]    | reduction      | 5  | K   |
+//! | [`scal`]    | vector scale   | 7  | K/H |
+//! | [`kmeans`]  | clustering     | 4  | K/H |
+//! | [`harris`]  | corner detector| 7  | K   |
+//! | [`stencil`] | 5-point stencil| 4  | K   |
+//!
+//! Every kernel exposes `space()`, `evaluate(&Configuration) -> Option<f64>`
+//! (milliseconds; `None` = hidden-constraint failure), and reference
+//! `default_config()` / `expert_config()` builders.
+
+pub mod asum;
+pub mod harris;
+pub mod kmeans;
+pub mod mm_cpu;
+pub mod mm_gpu;
+pub mod scal;
+pub mod stencil;
+
+pub(crate) fn ord(cfg: &baco::Configuration, name: &str) -> usize {
+    cfg.value(name).as_i64() as usize
+}

@@ -1,0 +1,27 @@
+//! # gpu-sim — an analytic GPU/CPU performance model
+//!
+//! The RISE & ELEVATE substrate of the BaCO reproduction. The paper tunes
+//! seven kernels (matrix multiply on CPU and GPU, asum, scal, k-means,
+//! Harris corner detection, and a stencil) on an NVIDIA K80; here each
+//! kernel is an analytic roofline-style model over a K80-class device:
+//!
+//! * **occupancy** — active warps per SM from workgroup size, register and
+//!   shared-memory pressure, with the cliff-like quantization real GPUs show;
+//! * **memory efficiency** — coalescing from vector widths and access
+//!   strides, cached tile reuse from the tiling parameters;
+//! * **hidden constraints** — schedules that exceed shared memory or the
+//!   register file *fail* (return no value), exactly like the failing
+//!   OpenCL builds the paper describes (Sec. 2), and must be learned by the
+//!   feasibility model;
+//! * **known constraints** — divisibility and size-cover requirements
+//!   collected by the RISE/ELEVATE rewrite system and handed to the tuner.
+//!
+//! Evaluations add a small deterministic configuration-hashed perturbation
+//! plus run-to-run noise, mimicking measurement variance without making
+//! experiments irreproducible.
+
+#![warn(missing_docs)]
+
+pub mod benchmarks;
+pub mod device;
+pub mod kernels;

@@ -1,0 +1,46 @@
+//! # taco-sim — a miniature sparse tensor-algebra compiler and runtime
+//!
+//! The TACO substrate of the BaCO reproduction: real sparse kernels (SpMV,
+//! SpMM, SDDMM, TTV, MTTKRP) executed over real sparse data, driven by a
+//! tunable scheduling surface modeled on TACO's iteration-space
+//! transformations [Senanayake et al., OOPSLA 2020]:
+//!
+//! * **loop reordering** — a permutation parameter with concordant-traversal
+//!   known constraints (discordant orders take genuinely slower code paths:
+//!   CSC scatter, strided traversal, re-traversal per tile);
+//! * **tiling / splitting** — dense-dimension tile sizes and row-block
+//!   splits with real cache behaviour;
+//! * **unrolling & accumulator style** — inner-loop unroll factors and
+//!   multi-accumulator reductions;
+//! * **parallelization** — chunk size, scheduling policy and thread count.
+//!
+//! ## Parallelism model
+//!
+//! Kernels execute single-threaded (measuring real cache effects of the
+//! chosen order/tiling), while the parallel dimension is modeled as a
+//! makespan over the *measured* per-chunk work distribution: static
+//! round-robin or dynamic (greedy) assignment of row-chunks to threads plus
+//! per-chunk scheduling overhead. Load imbalance therefore comes from the
+//! real nonzero structure (power-law matrices punish big static chunks), and
+//! results are deterministic on any host — including the single-core CI
+//! machines this reproduction targets. See DESIGN.md for the substitution
+//! rationale.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use taco_sim::benchmarks::{taco_benchmarks, TacoScale};
+//! let benches = taco_benchmarks(TacoScale::Test);
+//! assert_eq!(benches.len(), 15);
+//! let spmm = &benches[0];
+//! let eval = spmm.blackbox.evaluate(&spmm.default_config);
+//! assert!(eval.value().unwrap() > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod benchmarks;
+pub mod generate;
+pub mod kernels;
+pub mod parallel;
+pub mod sparse;

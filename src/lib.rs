@@ -1,0 +1,15 @@
+//! Umbrella crate for the BaCO reproduction workspace.
+//!
+//! Re-exports the core tuner ([`baco`]) and the three compiler substrates so
+//! that examples and integration tests can use a single dependency. See the
+//! individual crates for documentation:
+//!
+//! * [`baco`] — the Bayesian Compiler Optimization framework itself.
+//! * [`taco_sim`] — miniature sparse tensor algebra compiler/runtime.
+//! * [`gpu_sim`] — analytic GPU performance model (RISE & ELEVATE benchmarks).
+//! * [`fpga_sim`] — FPGA design-space estimator (HPVM2FPGA benchmarks).
+
+pub use baco;
+pub use fpga_sim;
+pub use gpu_sim;
+pub use taco_sim;
