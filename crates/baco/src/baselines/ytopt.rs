@@ -148,7 +148,7 @@ impl super::Tuner for YtoptTuner {
                 let incumbent = labels.iter().copied().fold(f64::INFINITY, f64::min);
                 enum M {
                     Rf(RandomForestRegressor),
-                    Gp(GaussianProcess),
+                    Gp(Box<GaussianProcess>),
                 }
                 let model = match self.opts.surrogate {
                     YtoptSurrogate::RandomForest => M::Rf(RandomForestRegressor::fit(
@@ -158,14 +158,14 @@ impl super::Tuner for YtoptTuner {
                         &self.opts.rf,
                         &mut rng,
                     )?),
-                    YtoptSurrogate::GaussianProcess => M::Gp(GaussianProcess::fit(
+                    YtoptSurrogate::GaussianProcess => M::Gp(Box::new(GaussianProcess::fit(
                         &self.space,
                         &configs,
                         &labels,
                         // Off-the-shelf GP: none of BaCO's customizations.
                         &GpOptions::baco_minus_minus(),
                         &mut rng,
-                    )?),
+                    )?)),
                 };
                 let mut best: Option<(f64, Configuration)> = None;
                 for _ in 0..self.opts.n_candidates {
@@ -178,7 +178,7 @@ impl super::Tuner for YtoptTuner {
                         M::Gp(gp) => gp.predict(&cfg),
                     };
                     let ei = expected_improvement(m, v, incumbent);
-                    if best.as_ref().map_or(true, |(b, _)| ei > *b) {
+                    if best.as_ref().is_none_or(|(b, _)| ei > *b) {
                         best = Some((ei, cfg));
                     }
                 }

@@ -96,8 +96,8 @@ impl ChainOfTrees {
                 constrained[p] = true;
             }
         }
-        for p in 0..n {
-            if constrained[p] {
+        for (p, is_constrained) in constrained.iter().enumerate().take(n) {
+            if *is_constrained {
                 group_of_root.entry(uf.find(p)).or_default().push(p);
             }
         }

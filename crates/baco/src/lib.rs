@@ -69,6 +69,7 @@ pub mod cot;
 mod error;
 pub mod linalg;
 pub mod opt;
+pub mod parallel;
 pub mod search;
 pub mod space;
 pub mod surrogate;

@@ -105,7 +105,7 @@ where
 
         // Ensure a descent direction; otherwise fall back to -g.
         let mut dg = dot(&d, &g);
-        if !(dg < 0.0) || !dg.is_finite() {
+        if !(dg.is_finite() && dg < 0.0) {
             d = g.iter().map(|v| -v).collect();
             dg = -dot(&g, &g);
             hist.clear();

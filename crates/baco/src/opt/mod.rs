@@ -2,59 +2,81 @@
 //! backtracking, plus the multistart driver described in Sec. 3.2 of the
 //! paper ("multistart gradient descent … optimizes them individually using
 //! L-BFGS").
+//!
+//! The multistart is the dominant cost of every GP refit (each objective
+//! evaluation pays an O(n³) kernel factorization), so the driver is built for
+//! the hot path: start ranking uses a *value-only* objective (no gradient —
+//! the gradient of a GP marginal likelihood costs an extra O(n³) on top of
+//! the factorization and is thrown away during ranking), and both the ranking
+//! sweep and the per-start L-BFGS refinements run across threads via
+//! [`crate::parallel::parallel_map`]. Results are deterministic for a fixed
+//! RNG seed and independent of the thread count: starting points are drawn
+//! sequentially from the caller's RNG before any parallel work begins, the
+//! objective is a pure function, and the best refined start is selected by
+//! `(value, start index)` order.
 
 mod lbfgs;
 
 pub use lbfgs::{minimize, LbfgsOptions, LbfgsResult};
 
+use crate::parallel::parallel_map;
 use rand::Rng;
 
 /// Multistart minimization: draw `n_samples` starting points with `sample`,
-/// keep the `n_keep` with lowest objective value, refine each with L-BFGS and
-/// return the best refined point.
+/// keep the `n_keep` with the lowest objective value, refine each with L-BFGS
+/// and return the best refined point.
 ///
-/// `f` must return the objective value and its gradient.
+/// `value` must return the objective value alone (used to rank raw starts);
+/// `value_grad` must return the value and gradient (used by the L-BFGS
+/// refinement). Both must agree on the value. `threads` follows the
+/// [`crate::parallel::effective_threads`] convention (`0` = auto).
 ///
 /// # Panics
 /// Panics if `n_samples == 0` or `n_keep == 0`.
-pub fn multistart_minimize<R, F, S>(
+#[allow(clippy::too_many_arguments)]
+pub fn multistart_minimize<R, FV, FG, S>(
     rng: &mut R,
     n_samples: usize,
     n_keep: usize,
     mut sample: S,
-    mut f: F,
+    value: &FV,
+    value_grad: &FG,
     opts: &LbfgsOptions,
+    threads: usize,
 ) -> LbfgsResult
 where
     R: Rng + ?Sized,
-    F: FnMut(&[f64]) -> (f64, Vec<f64>),
+    FV: Fn(&[f64]) -> f64 + Sync,
+    FG: Fn(&[f64]) -> (f64, Vec<f64>) + Sync,
     S: FnMut(&mut R) -> Vec<f64>,
 {
     assert!(n_samples > 0 && n_keep > 0, "multistart needs at least one sample");
-    let mut starts: Vec<(f64, Vec<f64>)> = (0..n_samples)
-        .map(|_| {
-            let x = sample(rng);
-            let (v, _) = f(&x);
-            (v, x)
-        })
+    // Draw every start from the caller's RNG up front: the stream consumed is
+    // the same regardless of how the evaluations below are scheduled.
+    let raw: Vec<Vec<f64>> = (0..n_samples).map(|_| sample(rng)).collect();
+    let values = parallel_map((0..raw.len()).collect(), threads, |_, i: usize| value(&raw[i]));
+    let mut starts: Vec<(f64, Vec<f64>)> = values
+        .into_iter()
+        .zip(raw)
         .filter(|(v, _)| v.is_finite())
         .collect();
-    starts.sort_by(|a, b| a.0.total_cmp(&b.0));
+    starts.sort_by(|a, b| a.0.total_cmp(&b.0)); // stable: ties keep draw order
     starts.truncate(n_keep.max(1));
     if starts.is_empty() {
         // All samples produced non-finite values; fall back to one raw draw.
         let x = sample(rng);
+        let mut f = |x: &[f64]| value_grad(x);
         return minimize(&mut f, x, opts);
     }
 
-    let mut best: Option<LbfgsResult> = None;
-    for (_, x0) in starts {
-        let r = minimize(&mut f, x0, opts);
-        if best.as_ref().map_or(true, |b| r.value < b.value) {
-            best = Some(r);
-        }
-    }
-    best.expect("at least one start")
+    let refined = parallel_map(starts, threads, |_, (_, x0)| {
+        let mut f = |x: &[f64]| value_grad(x);
+        minimize(&mut f, x0, opts)
+    });
+    refined
+        .into_iter()
+        .reduce(|best, r| if r.value < best.value { r } else { best })
+        .expect("at least one start")
 }
 
 #[cfg(test)]
@@ -75,21 +97,42 @@ mod tests {
         (v, g)
     }
 
+    fn run_multistart(seed: u64, threads: usize) -> LbfgsResult {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let opts = LbfgsOptions::default();
+        multistart_minimize(
+            &mut rng,
+            200,
+            24,
+            |rng| (0..3).map(|_| rng.gen_range(-4.0..4.0)).collect(),
+            &|x: &[f64]| bumpy(x).0,
+            &bumpy,
+            &opts,
+            threads,
+        )
+    }
+
     #[test]
     fn multistart_finds_global_basin() {
-        let mut rng = StdRng::seed_from_u64(1);
-        let opts = LbfgsOptions::default();
-        let r = multistart_minimize(
-            &mut rng,
-            40,
-            6,
-            |rng| (0..3).map(|_| rng.gen_range(-4.0..4.0)).collect(),
-            bumpy,
-            &opts,
-        );
+        let r = run_multistart(1, 1);
         assert!(r.value < 1e-6, "value {}", r.value);
         for xi in &r.x {
             assert!(xi.abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn parallel_multistart_is_deterministic_and_thread_invariant() {
+        let reference = run_multistart(7, 1);
+        for threads in [0, 2, 4] {
+            let r = run_multistart(7, threads);
+            assert_eq!(r.value.to_bits(), reference.value.to_bits(), "threads {threads}");
+            let same = r
+                .x
+                .iter()
+                .zip(&reference.x)
+                .all(|(a, b)| a.to_bits() == b.to_bits());
+            assert!(same, "threads {threads}: {:?} vs {:?}", r.x, reference.x);
         }
     }
 }

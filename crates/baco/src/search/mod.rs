@@ -125,88 +125,124 @@ impl Default for LocalSearchOptions {
     }
 }
 
-/// Multi-start local search maximizing `score`, excluding configurations in
-/// `seen`. Returns the best configuration found, or `None` when every
-/// candidate was already evaluated or scored `-∞`.
+/// Multi-start local search maximizing a *batched* score, excluding
+/// configurations in `seen`. Returns the best configuration found, or `None`
+/// when every candidate was already evaluated or scored `-∞`.
+///
+/// `score_batch` receives whole candidate slices — the initial random pool in
+/// one call, then every feasible unseen neighborhood of a hill climb in one
+/// call — and must return one score per candidate, in order. Surrogates with
+/// a bulk prediction path (the GP's blocked posterior solve) make this
+/// dramatically cheaper than per-candidate scoring; see
+/// [`crate::surrogate::ValueModel::predict_batch`].
+///
+/// Candidates are sampled from the RNG *before* any scoring happens, and the
+/// climb accepts exactly the neighbor the sequential scan would accept, so
+/// the picked configuration is identical to the historical one-at-a-time
+/// implementation whenever `score_batch` agrees with the scalar score.
 pub fn local_search<R, F>(
     sampler: &FeasibleSampler,
     rng: &mut R,
-    mut score: F,
+    mut score_batch: F,
     opts: &LocalSearchOptions,
     seen: &HashSet<Configuration>,
 ) -> Option<Configuration>
 where
     R: Rng + ?Sized,
-    F: FnMut(&Configuration) -> f64,
+    F: FnMut(&[Configuration]) -> Vec<f64>,
 {
     let space = sampler.space().clone();
-    let mut scored: Vec<(f64, Configuration)> = Vec::with_capacity(opts.n_candidates);
+    let mut pool: Vec<Configuration> = Vec::with_capacity(opts.n_candidates);
     for _ in 0..opts.n_candidates {
         let cfg = sampler.sample(rng);
-        if seen.contains(&cfg) {
-            continue;
-        }
-        let s = score(&cfg);
-        if s > f64::NEG_INFINITY {
-            scored.push((s, cfg));
+        if !seen.contains(&cfg) {
+            pool.push(cfg);
         }
     }
+    let mut scored: Vec<(f64, Configuration)> = score_batch(&pool)
+        .into_iter()
+        .zip(pool)
+        .filter(|(s, _)| *s > f64::NEG_INFINITY)
+        .collect();
     scored.sort_by(|a, b| b.0.total_cmp(&a.0));
     scored.truncate(opts.n_starts.max(1));
 
     let mut best: Option<(f64, Configuration)> = None;
+    let mut nbs: Vec<Configuration> = Vec::new();
     for (s0, start) in scored {
         let mut cur = start;
         let mut cur_score = s0;
         for _ in 0..opts.max_steps {
+            nbs.clear();
+            nbs.extend(
+                neighbors(&space, &cur)
+                    .into_iter()
+                    .filter(|nb| sampler.contains(nb) && !seen.contains(nb)),
+            );
+            if nbs.is_empty() {
+                break;
+            }
+            // Sequential accept sweep over the batch scores: keeps the climb
+            // step-for-step identical to the unbatched implementation.
             let mut improved = false;
-            for nb in neighbors(&space, &cur) {
-                if !sampler.contains(&nb) || seen.contains(&nb) {
-                    continue;
-                }
-                let s = score(&nb);
+            let mut accepted: Option<usize> = None;
+            for (i, s) in score_batch(&nbs).into_iter().enumerate() {
                 if s > cur_score {
-                    cur = nb;
+                    accepted = Some(i);
                     cur_score = s;
                     improved = true;
                 }
+            }
+            if let Some(i) = accepted {
+                cur = nbs.swap_remove(i);
             }
             if !improved {
                 break;
             }
         }
-        if best.as_ref().map_or(true, |(b, _)| cur_score > *b) {
+        if best.as_ref().is_none_or(|(b, _)| cur_score > *b) {
             best = Some((cur_score, cur));
         }
     }
     best.map(|(_, c)| c)
 }
 
-/// Picks the best of `n` random feasible candidates (the degraded
-/// acquisition optimizer used by the `BaCO--` ablation).
+/// Picks the best of `n` random feasible candidates, scored as one batch
+/// (the degraded acquisition optimizer used by the `BaCO--` ablation).
 pub fn random_search<R, F>(
     sampler: &FeasibleSampler,
     rng: &mut R,
-    mut score: F,
+    mut score_batch: F,
     n: usize,
     seen: &HashSet<Configuration>,
 ) -> Option<Configuration>
 where
     R: Rng + ?Sized,
-    F: FnMut(&Configuration) -> f64,
+    F: FnMut(&[Configuration]) -> Vec<f64>,
 {
-    let mut best: Option<(f64, Configuration)> = None;
+    let mut pool: Vec<Configuration> = Vec::with_capacity(n);
     for _ in 0..n {
         let cfg = sampler.sample(rng);
-        if seen.contains(&cfg) {
-            continue;
-        }
-        let s = score(&cfg);
-        if s > f64::NEG_INFINITY && best.as_ref().map_or(true, |(b, _)| s > *b) {
-            best = Some((s, cfg));
+        if !seen.contains(&cfg) {
+            pool.push(cfg);
         }
     }
-    best.map(|(_, c)| c)
+    let mut best: Option<(f64, usize)> = None;
+    for (i, s) in score_batch(&pool).into_iter().enumerate() {
+        // Strict `>` keeps the first maximum, like the sequential scan did.
+        if s > f64::NEG_INFINITY && best.as_ref().is_none_or(|(b, _)| s > *b) {
+            best = Some((s, i));
+        }
+    }
+    best.map(|(_, i)| pool.swap_remove(i))
+}
+
+/// Adapts a scalar scoring closure to the batched signature of
+/// [`local_search`] / [`random_search`] (tests and simple callers).
+pub fn scalar_score<F: FnMut(&Configuration) -> f64>(
+    mut score: F,
+) -> impl FnMut(&[Configuration]) -> Vec<f64> {
+    move |cfgs: &[Configuration]| cfgs.iter().map(&mut score).collect()
 }
 
 #[cfg(test)]
@@ -267,7 +303,7 @@ mod tests {
             n_starts: 4,
             max_steps: 50,
         };
-        let best = local_search(&sampler, &mut rng, score, &opts, &HashSet::new()).unwrap();
+        let best = local_search(&sampler, &mut rng, scalar_score(score), &opts, &HashSet::new()).unwrap();
         assert_eq!(best.value("a").as_i64(), 12);
         assert_eq!(best.value("b").as_i64(), 7);
     }
@@ -286,7 +322,7 @@ mod tests {
         let best = local_search(
             &sampler,
             &mut rng,
-            score,
+            scalar_score(score),
             &LocalSearchOptions::default(),
             &HashSet::new(),
         )
@@ -306,7 +342,7 @@ mod tests {
         let best = local_search(
             &sampler,
             &mut rng,
-            |c| c.value("a").as_f64(),
+            scalar_score(|c| c.value("a").as_f64()),
             &LocalSearchOptions::default(),
             &seen,
         )

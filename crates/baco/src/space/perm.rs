@@ -184,7 +184,7 @@ mod tests {
     fn rank_unrank_roundtrip_small() {
         for m in 1..=5 {
             for r in 0..factorial(m) {
-                let p = unrank(r, m as usize);
+                let p = unrank(r, m);
                 assert!(is_permutation(&p));
                 assert_eq!(rank(&p), r);
             }

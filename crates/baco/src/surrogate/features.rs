@@ -82,6 +82,47 @@ impl ModelInput {
         }
     }
 
+    /// Dimension-major column of one feature across a set of inputs, for the
+    /// batched cross-kernel (see [`accumulate_scaled_dist2`]).
+    pub(crate) fn dim_view(inputs: &[ModelInput], dim: usize) -> DimView {
+        match inputs.first().map(|x| &x.feats[dim]) {
+            None => DimView::Num(Vec::new()),
+            Some(Feature::Num(_)) => DimView::Num(
+                inputs
+                    .iter()
+                    .map(|x| match &x.feats[dim] {
+                        Feature::Num(v) => *v,
+                        f => panic!("dim_view: mixed features ({f:?})"),
+                    })
+                    .collect(),
+            ),
+            Some(Feature::Cat(_)) => DimView::Cat(
+                inputs
+                    .iter()
+                    .map(|x| match &x.feats[dim] {
+                        Feature::Cat(c) => *c,
+                        f => panic!("dim_view: mixed features ({f:?})"),
+                    })
+                    .collect(),
+            ),
+            Some(Feature::Perm(p0)) => {
+                let len = p0.len();
+                let mut raw = Vec::with_capacity(inputs.len() * len);
+                let mut pos = vec![0i64; inputs.len() * len];
+                for (t, x) in inputs.iter().enumerate() {
+                    let Feature::Perm(p) = &x.feats[dim] else {
+                        panic!("dim_view: mixed features");
+                    };
+                    raw.extend_from_slice(p);
+                    for (i, &e) in p.iter().enumerate() {
+                        pos[t * len + e as usize] = i as i64;
+                    }
+                }
+                DimView::Perm { len, raw, pos }
+            }
+        }
+    }
+
     /// Flattened numeric feature vector for tree-based models: numeric value,
     /// category index, and one normalized position per permutation element.
     pub fn flat_features(&self) -> Vec<f64> {
@@ -101,6 +142,131 @@ impl ModelInput {
             }
         }
         out
+    }
+}
+
+/// One feature dimension, laid out column-major across a set of inputs.
+///
+/// [`ModelInput::dim_view`] builds these so the batched GP kernel can process
+/// one dimension at a time over contiguous arrays — no per-pair enum
+/// dispatch, and permutation position tables are computed once per input
+/// instead of once per *pair* (the scalar path's hidden allocation).
+#[derive(Debug, Clone)]
+pub(crate) enum DimView {
+    /// Normalized numeric values.
+    Num(Vec<f64>),
+    /// Category indices.
+    Cat(Vec<u32>),
+    /// Permutations: raw element sequences and element→position tables,
+    /// both flattened with stride `len`.
+    Perm {
+        len: usize,
+        raw: Vec<u8>,
+        pos: Vec<i64>,
+    },
+}
+
+/// Adds `dist²(train_i, cand_j) / ls2` to `acc[i·m + j]` for every pair, with
+/// arithmetic ordered exactly like [`ModelInput::dim_dist2`] — accumulating
+/// every dimension in index order over the same `acc` therefore reproduces
+/// the scalar path's weighted distance bit for bit.
+///
+/// # Panics
+/// Panics if the views disagree in kind or `acc` is not `n·m` long.
+pub(crate) fn accumulate_scaled_dist2(
+    train: &DimView,
+    cand: &DimView,
+    metric: PermMetric,
+    ls2: f64,
+    acc: &mut [f64],
+) {
+    match (train, cand) {
+        (DimView::Num(t), DimView::Num(c)) => {
+            let m = c.len();
+            assert_eq!(acc.len(), t.len() * m);
+            for (ti, row) in t.iter().zip(acc.chunks_exact_mut(m)) {
+                for (a, cj) in row.iter_mut().zip(c) {
+                    let d = cj - ti;
+                    *a += d * d / ls2;
+                }
+            }
+        }
+        (DimView::Cat(t), DimView::Cat(c)) => {
+            let m = c.len();
+            assert_eq!(acc.len(), t.len() * m);
+            for (ti, row) in t.iter().zip(acc.chunks_exact_mut(m)) {
+                for (a, cj) in row.iter_mut().zip(c) {
+                    if cj != ti {
+                        *a += 1.0 / ls2;
+                    }
+                }
+            }
+        }
+        (
+            DimView::Perm {
+                len,
+                raw: traw,
+                pos: tpos,
+            },
+            DimView::Perm {
+                len: clen,
+                raw: craw,
+                pos: cpos,
+            },
+        ) => {
+            assert_eq!(len, clen, "accumulate_scaled_dist2: length mismatch");
+            let len = *len;
+            let n = tpos.len() / len.max(1);
+            let m = cpos.len() / len.max(1);
+            assert_eq!(acc.len(), n * m);
+            let maxd = crate::space::perm::max_distance(metric, len);
+            for i in 0..n {
+                let ti_pos = &tpos[i * len..(i + 1) * len];
+                let ti_raw = &traw[i * len..(i + 1) * len];
+                let row = &mut acc[i * m..(i + 1) * m];
+                for j in 0..m {
+                    let cj_pos = &cpos[j * len..(j + 1) * len];
+                    let cj_raw = &craw[j * len..(j + 1) * len];
+                    // Candidate plays `a`, training point plays `b`, exactly
+                    // as in `ModelInput::dim_dist2(self=candidate, other)`.
+                    let raw_d: f64 = match metric {
+                        PermMetric::Spearman => (0..len)
+                            .map(|e| {
+                                let d = cj_pos[e] - ti_pos[e];
+                                (d * d) as f64
+                            })
+                            .sum(),
+                        PermMetric::Kendall => {
+                            let mut d = 0u64;
+                            for a in 0..len {
+                                for b in a + 1..len {
+                                    if ti_pos[cj_raw[a] as usize] > ti_pos[cj_raw[b] as usize] {
+                                        d += 1;
+                                    }
+                                }
+                            }
+                            d as f64
+                        }
+                        PermMetric::Hamming => {
+                            cj_raw.iter().zip(ti_raw).filter(|(x, y)| x != y).count() as f64
+                        }
+                        PermMetric::Naive => {
+                            if cj_raw == ti_raw {
+                                0.0
+                            } else {
+                                1.0
+                            }
+                        }
+                    };
+                    let d = match metric {
+                        PermMetric::Naive => raw_d,
+                        _ => raw_d / maxd,
+                    };
+                    row[j] += d * d / ls2;
+                }
+            }
+        }
+        (t, c) => panic!("accumulate_scaled_dist2: mismatched views {t:?} vs {c:?}"),
     }
 }
 

@@ -2,12 +2,14 @@
 //! random-forest models used both as an alternative surrogate and as the
 //! hidden-constraint feasibility classifier (Sec. 4.2).
 
+pub mod cache;
 mod features;
 pub mod gp;
 pub mod rf;
 
+pub use cache::GpCache;
 pub use features::ModelInput;
-pub use gp::{GaussianProcess, GpOptions};
+pub use gp::{GaussianProcess, GpOptions, PredictScratch, WarmStartOptions};
 pub use rf::{RandomForestClassifier, RandomForestRegressor, RfOptions};
 
 use crate::space::{Configuration, SearchSpace};
@@ -19,11 +21,26 @@ use crate::space::{Configuration, SearchSpace};
 pub trait ValueModel: std::fmt::Debug {
     /// Posterior mean and (latent, noise-free) variance at `cfg`.
     fn predict(&self, space: &SearchSpace, cfg: &Configuration) -> (f64, f64);
+
+    /// Posterior mean and variance for a whole candidate batch.
+    ///
+    /// The default maps [`ValueModel::predict`]; models with a faster bulk
+    /// path (the GP's blocked triangular solve) override it. Acquisition
+    /// scoring always goes through this entry point, so a model only has to
+    /// override one method to accelerate the whole search.
+    fn predict_batch(&self, space: &SearchSpace, cfgs: &[Configuration]) -> Vec<(f64, f64)> {
+        cfgs.iter().map(|c| self.predict(space, c)).collect()
+    }
 }
 
 impl ValueModel for GaussianProcess {
     fn predict(&self, _space: &SearchSpace, cfg: &Configuration) -> (f64, f64) {
         self.predict(cfg)
+    }
+
+    fn predict_batch(&self, _space: &SearchSpace, cfgs: &[Configuration]) -> Vec<(f64, f64)> {
+        let inputs = self.featurize(cfgs);
+        GaussianProcess::predict_batch(self, &inputs)
     }
 }
 

@@ -140,7 +140,7 @@ fn build<R: Rng + ?Sized>(
             }
             let sse = (ls2 - ls * ls / ln as f64) + (rs2 - rs * rs / rn as f64);
             let gain = parent_sse - sse;
-            if best.map_or(true, |(g, _, _)| gain > g) && gain > 1e-12 {
+            if best.is_none_or(|(g, _, _)| gain > g) && gain > 1e-12 {
                 best = Some((gain, f, thr));
             }
         }

@@ -15,7 +15,7 @@ use crate::acquisition::{expected_improvement, feasibility_weighted_ei, EpsilonS
 use crate::search::{doe_sample, local_search, random_search, FeasibleSampler, LocalSearchOptions};
 use crate::space::{Configuration, SearchSpace};
 use crate::surrogate::{
-    GaussianProcess, GpOptions, RandomForestClassifier, RandomForestRegressor, RfOptions,
+    GaussianProcess, GpCache, GpOptions, RandomForestClassifier, RandomForestRegressor, RfOptions,
     ValueModel,
 };
 use crate::{Error, Result};
@@ -239,6 +239,7 @@ impl Baco {
         let mut rng = StdRng::seed_from_u64(self.opts.seed);
         let mut report = TuningReport::new("BaCO");
         let mut seen: HashSet<Configuration> = HashSet::new();
+        let mut cache = GpCache::new();
 
         // ── Initial phase ────────────────────────────────────────────────
         let doe_n = self.opts.doe_samples.min(self.opts.budget);
@@ -252,7 +253,7 @@ impl Baco {
         // ── Learning phase ───────────────────────────────────────────────
         while report.len() < self.opts.budget {
             let t0 = Instant::now();
-            let next = self.recommend(&mut rng, &report, &seen)?;
+            let next = self.recommend_with_cache(&mut rng, &report, &seen, &mut cache)?;
             let tuner_time = t0.elapsed();
             let Some(cfg) = next else {
                 break; // feasible set exhausted
@@ -266,6 +267,10 @@ impl Baco {
     /// optimize the acquisition. Exposed for benchmarking the tuner's own
     /// overhead (Table 10) and for custom loops.
     ///
+    /// Equivalent to [`Baco::recommend_with_cache`] with a throwaway cache;
+    /// loops calling this repeatedly should hold a [`GpCache`] and use the
+    /// cached variant, which reuses per-iteration surrogate state.
+    ///
     /// # Errors
     /// Propagates surrogate-fitting failures.
     pub fn recommend(
@@ -273,6 +278,27 @@ impl Baco {
         rng: &mut StdRng,
         report: &TuningReport,
         seen: &HashSet<Configuration>,
+    ) -> Result<Option<Configuration>> {
+        self.recommend_with_cache(rng, report, seen, &mut GpCache::new())
+    }
+
+    /// [`Baco::recommend`] with persistent surrogate state: the GP's
+    /// per-dimension distance tables (and, when
+    /// [`GpOptions::warm_start`](crate::surrogate::GpOptions) is enabled, its
+    /// hyperparameters and kernel factorization) carry over between
+    /// iterations instead of being recomputed from scratch.
+    ///
+    /// With warm starts disabled (the default), the recommendations are
+    /// bit-identical to [`Baco::recommend`] for the same RNG state.
+    ///
+    /// # Errors
+    /// Propagates surrogate-fitting failures.
+    pub fn recommend_with_cache(
+        &self,
+        rng: &mut StdRng,
+        report: &TuningReport,
+        seen: &HashSet<Configuration>,
+        cache: &mut GpCache,
     ) -> Result<Option<Configuration>> {
         let (feas_cfgs, feas_vals): (Vec<Configuration>, Vec<f64>) = report
             .trials()
@@ -297,12 +323,13 @@ impl Baco {
 
         // Value model.
         let model: Box<dyn ValueModel> = match self.opts.surrogate {
-            SurrogateKind::GaussianProcess => Box::new(GaussianProcess::fit(
+            SurrogateKind::GaussianProcess => Box::new(GaussianProcess::fit_with_cache(
                 &self.space,
                 &feas_cfgs,
                 &y,
                 &self.opts.gp,
                 rng,
+                cache,
             )?),
             SurrogateKind::RandomForest => Box::new(RandomForestRegressor::fit(
                 &self.space,
@@ -340,34 +367,43 @@ impl Baco {
         // Noise-free incumbent (Sec. 3.3): the best *posterior mean* over
         // the evaluated points, not the best raw observation — a noise-lucky
         // observation would otherwise freeze EI everywhere.
-        let incumbent = feas_cfgs
-            .iter()
-            .map(|c| model.predict(&self.space, c).0)
+        let incumbent = model
+            .predict_batch(&self.space, &feas_cfgs)
+            .into_iter()
+            .map(|(m, _)| m)
             .fold(f64::INFINITY, f64::min)
             .min(y.iter().copied().fold(f64::INFINITY, f64::min) + 1.0); // sanity cap
 
         let space = &self.space;
         let guided_iter = report.len().saturating_sub(self.opts.doe_samples);
-        let score = |cfg: &Configuration| -> f64 {
-            let (mean, var) = model.predict(space, cfg);
-            let ei = expected_improvement(mean, var, incumbent);
-            let acq = match &classifier {
-                Some(c) => {
-                    let p = c.predict_proba(space, cfg);
-                    feasibility_weighted_ei(ei, p, epsilon_f)
-                }
-                None => ei,
-            };
-            match &self.opts.optimum_prior {
-                Some(prior) => prior.apply(acq, cfg, guided_iter),
-                None => acq,
-            }
+        // Candidate batches flow through the model's bulk posterior (one
+        // blocked triangular solve for the whole slice) and only then through
+        // the cheap per-candidate acquisition arithmetic.
+        let score_batch = |cfgs: &[Configuration]| -> Vec<f64> {
+            let preds = model.predict_batch(space, cfgs);
+            cfgs.iter()
+                .zip(preds)
+                .map(|(cfg, (mean, var))| {
+                    let ei = expected_improvement(mean, var, incumbent);
+                    let acq = match &classifier {
+                        Some(c) => {
+                            let p = c.predict_proba(space, cfg);
+                            feasibility_weighted_ei(ei, p, epsilon_f)
+                        }
+                        None => ei,
+                    };
+                    match &self.opts.optimum_prior {
+                        Some(prior) => prior.apply(acq, cfg, guided_iter),
+                        None => acq,
+                    }
+                })
+                .collect()
         };
 
         let picked = if self.opts.local_search {
-            local_search(&self.sampler, rng, score, &self.opts.ls, seen)
+            local_search(&self.sampler, rng, score_batch, &self.opts.ls, seen)
         } else {
-            random_search(&self.sampler, rng, score, self.opts.ls.n_candidates, seen)
+            random_search(&self.sampler, rng, score_batch, self.opts.ls.n_candidates, seen)
         };
         match picked {
             Some(c) => Ok(Some(c)),
@@ -565,6 +601,83 @@ mod tests {
         };
         assert_eq!(run(7), run(7));
         assert_ne!(run(7), run(8));
+    }
+
+    /// The tentpole guard: the production loop (persistent [`GpCache`],
+    /// batched acquisition scoring) must propose exactly the configurations
+    /// the naive reference loop (fresh cache every iteration, i.e. full
+    /// from-scratch refits) proposes, for the same seed.
+    #[test]
+    fn cached_batched_run_matches_uncached_reference() {
+        for (seed, hidden) in [(3u64, false), (9, true), (21, false)] {
+            let space = quadratic_space();
+            let bb = FnBlackBox::new(move |cfg: &Configuration| {
+                let a = cfg.value("a").as_f64();
+                let b = cfg.value("b").as_f64();
+                if hidden && a + b > 24.0 {
+                    Evaluation::infeasible()
+                } else {
+                    Evaluation::feasible(1.0 + (a - 11.0).powi(2) + (b - 4.0).powi(2))
+                }
+            });
+            let tuner = Baco::builder(space)
+                .budget(22)
+                .doe_samples(6)
+                .seed(seed)
+                .build()
+                .unwrap();
+
+            // Production path.
+            let cached = tuner.run(&bb).unwrap();
+
+            // Reference path: identical loop, but every recommendation uses a
+            // throwaway cache (= the historical fit-from-scratch behavior).
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut report = TuningReport::new("BaCO");
+            let mut seen: HashSet<Configuration> = HashSet::new();
+            let doe_n = tuner.options().doe_samples.min(tuner.options().budget);
+            let initial = doe_sample(tuner.sampler(), &mut rng, doe_n, &seen);
+            for cfg in initial {
+                tuner.evaluate_into(&bb, cfg, Default::default(), &mut seen, &mut report);
+            }
+            while report.len() < tuner.options().budget {
+                let Some(cfg) = tuner.recommend(&mut rng, &report, &seen).unwrap() else {
+                    break;
+                };
+                tuner.evaluate_into(&bb, cfg, Default::default(), &mut seen, &mut report);
+            }
+
+            let a: Vec<_> = cached.trials().iter().map(|t| t.config.to_string()).collect();
+            let b: Vec<_> = report.trials().iter().map(|t| t.config.to_string()).collect();
+            assert_eq!(a, b, "seed {seed}, hidden {hidden}");
+        }
+    }
+
+    #[test]
+    fn warm_start_runs_are_deterministic_and_converge() {
+        use crate::surrogate::WarmStartOptions;
+        let gp = GpOptions {
+            warm_start: Some(WarmStartOptions::default()),
+            ..GpOptions::default()
+        };
+        let run = |seed: u64| {
+            Baco::builder(quadratic_space())
+                .budget(30)
+                .doe_samples(6)
+                .seed(seed)
+                .gp_options(gp.clone())
+                .build()
+                .unwrap()
+                .run(&quadratic_bb())
+                .unwrap()
+        };
+        let r1 = run(13);
+        let r2 = run(13);
+        let seq = |r: &TuningReport| {
+            r.trials().iter().map(|t| t.config.to_string()).collect::<Vec<_>>()
+        };
+        assert_eq!(seq(&r1), seq(&r2), "warm-started runs must be seed-deterministic");
+        assert!(r1.best_value().unwrap() <= 5.0, "best {:?}", r1.best_value());
     }
 
     #[test]

@@ -19,6 +19,7 @@
 use super::{Baco, Evaluation, Trial, TuningReport};
 use crate::search::doe_sample;
 use crate::space::Configuration;
+use crate::surrogate::GpCache;
 use crate::Result;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -40,6 +41,8 @@ pub struct Session {
     pending: Vec<Configuration>,
     /// Pre-drawn DoE configurations still to hand out.
     doe_queue: Vec<Configuration>,
+    /// Surrogate state carried across `ask` calls (incremental GP refits).
+    cache: GpCache,
     last_ask: Option<Instant>,
     last_think: Duration,
 }
@@ -61,6 +64,7 @@ impl Session {
             seen: HashSet::new(),
             pending: Vec::new(),
             doe_queue,
+            cache: GpCache::new(),
             last_ask: None,
             last_think: Duration::ZERO,
         })
@@ -96,7 +100,8 @@ impl Session {
             // Exclude pending proposals as well as evaluated ones.
             let mut excluded = self.seen.clone();
             excluded.extend(self.pending.iter().cloned());
-            self.tuner.recommend(&mut self.rng, &self.report, &excluded)?
+            self.tuner
+                .recommend_with_cache(&mut self.rng, &self.report, &excluded, &mut self.cache)?
         };
         self.last_think = t0.elapsed();
         self.last_ask = Some(t0);

@@ -119,11 +119,72 @@ proptest! {
         }
     }
 
+    /// Batched posterior prediction agrees with the scalar path to 1e-10 on
+    /// random mixed spaces — the correctness contract of the blocked
+    /// triangular solve behind acquisition scoring.
+    #[test]
+    fn gp_predict_batch_matches_scalar(seed in 0u64..1000) {
+        let space = SearchSpace::builder()
+            .ordinal_log("tile", vec![1.0, 2.0, 4.0, 8.0, 16.0])
+            .integer("unroll", 1, 8)
+            .categorical("par", vec!["seq", "static", "dynamic"])
+            .permutation("ord", 3)
+            .build()
+            .unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let configs: Vec<_> = (0..25).map(|_| space.sample_dense(&mut rng)).collect();
+        let y: Vec<f64> = configs
+            .iter()
+            .map(|c| c.value("tile").as_f64().log2() + 0.5 * c.value("unroll").as_f64())
+            .collect();
+        let gp = GaussianProcess::fit(&space, &configs, &y, &GpOptions::default(), &mut rng)
+            .unwrap();
+        let probes: Vec<_> = (0..30).map(|_| space.sample_dense(&mut rng)).collect();
+        let inputs = gp.featurize(&probes);
+        let batch = gp.predict_batch(&inputs);
+        for (x, (bm, bv)) in inputs.iter().zip(&batch) {
+            let (sm, sv) = gp.predict_input(x);
+            prop_assert!((sm - bm).abs() <= 1e-10 * (1.0 + sm.abs()), "mean {sm} vs {bm}");
+            prop_assert!((sv - bv).abs() <= 1e-10 * (1.0 + sv.abs()), "var {sv} vs {bv}");
+        }
+    }
+
+    /// Rank-one Cholesky row appends agree with a fresh factorization of the
+    /// extended matrix to 1e-8 — the correctness contract of warm-started
+    /// incremental GP refits.
+    #[test]
+    fn cholesky_extend_matches_fresh(
+        start in 1usize..6,
+        grow in 1usize..5,
+        seed in 0u64..10_000,
+    ) {
+        use rand::Rng;
+        let n = start + grow;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let b = Matrix::from_fn(n, n, |_, _| rng.gen_range(-1.0..1.0));
+        let mut a = b.transpose().matmul(&b);
+        a.add_diagonal(0.5 + n as f64 * 0.1);
+
+        let sub = |k: usize| Matrix::from_fn(k, k, |i, j| a[(i, j)]);
+        let mut ch = Cholesky::new(&sub(start)).unwrap();
+        for k in start..n {
+            let row: Vec<f64> = (0..k).map(|j| a[(k, j)]).collect();
+            ch.extend(&row, a[(k, k)]).unwrap();
+            let fresh = Cholesky::new(&sub(k + 1)).unwrap();
+            prop_assert!(
+                ch.factor().max_abs_diff(fresh.factor()) < 1e-8,
+                "size {}: diff {}",
+                k + 1,
+                ch.factor().max_abs_diff(fresh.factor())
+            );
+        }
+    }
+
     /// Local search over a CoT only ever visits feasible configurations and
     /// monotonically improves the acquisition score of its start.
     #[test]
     fn local_search_stays_feasible_and_improves(seed in 0u64..1000) {
-        use baco::search::{local_search, FeasibleSampler, LocalSearchOptions};
+        use baco::search::{local_search, scalar_score, FeasibleSampler, LocalSearchOptions};
         let space = SearchSpace::builder()
             .integer("a", 0, 20)
             .integer("b", 0, 20)
@@ -136,7 +197,7 @@ proptest! {
             -(c.value("a").as_f64() - 14.0).abs() - (c.value("b").as_f64() - 7.0).abs()
         };
         let opts = LocalSearchOptions { n_candidates: 20, n_starts: 3, max_steps: 40 };
-        let best = local_search(&sampler, &mut rng, score, &opts, &Default::default()).unwrap();
+        let best = local_search(&sampler, &mut rng, scalar_score(score), &opts, &Default::default()).unwrap();
         prop_assert!(space.satisfies_known(&best).unwrap());
         // (14,7) is the global feasible optimum (21 % 3 == 0) but the mod-3
         // lattice has single-parameter local optima at distance 2 (e.g.

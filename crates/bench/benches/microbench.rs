@@ -11,7 +11,10 @@ use std::hint::black_box;
 use baco::acquisition::expected_improvement;
 use baco::cot::ChainOfTrees;
 use baco::space::{perm, PermMetric, SearchSpace};
-use baco::surrogate::{GaussianProcess, GpOptions, RandomForestClassifier, RfOptions};
+use baco::surrogate::{
+    GaussianProcess, GpCache, GpOptions, PredictScratch, RandomForestClassifier, RfOptions,
+    WarmStartOptions,
+};
 
 fn mixed_space() -> SearchSpace {
     SearchSpace::builder()
@@ -49,6 +52,99 @@ fn bench_gp(c: &mut Criterion) {
         let probe = cot.sample_uniform(&mut rng2);
         group.bench_with_input(BenchmarkId::new("predict", n), &n, |b, _| {
             b.iter(|| black_box(gp.predict(black_box(&probe))));
+        });
+    }
+    group.finish();
+}
+
+/// An unconstrained mixed space (candidates drawn with `sample_dense`), so
+/// the GP hot-path numbers measure modeling cost, not CoT sampling.
+fn hotpath_space() -> SearchSpace {
+    SearchSpace::builder()
+        .ordinal_log("tile", vec![1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0])
+        .integer("unroll", 1, 8)
+        .integer("chunk", 1, 64)
+        .categorical("par", vec!["seq", "static", "dynamic"])
+        .permutation("ord", 4)
+        .build()
+        .unwrap()
+}
+
+/// The tentpole comparisons: batch-vs-scalar posterior prediction and
+/// incremental-vs-fresh refits at n ∈ {20, 60, 150, 400}. The machine-
+/// readable companion (`BENCH_gp_hotpath.json`) is produced by
+/// `cargo run --release -p baco-bench --bin gp_hotpath`.
+fn bench_gp_hotpath(c: &mut Criterion) {
+    let space = hotpath_space();
+    let objective = |cfg: &baco::Configuration| {
+        cfg.value("tile").as_f64().log2() + 0.3 * cfg.value("unroll").as_f64()
+    };
+    let mut group = c.benchmark_group("gp_hotpath");
+    for n in [20usize, 60, 150, 400] {
+        let mut rng = StdRng::seed_from_u64(42 + n as u64);
+        let configs: Vec<_> = (0..n).map(|_| space.sample_dense(&mut rng)).collect();
+        let y: Vec<f64> = configs
+            .iter()
+            .map(|c| {
+                use rand::Rng;
+                objective(c) * (1.0 + rng.gen_range(-0.03..0.03))
+            })
+            .collect();
+        let gp =
+            GaussianProcess::fit(&space, &configs, &y, &GpOptions::default(), &mut rng).unwrap();
+        let probes: Vec<_> = (0..256).map(|_| space.sample_dense(&mut rng)).collect();
+        let inputs = gp.featurize(&probes);
+
+        group.bench_with_input(BenchmarkId::new("predict_scalar_256", n), &n, |b, _| {
+            b.iter(|| {
+                for x in &inputs {
+                    black_box(gp.predict_input(black_box(x)));
+                }
+            });
+        });
+        let mut scratch = PredictScratch::default();
+        let mut out = Vec::with_capacity(inputs.len());
+        group.bench_with_input(BenchmarkId::new("predict_batch_256", n), &n, |b, _| {
+            b.iter(|| {
+                gp.predict_batch_into(black_box(&inputs), &mut scratch, &mut out);
+                black_box(out.len())
+            });
+        });
+
+        group.bench_with_input(BenchmarkId::new("fit_fresh", n), &n, |b, _| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(7);
+                GaussianProcess::fit(&space, &configs, &y, &GpOptions::default(), &mut rng)
+                    .unwrap()
+            });
+        });
+        let warm_opts = GpOptions {
+            warm_start: Some(WarmStartOptions {
+                full_refit_every: usize::MAX,
+                nll_regress_tol: 10.0,
+            }),
+            ..GpOptions::default()
+        };
+        let mut prepared = GpCache::new();
+        let mut rng2 = StdRng::seed_from_u64(7);
+        GaussianProcess::fit_with_cache(
+            &space,
+            &configs[..n - 1],
+            &y[..n - 1],
+            &warm_opts,
+            &mut rng2,
+            &mut prepared,
+        )
+        .unwrap();
+        // Steady-state warm refit (no per-iteration cache clone — the
+        // one-new-row append variant is measured by the gp_hotpath binary).
+        let mut cache = prepared.clone();
+        group.bench_with_input(BenchmarkId::new("fit_incremental", n), &n, |b, _| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(7);
+                GaussianProcess::fit_with_cache(&space, &configs, &y, &warm_opts, &mut rng, &mut cache)
+                    .unwrap()
+            });
         });
     }
     group.finish();
@@ -184,6 +280,7 @@ fn bench_gpu_models(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_gp,
+    bench_gp_hotpath,
     bench_cot,
     bench_perm,
     bench_rf_and_acquisition,

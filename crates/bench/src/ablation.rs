@@ -9,6 +9,7 @@ use baco::benchmark::Benchmark;
 use baco::tuner::{Baco, BacoOptions};
 
 /// A named tuner variant.
+#[allow(clippy::type_complexity)]
 pub enum Variant {
     /// BaCO with custom options.
     Baco(&'static str, Box<dyn Fn(u64) -> BacoOptions>),

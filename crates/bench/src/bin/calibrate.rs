@@ -24,7 +24,7 @@ fn main() {
             let r = atf.run(&bench.blackbox).expect("atf run");
             if let Some(t) = r.best() {
                 let v = t.value.expect("feasible best");
-                if best.as_ref().map_or(true, |(b, _)| v < *b) {
+                if best.as_ref().is_none_or(|(b, _)| v < *b) {
                     best = Some((v, t.config.clone()));
                 }
             }
@@ -33,7 +33,7 @@ fn main() {
             let r = uni.run(&bench.blackbox).expect("uniform run");
             if let Some(t) = r.best() {
                 let v = t.value.expect("feasible best");
-                if best.as_ref().map_or(true, |(b, _)| v < *b) {
+                if best.as_ref().is_none_or(|(b, _)| v < *b) {
                     best = Some((v, t.config.clone()));
                 }
             }

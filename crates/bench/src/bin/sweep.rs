@@ -35,7 +35,7 @@ fn main() {
                     Err(e) => eprintln!("{} / {} / seed {seed}: {e}", bench.name, kind.name()),
                 }
                 done += 1;
-                if done % 25 == 0 || done == total {
+                if done.is_multiple_of(25) || done == total {
                     eprintln!(
                         "[{done}/{total}] {:.0?} elapsed — {} {}",
                         t0.elapsed(),

@@ -117,7 +117,7 @@ mod tests {
         };
         let dir = std::env::temp_dir().join("baco-store-test");
         let path = dir.join("x.csv");
-        save(&path, &[r.clone()]).unwrap();
+        save(&path, std::slice::from_ref(&r)).unwrap();
         let back = load(&path).unwrap();
         assert_eq!(back.len(), 1);
         let b = &back[0];

@@ -1,0 +1,281 @@
+//! Offline drop-in subset of the [`criterion`](https://crates.io/crates/criterion)
+//! bench-harness API used by `crates/bench/benches/microbench.rs`.
+//!
+//! The registry is unreachable from the build environment, so this shim
+//! provides the same surface (`Criterion`, `BenchmarkGroup`, `BenchmarkId`,
+//! `criterion_group!`, `criterion_main!`) with a much simpler measurement
+//! strategy: an adaptive warmup followed by batched timing, reporting the
+//! median nanoseconds per iteration. Set `BACO_BENCH_JSON=<path>` to also
+//! write every result as a machine-readable JSON array.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// One measured benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Fully qualified id, `group/function[/param]`.
+    pub id: String,
+    /// Median wall time per iteration, nanoseconds.
+    pub median_ns: f64,
+    /// Total iterations measured.
+    pub iters: u64,
+}
+
+/// Identifier combining a function name and a parameter, as in real criterion.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `BenchmarkId::new("fit", 60)` → `fit/60`.
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+}
+
+/// Conversion of the various id forms accepted by `bench_function`.
+pub trait IntoBenchmarkId {
+    /// The rendered id string.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Timing driver handed to benchmark closures.
+#[derive(Debug)]
+pub struct Bencher {
+    measured: Option<(f64, u64)>,
+    measure_time: Duration,
+}
+
+impl Bencher {
+    /// Times `f`, adaptively choosing the iteration count so the measurement
+    /// fits the configured budget even for second-scale benchmarks.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warmup + calibration: one untimed call, one timed call.
+        std::hint::black_box(f());
+        let t0 = Instant::now();
+        std::hint::black_box(f());
+        let once = t0.elapsed().as_secs_f64().max(1e-9);
+
+        let budget = self.measure_time.as_secs_f64();
+        // Per-sample iteration count targeting ~1/5 of the budget per sample.
+        let per_sample = ((budget / 5.0 / once).floor() as u64).clamp(1, 1_000_000);
+        let mut samples = Vec::new();
+        let mut total_iters = 0u64;
+        let deadline = Instant::now() + self.measure_time;
+        while samples.len() < 5 || (Instant::now() < deadline && samples.len() < 100) {
+            let t = Instant::now();
+            for _ in 0..per_sample {
+                std::hint::black_box(f());
+            }
+            samples.push(t.elapsed().as_secs_f64() / per_sample as f64);
+            total_iters += per_sample;
+            if samples.len() >= 5 && Instant::now() >= deadline {
+                break;
+            }
+        }
+        samples.sort_by(f64::total_cmp);
+        let median = samples[samples.len() / 2] * 1e9;
+        self.measured = Some((median, total_iters));
+    }
+}
+
+/// A named group of benchmarks sharing settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    measure_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim's adaptive timing ignores it.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Overrides the per-benchmark measurement budget.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measure_time = d;
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, id.into_id());
+        let mt = self.measure_time;
+        self.criterion.run_one(id, mt, f);
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (no-op; for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    results: Vec<BenchResult>,
+}
+
+impl Criterion {
+    /// Starts a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            measure_time: default_measure_time(),
+        }
+    }
+
+    /// Runs one ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run_one(id.to_string(), default_measure_time(), f);
+        self
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, id: String, measure_time: Duration, mut f: F) {
+        let mut b = Bencher {
+            measured: None,
+            measure_time,
+        };
+        f(&mut b);
+        let (median_ns, iters) = b.measured.unwrap_or((f64::NAN, 0));
+        println!("bench {id:<48} {:>14} /iter  ({iters} iters)", fmt_ns(median_ns));
+        self.results.push(BenchResult {
+            id,
+            median_ns,
+            iters,
+        });
+    }
+
+    /// All results measured so far.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
+    /// Prints the summary and honors `BACO_BENCH_JSON`.
+    pub fn final_summary(&self) {
+        if let Ok(path) = std::env::var("BACO_BENCH_JSON") {
+            let mut out = String::from("[\n");
+            for (i, r) in self.results.iter().enumerate() {
+                out.push_str(&format!(
+                    "  {{\"id\": \"{}\", \"median_ns\": {:.1}, \"iters\": {}}}{}\n",
+                    r.id.replace('"', "'"),
+                    r.median_ns,
+                    r.iters,
+                    if i + 1 < self.results.len() { "," } else { "" }
+                ));
+            }
+            out.push_str("]\n");
+            if let Err(e) = std::fs::write(&path, out) {
+                eprintln!("BACO_BENCH_JSON: failed to write {path}: {e}");
+            }
+        }
+        println!("{} benchmarks measured", self.results.len());
+    }
+}
+
+fn default_measure_time() -> Duration {
+    match std::env::var("BACO_BENCH_MEASURE_MS") {
+        Ok(ms) => Duration::from_millis(ms.parse().unwrap_or(300)),
+        Err(_) => Duration::from_millis(300),
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if !ns.is_finite() {
+        "n/a".into()
+    } else if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// Bundles benchmark functions into a single registration function, mirroring
+/// real criterion's macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Generates `main` running every group, mirroring real criterion.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $($group(&mut c);)+
+            c.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.measurement_time(Duration::from_millis(20));
+        g.bench_function("noop", |b| b.iter(|| 1 + 1));
+        g.bench_with_input(BenchmarkId::new("param", 3), &3, |b, &x| {
+            b.iter(|| x * 2)
+        });
+        g.finish();
+        assert_eq!(c.results().len(), 2);
+        assert!(c.results()[0].median_ns >= 0.0);
+        assert_eq!(c.results()[1].id, "g/param/3");
+    }
+}

@@ -37,6 +37,7 @@ pub struct Resources {
 
 impl Resources {
     /// Component-wise sum.
+    #[allow(clippy::should_implement_trait)]
     pub fn add(self, other: Resources) -> Resources {
         Resources {
             alms: self.alms + other.alms,

@@ -66,19 +66,17 @@ impl GpuDevice {
         } else {
             by_threads
         };
-        let by_shared = if shared_bytes > 0 {
-            // Model a per-SM shared pool of 2 workgroups' worth.
-            (2 * self.shared_per_wg) / shared_bytes
-        } else {
-            by_threads
-        };
-        let wgs = by_threads.min(by_regs).min(by_shared).max(0);
+        // Model a per-SM shared pool of 2 workgroups' worth.
+        let by_shared = (2 * self.shared_per_wg)
+            .checked_div(shared_bytes)
+            .unwrap_or(by_threads);
+        let wgs = by_threads.min(by_regs).min(by_shared);
         if wgs == 0 {
             return None;
         }
         let resident = (wgs * wg_threads).min(self.max_threads_per_sm);
         // Sub-warp workgroups waste lanes.
-        let warp_eff = if wg_threads % self.warp == 0 {
+        let warp_eff = if wg_threads.is_multiple_of(self.warp) {
             1.0
         } else {
             wg_threads as f64 / (wg_threads.div_ceil(self.warp) * self.warp) as f64
