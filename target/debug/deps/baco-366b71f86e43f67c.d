@@ -1,0 +1,46 @@
+/root/repo/target/debug/deps/baco-366b71f86e43f67c.d: crates/baco/src/lib.rs crates/baco/src/acquisition/mod.rs crates/baco/src/acquisition/prior.rs crates/baco/src/baselines/mod.rs crates/baco/src/baselines/atf.rs crates/baco/src/baselines/ytopt.rs crates/baco/src/benchmark.rs crates/baco/src/capabilities.rs crates/baco/src/constraints/mod.rs crates/baco/src/constraints/ast.rs crates/baco/src/constraints/lexer.rs crates/baco/src/constraints/parser.rs crates/baco/src/cot/mod.rs crates/baco/src/cot/tree.rs crates/baco/src/error.rs crates/baco/src/linalg/mod.rs crates/baco/src/linalg/cholesky.rs crates/baco/src/linalg/matrix.rs crates/baco/src/opt/mod.rs crates/baco/src/opt/lbfgs.rs crates/baco/src/parallel.rs crates/baco/src/search/mod.rs crates/baco/src/search/neighbors.rs crates/baco/src/space/mod.rs crates/baco/src/space/builder.rs crates/baco/src/space/config.rs crates/baco/src/space/param.rs crates/baco/src/space/perm.rs crates/baco/src/surrogate/mod.rs crates/baco/src/surrogate/cache.rs crates/baco/src/surrogate/features.rs crates/baco/src/surrogate/gp.rs crates/baco/src/surrogate/rf/mod.rs crates/baco/src/surrogate/rf/tree.rs crates/baco/src/tuner/mod.rs crates/baco/src/tuner/blackbox.rs crates/baco/src/tuner/report.rs crates/baco/src/tuner/session.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbaco-366b71f86e43f67c.rmeta: crates/baco/src/lib.rs crates/baco/src/acquisition/mod.rs crates/baco/src/acquisition/prior.rs crates/baco/src/baselines/mod.rs crates/baco/src/baselines/atf.rs crates/baco/src/baselines/ytopt.rs crates/baco/src/benchmark.rs crates/baco/src/capabilities.rs crates/baco/src/constraints/mod.rs crates/baco/src/constraints/ast.rs crates/baco/src/constraints/lexer.rs crates/baco/src/constraints/parser.rs crates/baco/src/cot/mod.rs crates/baco/src/cot/tree.rs crates/baco/src/error.rs crates/baco/src/linalg/mod.rs crates/baco/src/linalg/cholesky.rs crates/baco/src/linalg/matrix.rs crates/baco/src/opt/mod.rs crates/baco/src/opt/lbfgs.rs crates/baco/src/parallel.rs crates/baco/src/search/mod.rs crates/baco/src/search/neighbors.rs crates/baco/src/space/mod.rs crates/baco/src/space/builder.rs crates/baco/src/space/config.rs crates/baco/src/space/param.rs crates/baco/src/space/perm.rs crates/baco/src/surrogate/mod.rs crates/baco/src/surrogate/cache.rs crates/baco/src/surrogate/features.rs crates/baco/src/surrogate/gp.rs crates/baco/src/surrogate/rf/mod.rs crates/baco/src/surrogate/rf/tree.rs crates/baco/src/tuner/mod.rs crates/baco/src/tuner/blackbox.rs crates/baco/src/tuner/report.rs crates/baco/src/tuner/session.rs Cargo.toml
+
+crates/baco/src/lib.rs:
+crates/baco/src/acquisition/mod.rs:
+crates/baco/src/acquisition/prior.rs:
+crates/baco/src/baselines/mod.rs:
+crates/baco/src/baselines/atf.rs:
+crates/baco/src/baselines/ytopt.rs:
+crates/baco/src/benchmark.rs:
+crates/baco/src/capabilities.rs:
+crates/baco/src/constraints/mod.rs:
+crates/baco/src/constraints/ast.rs:
+crates/baco/src/constraints/lexer.rs:
+crates/baco/src/constraints/parser.rs:
+crates/baco/src/cot/mod.rs:
+crates/baco/src/cot/tree.rs:
+crates/baco/src/error.rs:
+crates/baco/src/linalg/mod.rs:
+crates/baco/src/linalg/cholesky.rs:
+crates/baco/src/linalg/matrix.rs:
+crates/baco/src/opt/mod.rs:
+crates/baco/src/opt/lbfgs.rs:
+crates/baco/src/parallel.rs:
+crates/baco/src/search/mod.rs:
+crates/baco/src/search/neighbors.rs:
+crates/baco/src/space/mod.rs:
+crates/baco/src/space/builder.rs:
+crates/baco/src/space/config.rs:
+crates/baco/src/space/param.rs:
+crates/baco/src/space/perm.rs:
+crates/baco/src/surrogate/mod.rs:
+crates/baco/src/surrogate/cache.rs:
+crates/baco/src/surrogate/features.rs:
+crates/baco/src/surrogate/gp.rs:
+crates/baco/src/surrogate/rf/mod.rs:
+crates/baco/src/surrogate/rf/tree.rs:
+crates/baco/src/tuner/mod.rs:
+crates/baco/src/tuner/blackbox.rs:
+crates/baco/src/tuner/report.rs:
+crates/baco/src/tuner/session.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

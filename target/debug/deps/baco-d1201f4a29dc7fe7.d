@@ -1,0 +1,42 @@
+/root/repo/target/debug/deps/baco-d1201f4a29dc7fe7.d: crates/baco/src/lib.rs crates/baco/src/acquisition/mod.rs crates/baco/src/acquisition/prior.rs crates/baco/src/baselines/mod.rs crates/baco/src/baselines/atf.rs crates/baco/src/baselines/ytopt.rs crates/baco/src/benchmark.rs crates/baco/src/capabilities.rs crates/baco/src/constraints/mod.rs crates/baco/src/constraints/ast.rs crates/baco/src/constraints/lexer.rs crates/baco/src/constraints/parser.rs crates/baco/src/cot/mod.rs crates/baco/src/cot/tree.rs crates/baco/src/error.rs crates/baco/src/linalg/mod.rs crates/baco/src/linalg/cholesky.rs crates/baco/src/linalg/matrix.rs crates/baco/src/opt/mod.rs crates/baco/src/opt/lbfgs.rs crates/baco/src/parallel.rs crates/baco/src/search/mod.rs crates/baco/src/search/neighbors.rs crates/baco/src/space/mod.rs crates/baco/src/space/builder.rs crates/baco/src/space/config.rs crates/baco/src/space/param.rs crates/baco/src/space/perm.rs crates/baco/src/surrogate/mod.rs crates/baco/src/surrogate/cache.rs crates/baco/src/surrogate/features.rs crates/baco/src/surrogate/gp.rs crates/baco/src/surrogate/rf/mod.rs crates/baco/src/surrogate/rf/tree.rs crates/baco/src/tuner/mod.rs crates/baco/src/tuner/blackbox.rs crates/baco/src/tuner/report.rs crates/baco/src/tuner/session.rs
+
+/root/repo/target/debug/deps/baco-d1201f4a29dc7fe7: crates/baco/src/lib.rs crates/baco/src/acquisition/mod.rs crates/baco/src/acquisition/prior.rs crates/baco/src/baselines/mod.rs crates/baco/src/baselines/atf.rs crates/baco/src/baselines/ytopt.rs crates/baco/src/benchmark.rs crates/baco/src/capabilities.rs crates/baco/src/constraints/mod.rs crates/baco/src/constraints/ast.rs crates/baco/src/constraints/lexer.rs crates/baco/src/constraints/parser.rs crates/baco/src/cot/mod.rs crates/baco/src/cot/tree.rs crates/baco/src/error.rs crates/baco/src/linalg/mod.rs crates/baco/src/linalg/cholesky.rs crates/baco/src/linalg/matrix.rs crates/baco/src/opt/mod.rs crates/baco/src/opt/lbfgs.rs crates/baco/src/parallel.rs crates/baco/src/search/mod.rs crates/baco/src/search/neighbors.rs crates/baco/src/space/mod.rs crates/baco/src/space/builder.rs crates/baco/src/space/config.rs crates/baco/src/space/param.rs crates/baco/src/space/perm.rs crates/baco/src/surrogate/mod.rs crates/baco/src/surrogate/cache.rs crates/baco/src/surrogate/features.rs crates/baco/src/surrogate/gp.rs crates/baco/src/surrogate/rf/mod.rs crates/baco/src/surrogate/rf/tree.rs crates/baco/src/tuner/mod.rs crates/baco/src/tuner/blackbox.rs crates/baco/src/tuner/report.rs crates/baco/src/tuner/session.rs
+
+crates/baco/src/lib.rs:
+crates/baco/src/acquisition/mod.rs:
+crates/baco/src/acquisition/prior.rs:
+crates/baco/src/baselines/mod.rs:
+crates/baco/src/baselines/atf.rs:
+crates/baco/src/baselines/ytopt.rs:
+crates/baco/src/benchmark.rs:
+crates/baco/src/capabilities.rs:
+crates/baco/src/constraints/mod.rs:
+crates/baco/src/constraints/ast.rs:
+crates/baco/src/constraints/lexer.rs:
+crates/baco/src/constraints/parser.rs:
+crates/baco/src/cot/mod.rs:
+crates/baco/src/cot/tree.rs:
+crates/baco/src/error.rs:
+crates/baco/src/linalg/mod.rs:
+crates/baco/src/linalg/cholesky.rs:
+crates/baco/src/linalg/matrix.rs:
+crates/baco/src/opt/mod.rs:
+crates/baco/src/opt/lbfgs.rs:
+crates/baco/src/parallel.rs:
+crates/baco/src/search/mod.rs:
+crates/baco/src/search/neighbors.rs:
+crates/baco/src/space/mod.rs:
+crates/baco/src/space/builder.rs:
+crates/baco/src/space/config.rs:
+crates/baco/src/space/param.rs:
+crates/baco/src/space/perm.rs:
+crates/baco/src/surrogate/mod.rs:
+crates/baco/src/surrogate/cache.rs:
+crates/baco/src/surrogate/features.rs:
+crates/baco/src/surrogate/gp.rs:
+crates/baco/src/surrogate/rf/mod.rs:
+crates/baco/src/surrogate/rf/tree.rs:
+crates/baco/src/tuner/mod.rs:
+crates/baco/src/tuner/blackbox.rs:
+crates/baco/src/tuner/report.rs:
+crates/baco/src/tuner/session.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/baco_bench-38b7d5e76f64d881.d: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/agg.rs crates/bench/src/cli.rs crates/bench/src/runner.rs crates/bench/src/stats.rs crates/bench/src/store.rs
+
+/root/repo/target/debug/deps/baco_bench-38b7d5e76f64d881: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/agg.rs crates/bench/src/cli.rs crates/bench/src/runner.rs crates/bench/src/stats.rs crates/bench/src/store.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/ablation.rs:
+crates/bench/src/agg.rs:
+crates/bench/src/cli.rs:
+crates/bench/src/runner.rs:
+crates/bench/src/stats.rs:
+crates/bench/src/store.rs:

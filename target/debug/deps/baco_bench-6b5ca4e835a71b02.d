@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/baco_bench-6b5ca4e835a71b02.d: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/agg.rs crates/bench/src/cli.rs crates/bench/src/runner.rs crates/bench/src/stats.rs crates/bench/src/store.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbaco_bench-6b5ca4e835a71b02.rmeta: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/agg.rs crates/bench/src/cli.rs crates/bench/src/runner.rs crates/bench/src/stats.rs crates/bench/src/store.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/ablation.rs:
+crates/bench/src/agg.rs:
+crates/bench/src/cli.rs:
+crates/bench/src/runner.rs:
+crates/bench/src/stats.rs:
+crates/bench/src/store.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/baco_bench-ad056ee8ab7f218e.d: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/agg.rs crates/bench/src/cli.rs crates/bench/src/runner.rs crates/bench/src/stats.rs crates/bench/src/store.rs
+
+/root/repo/target/debug/deps/libbaco_bench-ad056ee8ab7f218e.rlib: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/agg.rs crates/bench/src/cli.rs crates/bench/src/runner.rs crates/bench/src/stats.rs crates/bench/src/store.rs
+
+/root/repo/target/debug/deps/libbaco_bench-ad056ee8ab7f218e.rmeta: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/agg.rs crates/bench/src/cli.rs crates/bench/src/runner.rs crates/bench/src/stats.rs crates/bench/src/store.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/ablation.rs:
+crates/bench/src/agg.rs:
+crates/bench/src/cli.rs:
+crates/bench/src/runner.rs:
+crates/bench/src/stats.rs:
+crates/bench/src/store.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/baco_repro-8b88db1a860193b5.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbaco_repro-8b88db1a860193b5.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

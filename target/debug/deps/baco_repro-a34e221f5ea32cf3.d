@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/baco_repro-a34e221f5ea32cf3.d: src/lib.rs
+
+/root/repo/target/debug/deps/baco_repro-a34e221f5ea32cf3: src/lib.rs
+
+src/lib.rs:

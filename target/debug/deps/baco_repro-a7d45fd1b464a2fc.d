@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/baco_repro-a7d45fd1b464a2fc.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbaco_repro-a7d45fd1b464a2fc.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

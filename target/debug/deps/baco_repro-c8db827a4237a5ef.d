@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/baco_repro-c8db827a4237a5ef.d: src/lib.rs
+
+/root/repo/target/debug/deps/libbaco_repro-c8db827a4237a5ef.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libbaco_repro-c8db827a4237a5ef.rmeta: src/lib.rs
+
+src/lib.rs:

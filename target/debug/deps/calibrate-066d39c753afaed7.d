@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/calibrate-066d39c753afaed7.d: crates/bench/src/bin/calibrate.rs
+
+/root/repo/target/debug/deps/calibrate-066d39c753afaed7: crates/bench/src/bin/calibrate.rs
+
+crates/bench/src/bin/calibrate.rs:

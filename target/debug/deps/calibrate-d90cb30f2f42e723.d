@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/calibrate-d90cb30f2f42e723.d: crates/bench/src/bin/calibrate.rs
+
+/root/repo/target/debug/deps/calibrate-d90cb30f2f42e723: crates/bench/src/bin/calibrate.rs
+
+crates/bench/src/bin/calibrate.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/core_properties-0d89b55f61710470.d: crates/baco/tests/core_properties.rs
+
+/root/repo/target/debug/deps/core_properties-0d89b55f61710470: crates/baco/tests/core_properties.rs
+
+crates/baco/tests/core_properties.rs:

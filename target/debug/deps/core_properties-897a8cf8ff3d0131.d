@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/core_properties-897a8cf8ff3d0131.d: crates/baco/tests/core_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcore_properties-897a8cf8ff3d0131.rmeta: crates/baco/tests/core_properties.rs Cargo.toml
+
+crates/baco/tests/core_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

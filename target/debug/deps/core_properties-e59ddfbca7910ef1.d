@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/core_properties-e59ddfbca7910ef1.d: crates/baco/tests/core_properties.rs
+
+/root/repo/target/debug/deps/core_properties-e59ddfbca7910ef1: crates/baco/tests/core_properties.rs
+
+crates/baco/tests/core_properties.rs:

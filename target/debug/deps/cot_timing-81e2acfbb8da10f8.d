@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cot_timing-81e2acfbb8da10f8.d: crates/bench/src/bin/cot_timing.rs
+
+/root/repo/target/debug/deps/cot_timing-81e2acfbb8da10f8: crates/bench/src/bin/cot_timing.rs
+
+crates/bench/src/bin/cot_timing.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cot_timing-82020abf1dd2d0c1.d: crates/bench/src/bin/cot_timing.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcot_timing-82020abf1dd2d0c1.rmeta: crates/bench/src/bin/cot_timing.rs Cargo.toml
+
+crates/bench/src/bin/cot_timing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

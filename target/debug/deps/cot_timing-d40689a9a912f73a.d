@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cot_timing-d40689a9a912f73a.d: crates/bench/src/bin/cot_timing.rs
+
+/root/repo/target/debug/deps/cot_timing-d40689a9a912f73a: crates/bench/src/bin/cot_timing.rs
+
+crates/bench/src/bin/cot_timing.rs:

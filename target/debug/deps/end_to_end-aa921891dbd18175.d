@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-aa921891dbd18175.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-aa921891dbd18175: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10-67c38b4bbc823241.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/debug/deps/fig10-67c38b4bbc823241: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10-b882175b0936cc09.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/debug/deps/fig10-b882175b0936cc09: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-079232a5ec652d4b.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/fig5-079232a5ec652d4b: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-56aa05efbb4ca087.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/fig5-56aa05efbb4ca087: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

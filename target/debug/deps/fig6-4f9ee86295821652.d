@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-4f9ee86295821652.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-4f9ee86295821652: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

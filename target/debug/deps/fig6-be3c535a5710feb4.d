@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-be3c535a5710feb4.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-be3c535a5710feb4: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

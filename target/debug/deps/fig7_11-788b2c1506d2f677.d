@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_11-788b2c1506d2f677.d: crates/bench/src/bin/fig7_11.rs
+
+/root/repo/target/debug/deps/fig7_11-788b2c1506d2f677: crates/bench/src/bin/fig7_11.rs
+
+crates/bench/src/bin/fig7_11.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_11-f78ab4f5e3a7d455.d: crates/bench/src/bin/fig7_11.rs
+
+/root/repo/target/debug/deps/fig7_11-f78ab4f5e3a7d455: crates/bench/src/bin/fig7_11.rs
+
+crates/bench/src/bin/fig7_11.rs:

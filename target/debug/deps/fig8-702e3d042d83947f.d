@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-702e3d042d83947f.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-702e3d042d83947f: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

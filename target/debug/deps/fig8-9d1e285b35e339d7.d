@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-9d1e285b35e339d7.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-9d1e285b35e339d7: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9-140732cf9d9bc372.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/debug/deps/fig9-140732cf9d9bc372: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9-b7cac5ad91d528cd.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/debug/deps/fig9-b7cac5ad91d528cd: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

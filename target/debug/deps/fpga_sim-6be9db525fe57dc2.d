@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/fpga_sim-6be9db525fe57dc2.d: crates/fpga-sim/src/lib.rs crates/fpga-sim/src/benchmarks.rs crates/fpga-sim/src/device.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfpga_sim-6be9db525fe57dc2.rmeta: crates/fpga-sim/src/lib.rs crates/fpga-sim/src/benchmarks.rs crates/fpga-sim/src/device.rs Cargo.toml
+
+crates/fpga-sim/src/lib.rs:
+crates/fpga-sim/src/benchmarks.rs:
+crates/fpga-sim/src/device.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fpga_sim-89b5e951b6e00308.d: crates/fpga-sim/src/lib.rs crates/fpga-sim/src/benchmarks.rs crates/fpga-sim/src/device.rs
+
+/root/repo/target/debug/deps/libfpga_sim-89b5e951b6e00308.rlib: crates/fpga-sim/src/lib.rs crates/fpga-sim/src/benchmarks.rs crates/fpga-sim/src/device.rs
+
+/root/repo/target/debug/deps/libfpga_sim-89b5e951b6e00308.rmeta: crates/fpga-sim/src/lib.rs crates/fpga-sim/src/benchmarks.rs crates/fpga-sim/src/device.rs
+
+crates/fpga-sim/src/lib.rs:
+crates/fpga-sim/src/benchmarks.rs:
+crates/fpga-sim/src/device.rs:

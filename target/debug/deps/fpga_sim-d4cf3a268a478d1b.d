@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/fpga_sim-d4cf3a268a478d1b.d: crates/fpga-sim/src/lib.rs crates/fpga-sim/src/benchmarks.rs crates/fpga-sim/src/device.rs
+
+/root/repo/target/debug/deps/fpga_sim-d4cf3a268a478d1b: crates/fpga-sim/src/lib.rs crates/fpga-sim/src/benchmarks.rs crates/fpga-sim/src/device.rs
+
+crates/fpga-sim/src/lib.rs:
+crates/fpga-sim/src/benchmarks.rs:
+crates/fpga-sim/src/device.rs:

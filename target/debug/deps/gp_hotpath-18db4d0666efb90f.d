@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gp_hotpath-18db4d0666efb90f.d: crates/bench/src/bin/gp_hotpath.rs
+
+/root/repo/target/debug/deps/gp_hotpath-18db4d0666efb90f: crates/bench/src/bin/gp_hotpath.rs
+
+crates/bench/src/bin/gp_hotpath.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gp_hotpath-192c575056b1cfb3.d: crates/bench/src/bin/gp_hotpath.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgp_hotpath-192c575056b1cfb3.rmeta: crates/bench/src/bin/gp_hotpath.rs Cargo.toml
+
+crates/bench/src/bin/gp_hotpath.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

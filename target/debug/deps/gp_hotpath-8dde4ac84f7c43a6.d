@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gp_hotpath-8dde4ac84f7c43a6.d: crates/bench/src/bin/gp_hotpath.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgp_hotpath-8dde4ac84f7c43a6.rmeta: crates/bench/src/bin/gp_hotpath.rs Cargo.toml
+
+crates/bench/src/bin/gp_hotpath.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gp_hotpath-dfed06667f4530f7.d: crates/bench/src/bin/gp_hotpath.rs
+
+/root/repo/target/debug/deps/gp_hotpath-dfed06667f4530f7: crates/bench/src/bin/gp_hotpath.rs
+
+crates/bench/src/bin/gp_hotpath.rs:

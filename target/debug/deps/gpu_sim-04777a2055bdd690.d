@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/gpu_sim-04777a2055bdd690.d: crates/gpu-sim/src/lib.rs crates/gpu-sim/src/benchmarks.rs crates/gpu-sim/src/device.rs crates/gpu-sim/src/kernels/mod.rs crates/gpu-sim/src/kernels/asum.rs crates/gpu-sim/src/kernels/harris.rs crates/gpu-sim/src/kernels/kmeans.rs crates/gpu-sim/src/kernels/mm_cpu.rs crates/gpu-sim/src/kernels/mm_gpu.rs crates/gpu-sim/src/kernels/scal.rs crates/gpu-sim/src/kernels/stencil.rs
+
+/root/repo/target/debug/deps/gpu_sim-04777a2055bdd690: crates/gpu-sim/src/lib.rs crates/gpu-sim/src/benchmarks.rs crates/gpu-sim/src/device.rs crates/gpu-sim/src/kernels/mod.rs crates/gpu-sim/src/kernels/asum.rs crates/gpu-sim/src/kernels/harris.rs crates/gpu-sim/src/kernels/kmeans.rs crates/gpu-sim/src/kernels/mm_cpu.rs crates/gpu-sim/src/kernels/mm_gpu.rs crates/gpu-sim/src/kernels/scal.rs crates/gpu-sim/src/kernels/stencil.rs
+
+crates/gpu-sim/src/lib.rs:
+crates/gpu-sim/src/benchmarks.rs:
+crates/gpu-sim/src/device.rs:
+crates/gpu-sim/src/kernels/mod.rs:
+crates/gpu-sim/src/kernels/asum.rs:
+crates/gpu-sim/src/kernels/harris.rs:
+crates/gpu-sim/src/kernels/kmeans.rs:
+crates/gpu-sim/src/kernels/mm_cpu.rs:
+crates/gpu-sim/src/kernels/mm_gpu.rs:
+crates/gpu-sim/src/kernels/scal.rs:
+crates/gpu-sim/src/kernels/stencil.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/gpu_sim-8096c8572cc5269f.d: crates/gpu-sim/src/lib.rs crates/gpu-sim/src/benchmarks.rs crates/gpu-sim/src/device.rs crates/gpu-sim/src/kernels/mod.rs crates/gpu-sim/src/kernels/asum.rs crates/gpu-sim/src/kernels/harris.rs crates/gpu-sim/src/kernels/kmeans.rs crates/gpu-sim/src/kernels/mm_cpu.rs crates/gpu-sim/src/kernels/mm_gpu.rs crates/gpu-sim/src/kernels/scal.rs crates/gpu-sim/src/kernels/stencil.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgpu_sim-8096c8572cc5269f.rmeta: crates/gpu-sim/src/lib.rs crates/gpu-sim/src/benchmarks.rs crates/gpu-sim/src/device.rs crates/gpu-sim/src/kernels/mod.rs crates/gpu-sim/src/kernels/asum.rs crates/gpu-sim/src/kernels/harris.rs crates/gpu-sim/src/kernels/kmeans.rs crates/gpu-sim/src/kernels/mm_cpu.rs crates/gpu-sim/src/kernels/mm_gpu.rs crates/gpu-sim/src/kernels/scal.rs crates/gpu-sim/src/kernels/stencil.rs Cargo.toml
+
+crates/gpu-sim/src/lib.rs:
+crates/gpu-sim/src/benchmarks.rs:
+crates/gpu-sim/src/device.rs:
+crates/gpu-sim/src/kernels/mod.rs:
+crates/gpu-sim/src/kernels/asum.rs:
+crates/gpu-sim/src/kernels/harris.rs:
+crates/gpu-sim/src/kernels/kmeans.rs:
+crates/gpu-sim/src/kernels/mm_cpu.rs:
+crates/gpu-sim/src/kernels/mm_gpu.rs:
+crates/gpu-sim/src/kernels/scal.rs:
+crates/gpu-sim/src/kernels/stencil.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

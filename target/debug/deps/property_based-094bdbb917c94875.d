@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/property_based-094bdbb917c94875.d: tests/property_based.rs
+
+/root/repo/target/debug/deps/property_based-094bdbb917c94875: tests/property_based.rs
+
+tests/property_based.rs:

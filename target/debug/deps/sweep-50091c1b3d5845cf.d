@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sweep-50091c1b3d5845cf.d: crates/bench/src/bin/sweep.rs
+
+/root/repo/target/debug/deps/sweep-50091c1b3d5845cf: crates/bench/src/bin/sweep.rs
+
+crates/bench/src/bin/sweep.rs:

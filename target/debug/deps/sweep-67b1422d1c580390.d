@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sweep-67b1422d1c580390.d: crates/bench/src/bin/sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsweep-67b1422d1c580390.rmeta: crates/bench/src/bin/sweep.rs Cargo.toml
+
+crates/bench/src/bin/sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

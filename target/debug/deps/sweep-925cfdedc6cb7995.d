@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sweep-925cfdedc6cb7995.d: crates/bench/src/bin/sweep.rs
+
+/root/repo/target/debug/deps/sweep-925cfdedc6cb7995: crates/bench/src/bin/sweep.rs
+
+crates/bench/src/bin/sweep.rs:

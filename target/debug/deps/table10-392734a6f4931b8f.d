@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table10-392734a6f4931b8f.d: crates/bench/src/bin/table10.rs
+
+/root/repo/target/debug/deps/table10-392734a6f4931b8f: crates/bench/src/bin/table10.rs
+
+crates/bench/src/bin/table10.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table10-4409a6ebb32414b5.d: crates/bench/src/bin/table10.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable10-4409a6ebb32414b5.rmeta: crates/bench/src/bin/table10.rs Cargo.toml
+
+crates/bench/src/bin/table10.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table10-a414cb00784a9004.d: crates/bench/src/bin/table10.rs
+
+/root/repo/target/debug/deps/table10-a414cb00784a9004: crates/bench/src/bin/table10.rs
+
+crates/bench/src/bin/table10.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table1_2-3571c6c198afd20a.d: crates/bench/src/bin/table1_2.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable1_2-3571c6c198afd20a.rmeta: crates/bench/src/bin/table1_2.rs Cargo.toml
+
+crates/bench/src/bin/table1_2.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table1_2-3afe86d30aa9a967.d: crates/bench/src/bin/table1_2.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable1_2-3afe86d30aa9a967.rmeta: crates/bench/src/bin/table1_2.rs Cargo.toml
+
+crates/bench/src/bin/table1_2.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_2-aa9c6dee328e70c8.d: crates/bench/src/bin/table1_2.rs
+
+/root/repo/target/debug/deps/table1_2-aa9c6dee328e70c8: crates/bench/src/bin/table1_2.rs
+
+crates/bench/src/bin/table1_2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_2-f480c5f77d3cd204.d: crates/bench/src/bin/table1_2.rs
+
+/root/repo/target/debug/deps/table1_2-f480c5f77d3cd204: crates/bench/src/bin/table1_2.rs
+
+crates/bench/src/bin/table1_2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-b58cd85b32a8dd23.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/table3-b58cd85b32a8dd23: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-bdb14231b38f732f.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/table3-bdb14231b38f732f: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4-1e5e32e1321def85.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/debug/deps/table4-1e5e32e1321def85: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4-be982ebe9f3263bc.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/debug/deps/table4-be982ebe9f3263bc: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table5-004ee6b87de9ba01.d: crates/bench/src/bin/table5.rs
+
+/root/repo/target/debug/deps/table5-004ee6b87de9ba01: crates/bench/src/bin/table5.rs
+
+crates/bench/src/bin/table5.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table5-2ba5cf46a9845f4c.d: crates/bench/src/bin/table5.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable5-2ba5cf46a9845f4c.rmeta: crates/bench/src/bin/table5.rs Cargo.toml
+
+crates/bench/src/bin/table5.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

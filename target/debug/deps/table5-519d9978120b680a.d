@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table5-519d9978120b680a.d: crates/bench/src/bin/table5.rs
+
+/root/repo/target/debug/deps/table5-519d9978120b680a: crates/bench/src/bin/table5.rs
+
+crates/bench/src/bin/table5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table6_7_8-0676e77a5f06a0bb.d: crates/bench/src/bin/table6_7_8.rs
+
+/root/repo/target/debug/deps/table6_7_8-0676e77a5f06a0bb: crates/bench/src/bin/table6_7_8.rs
+
+crates/bench/src/bin/table6_7_8.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table6_7_8-11f014923422d4ff.d: crates/bench/src/bin/table6_7_8.rs
+
+/root/repo/target/debug/deps/table6_7_8-11f014923422d4ff: crates/bench/src/bin/table6_7_8.rs
+
+crates/bench/src/bin/table6_7_8.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table6_7_8-d225818181b5d66a.d: crates/bench/src/bin/table6_7_8.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable6_7_8-d225818181b5d66a.rmeta: crates/bench/src/bin/table6_7_8.rs Cargo.toml
+
+crates/bench/src/bin/table6_7_8.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table9-9bfd9240b45f8816.d: crates/bench/src/bin/table9.rs
+
+/root/repo/target/debug/deps/table9-9bfd9240b45f8816: crates/bench/src/bin/table9.rs
+
+crates/bench/src/bin/table9.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table9-b1e7f44d09321afb.d: crates/bench/src/bin/table9.rs
+
+/root/repo/target/debug/deps/table9-b1e7f44d09321afb: crates/bench/src/bin/table9.rs
+
+crates/bench/src/bin/table9.rs:

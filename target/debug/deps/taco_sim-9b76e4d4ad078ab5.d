@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/taco_sim-9b76e4d4ad078ab5.d: crates/taco-sim/src/lib.rs crates/taco-sim/src/benchmarks.rs crates/taco-sim/src/generate.rs crates/taco-sim/src/kernels/mod.rs crates/taco-sim/src/kernels/mttkrp.rs crates/taco-sim/src/kernels/sddmm.rs crates/taco-sim/src/kernels/spmm.rs crates/taco-sim/src/kernels/spmv.rs crates/taco-sim/src/kernels/ttv.rs crates/taco-sim/src/parallel.rs crates/taco-sim/src/sparse.rs
+
+/root/repo/target/debug/deps/taco_sim-9b76e4d4ad078ab5: crates/taco-sim/src/lib.rs crates/taco-sim/src/benchmarks.rs crates/taco-sim/src/generate.rs crates/taco-sim/src/kernels/mod.rs crates/taco-sim/src/kernels/mttkrp.rs crates/taco-sim/src/kernels/sddmm.rs crates/taco-sim/src/kernels/spmm.rs crates/taco-sim/src/kernels/spmv.rs crates/taco-sim/src/kernels/ttv.rs crates/taco-sim/src/parallel.rs crates/taco-sim/src/sparse.rs
+
+crates/taco-sim/src/lib.rs:
+crates/taco-sim/src/benchmarks.rs:
+crates/taco-sim/src/generate.rs:
+crates/taco-sim/src/kernels/mod.rs:
+crates/taco-sim/src/kernels/mttkrp.rs:
+crates/taco-sim/src/kernels/sddmm.rs:
+crates/taco-sim/src/kernels/spmm.rs:
+crates/taco-sim/src/kernels/spmv.rs:
+crates/taco-sim/src/kernels/ttv.rs:
+crates/taco-sim/src/parallel.rs:
+crates/taco-sim/src/sparse.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/taco_sim-9d8e48bc39ff23d8.d: crates/taco-sim/src/lib.rs crates/taco-sim/src/benchmarks.rs crates/taco-sim/src/generate.rs crates/taco-sim/src/kernels/mod.rs crates/taco-sim/src/kernels/mttkrp.rs crates/taco-sim/src/kernels/sddmm.rs crates/taco-sim/src/kernels/spmm.rs crates/taco-sim/src/kernels/spmv.rs crates/taco-sim/src/kernels/ttv.rs crates/taco-sim/src/parallel.rs crates/taco-sim/src/sparse.rs
+
+/root/repo/target/debug/deps/libtaco_sim-9d8e48bc39ff23d8.rlib: crates/taco-sim/src/lib.rs crates/taco-sim/src/benchmarks.rs crates/taco-sim/src/generate.rs crates/taco-sim/src/kernels/mod.rs crates/taco-sim/src/kernels/mttkrp.rs crates/taco-sim/src/kernels/sddmm.rs crates/taco-sim/src/kernels/spmm.rs crates/taco-sim/src/kernels/spmv.rs crates/taco-sim/src/kernels/ttv.rs crates/taco-sim/src/parallel.rs crates/taco-sim/src/sparse.rs
+
+/root/repo/target/debug/deps/libtaco_sim-9d8e48bc39ff23d8.rmeta: crates/taco-sim/src/lib.rs crates/taco-sim/src/benchmarks.rs crates/taco-sim/src/generate.rs crates/taco-sim/src/kernels/mod.rs crates/taco-sim/src/kernels/mttkrp.rs crates/taco-sim/src/kernels/sddmm.rs crates/taco-sim/src/kernels/spmm.rs crates/taco-sim/src/kernels/spmv.rs crates/taco-sim/src/kernels/ttv.rs crates/taco-sim/src/parallel.rs crates/taco-sim/src/sparse.rs
+
+crates/taco-sim/src/lib.rs:
+crates/taco-sim/src/benchmarks.rs:
+crates/taco-sim/src/generate.rs:
+crates/taco-sim/src/kernels/mod.rs:
+crates/taco-sim/src/kernels/mttkrp.rs:
+crates/taco-sim/src/kernels/sddmm.rs:
+crates/taco-sim/src/kernels/spmm.rs:
+crates/taco-sim/src/kernels/spmv.rs:
+crates/taco-sim/src/kernels/ttv.rs:
+crates/taco-sim/src/parallel.rs:
+crates/taco-sim/src/sparse.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/taco_sim-d4fcb55845cf17a2.d: crates/taco-sim/src/lib.rs crates/taco-sim/src/benchmarks.rs crates/taco-sim/src/generate.rs crates/taco-sim/src/kernels/mod.rs crates/taco-sim/src/kernels/mttkrp.rs crates/taco-sim/src/kernels/sddmm.rs crates/taco-sim/src/kernels/spmm.rs crates/taco-sim/src/kernels/spmv.rs crates/taco-sim/src/kernels/ttv.rs crates/taco-sim/src/parallel.rs crates/taco-sim/src/sparse.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtaco_sim-d4fcb55845cf17a2.rmeta: crates/taco-sim/src/lib.rs crates/taco-sim/src/benchmarks.rs crates/taco-sim/src/generate.rs crates/taco-sim/src/kernels/mod.rs crates/taco-sim/src/kernels/mttkrp.rs crates/taco-sim/src/kernels/sddmm.rs crates/taco-sim/src/kernels/spmm.rs crates/taco-sim/src/kernels/spmv.rs crates/taco-sim/src/kernels/ttv.rs crates/taco-sim/src/parallel.rs crates/taco-sim/src/sparse.rs Cargo.toml
+
+crates/taco-sim/src/lib.rs:
+crates/taco-sim/src/benchmarks.rs:
+crates/taco-sim/src/generate.rs:
+crates/taco-sim/src/kernels/mod.rs:
+crates/taco-sim/src/kernels/mttkrp.rs:
+crates/taco-sim/src/kernels/sddmm.rs:
+crates/taco-sim/src/kernels/spmm.rs:
+crates/taco-sim/src/kernels/spmv.rs:
+crates/taco-sim/src/kernels/ttv.rs:
+crates/taco-sim/src/parallel.rs:
+crates/taco-sim/src/sparse.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/custom_backend-1472c75ffa2c159d.d: examples/custom_backend.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcustom_backend-1472c75ffa2c159d.rmeta: examples/custom_backend.rs Cargo.toml
+
+examples/custom_backend.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/custom_backend-fa68cae2187b858d.d: examples/custom_backend.rs
+
+/root/repo/target/debug/examples/custom_backend-fa68cae2187b858d: examples/custom_backend.rs
+
+examples/custom_backend.rs:

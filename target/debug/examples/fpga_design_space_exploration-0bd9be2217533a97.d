@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fpga_design_space_exploration-0bd9be2217533a97.d: examples/fpga_design_space_exploration.rs
+
+/root/repo/target/debug/examples/fpga_design_space_exploration-0bd9be2217533a97: examples/fpga_design_space_exploration.rs
+
+examples/fpga_design_space_exploration.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/fpga_design_space_exploration-258f722606c1cd33.d: examples/fpga_design_space_exploration.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfpga_design_space_exploration-258f722606c1cd33.rmeta: examples/fpga_design_space_exploration.rs Cargo.toml
+
+examples/fpga_design_space_exploration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

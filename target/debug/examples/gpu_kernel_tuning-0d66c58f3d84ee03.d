@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/gpu_kernel_tuning-0d66c58f3d84ee03.d: examples/gpu_kernel_tuning.rs Cargo.toml
+
+/root/repo/target/debug/examples/libgpu_kernel_tuning-0d66c58f3d84ee03.rmeta: examples/gpu_kernel_tuning.rs Cargo.toml
+
+examples/gpu_kernel_tuning.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/gpu_kernel_tuning-86846e74b8720f57.d: examples/gpu_kernel_tuning.rs
+
+/root/repo/target/debug/examples/gpu_kernel_tuning-86846e74b8720f57: examples/gpu_kernel_tuning.rs
+
+examples/gpu_kernel_tuning.rs:

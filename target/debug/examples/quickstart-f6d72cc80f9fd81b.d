@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-f6d72cc80f9fd81b.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-f6d72cc80f9fd81b: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/sparse_tensor_autoscheduling-29097e7eb1b27abb.d: examples/sparse_tensor_autoscheduling.rs
+
+/root/repo/target/debug/examples/sparse_tensor_autoscheduling-29097e7eb1b27abb: examples/sparse_tensor_autoscheduling.rs
+
+examples/sparse_tensor_autoscheduling.rs:

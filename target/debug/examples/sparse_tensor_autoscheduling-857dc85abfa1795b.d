@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/sparse_tensor_autoscheduling-857dc85abfa1795b.d: examples/sparse_tensor_autoscheduling.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsparse_tensor_autoscheduling-857dc85abfa1795b.rmeta: examples/sparse_tensor_autoscheduling.rs Cargo.toml
+
+examples/sparse_tensor_autoscheduling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/baco_bench-479f62606f1e0c7a.d: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/agg.rs crates/bench/src/cli.rs crates/bench/src/runner.rs crates/bench/src/stats.rs crates/bench/src/store.rs
+
+/root/repo/target/release/deps/libbaco_bench-479f62606f1e0c7a.rlib: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/agg.rs crates/bench/src/cli.rs crates/bench/src/runner.rs crates/bench/src/stats.rs crates/bench/src/store.rs
+
+/root/repo/target/release/deps/libbaco_bench-479f62606f1e0c7a.rmeta: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/agg.rs crates/bench/src/cli.rs crates/bench/src/runner.rs crates/bench/src/stats.rs crates/bench/src/store.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/ablation.rs:
+crates/bench/src/agg.rs:
+crates/bench/src/cli.rs:
+crates/bench/src/runner.rs:
+crates/bench/src/stats.rs:
+crates/bench/src/store.rs:

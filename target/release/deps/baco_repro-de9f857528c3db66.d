@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/baco_repro-de9f857528c3db66.d: src/lib.rs
+
+/root/repo/target/release/deps/libbaco_repro-de9f857528c3db66.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libbaco_repro-de9f857528c3db66.rmeta: src/lib.rs
+
+src/lib.rs:

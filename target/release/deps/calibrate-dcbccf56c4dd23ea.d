@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/calibrate-dcbccf56c4dd23ea.d: crates/bench/src/bin/calibrate.rs
+
+/root/repo/target/release/deps/calibrate-dcbccf56c4dd23ea: crates/bench/src/bin/calibrate.rs
+
+crates/bench/src/bin/calibrate.rs:

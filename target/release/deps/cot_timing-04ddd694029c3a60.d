@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/cot_timing-04ddd694029c3a60.d: crates/bench/src/bin/cot_timing.rs
+
+/root/repo/target/release/deps/cot_timing-04ddd694029c3a60: crates/bench/src/bin/cot_timing.rs
+
+crates/bench/src/bin/cot_timing.rs:

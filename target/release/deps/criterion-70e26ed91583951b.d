@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-70e26ed91583951b.d: crates/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-70e26ed91583951b.rlib: crates/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-70e26ed91583951b.rmeta: crates/criterion/src/lib.rs
+
+crates/criterion/src/lib.rs:

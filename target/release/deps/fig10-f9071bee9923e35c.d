@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10-f9071bee9923e35c.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/release/deps/fig10-f9071bee9923e35c: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5-3a1a75df3d6b533b.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/release/deps/fig5-3a1a75df3d6b533b: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6-c460432bea9b66dd.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/release/deps/fig6-c460432bea9b66dd: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

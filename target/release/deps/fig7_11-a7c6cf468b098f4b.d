@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7_11-a7c6cf468b098f4b.d: crates/bench/src/bin/fig7_11.rs
+
+/root/repo/target/release/deps/fig7_11-a7c6cf468b098f4b: crates/bench/src/bin/fig7_11.rs
+
+crates/bench/src/bin/fig7_11.rs:

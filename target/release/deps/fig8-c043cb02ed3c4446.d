@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8-c043cb02ed3c4446.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/release/deps/fig8-c043cb02ed3c4446: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig9-6097c5112bc61b38.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/release/deps/fig9-6097c5112bc61b38: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

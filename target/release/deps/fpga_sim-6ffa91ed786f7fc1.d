@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fpga_sim-6ffa91ed786f7fc1.d: crates/fpga-sim/src/lib.rs crates/fpga-sim/src/benchmarks.rs crates/fpga-sim/src/device.rs
+
+/root/repo/target/release/deps/libfpga_sim-6ffa91ed786f7fc1.rlib: crates/fpga-sim/src/lib.rs crates/fpga-sim/src/benchmarks.rs crates/fpga-sim/src/device.rs
+
+/root/repo/target/release/deps/libfpga_sim-6ffa91ed786f7fc1.rmeta: crates/fpga-sim/src/lib.rs crates/fpga-sim/src/benchmarks.rs crates/fpga-sim/src/device.rs
+
+crates/fpga-sim/src/lib.rs:
+crates/fpga-sim/src/benchmarks.rs:
+crates/fpga-sim/src/device.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/gp_hotpath-bb68366c6068d8a2.d: crates/bench/src/bin/gp_hotpath.rs
+
+/root/repo/target/release/deps/gp_hotpath-bb68366c6068d8a2: crates/bench/src/bin/gp_hotpath.rs
+
+crates/bench/src/bin/gp_hotpath.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/gpu_sim-87b5ecf8d8ef448b.d: crates/gpu-sim/src/lib.rs crates/gpu-sim/src/benchmarks.rs crates/gpu-sim/src/device.rs crates/gpu-sim/src/kernels/mod.rs crates/gpu-sim/src/kernels/asum.rs crates/gpu-sim/src/kernels/harris.rs crates/gpu-sim/src/kernels/kmeans.rs crates/gpu-sim/src/kernels/mm_cpu.rs crates/gpu-sim/src/kernels/mm_gpu.rs crates/gpu-sim/src/kernels/scal.rs crates/gpu-sim/src/kernels/stencil.rs
+
+/root/repo/target/release/deps/libgpu_sim-87b5ecf8d8ef448b.rlib: crates/gpu-sim/src/lib.rs crates/gpu-sim/src/benchmarks.rs crates/gpu-sim/src/device.rs crates/gpu-sim/src/kernels/mod.rs crates/gpu-sim/src/kernels/asum.rs crates/gpu-sim/src/kernels/harris.rs crates/gpu-sim/src/kernels/kmeans.rs crates/gpu-sim/src/kernels/mm_cpu.rs crates/gpu-sim/src/kernels/mm_gpu.rs crates/gpu-sim/src/kernels/scal.rs crates/gpu-sim/src/kernels/stencil.rs
+
+/root/repo/target/release/deps/libgpu_sim-87b5ecf8d8ef448b.rmeta: crates/gpu-sim/src/lib.rs crates/gpu-sim/src/benchmarks.rs crates/gpu-sim/src/device.rs crates/gpu-sim/src/kernels/mod.rs crates/gpu-sim/src/kernels/asum.rs crates/gpu-sim/src/kernels/harris.rs crates/gpu-sim/src/kernels/kmeans.rs crates/gpu-sim/src/kernels/mm_cpu.rs crates/gpu-sim/src/kernels/mm_gpu.rs crates/gpu-sim/src/kernels/scal.rs crates/gpu-sim/src/kernels/stencil.rs
+
+crates/gpu-sim/src/lib.rs:
+crates/gpu-sim/src/benchmarks.rs:
+crates/gpu-sim/src/device.rs:
+crates/gpu-sim/src/kernels/mod.rs:
+crates/gpu-sim/src/kernels/asum.rs:
+crates/gpu-sim/src/kernels/harris.rs:
+crates/gpu-sim/src/kernels/kmeans.rs:
+crates/gpu-sim/src/kernels/mm_cpu.rs:
+crates/gpu-sim/src/kernels/mm_gpu.rs:
+crates/gpu-sim/src/kernels/scal.rs:
+crates/gpu-sim/src/kernels/stencil.rs:

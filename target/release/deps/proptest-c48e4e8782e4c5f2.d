@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-c48e4e8782e4c5f2.d: crates/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-c48e4e8782e4c5f2.rlib: crates/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-c48e4e8782e4c5f2.rmeta: crates/proptest/src/lib.rs
+
+crates/proptest/src/lib.rs:

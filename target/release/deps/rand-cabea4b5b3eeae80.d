@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-cabea4b5b3eeae80.d: crates/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-cabea4b5b3eeae80.rlib: crates/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-cabea4b5b3eeae80.rmeta: crates/rand/src/lib.rs
+
+crates/rand/src/lib.rs:

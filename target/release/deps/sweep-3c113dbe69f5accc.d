@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sweep-3c113dbe69f5accc.d: crates/bench/src/bin/sweep.rs
+
+/root/repo/target/release/deps/sweep-3c113dbe69f5accc: crates/bench/src/bin/sweep.rs
+
+crates/bench/src/bin/sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table10-279b96dbcbba3b69.d: crates/bench/src/bin/table10.rs
+
+/root/repo/target/release/deps/table10-279b96dbcbba3b69: crates/bench/src/bin/table10.rs
+
+crates/bench/src/bin/table10.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1_2-c7a1a3dc10dfef47.d: crates/bench/src/bin/table1_2.rs
+
+/root/repo/target/release/deps/table1_2-c7a1a3dc10dfef47: crates/bench/src/bin/table1_2.rs
+
+crates/bench/src/bin/table1_2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3-f4078d3a5c96c2c1.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/release/deps/table3-f4078d3a5c96c2c1: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

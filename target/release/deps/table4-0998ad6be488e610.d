@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table4-0998ad6be488e610.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/release/deps/table4-0998ad6be488e610: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

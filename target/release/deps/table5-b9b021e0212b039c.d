@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table5-b9b021e0212b039c.d: crates/bench/src/bin/table5.rs
+
+/root/repo/target/release/deps/table5-b9b021e0212b039c: crates/bench/src/bin/table5.rs
+
+crates/bench/src/bin/table5.rs:

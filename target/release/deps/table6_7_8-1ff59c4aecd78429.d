@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table6_7_8-1ff59c4aecd78429.d: crates/bench/src/bin/table6_7_8.rs
+
+/root/repo/target/release/deps/table6_7_8-1ff59c4aecd78429: crates/bench/src/bin/table6_7_8.rs
+
+crates/bench/src/bin/table6_7_8.rs:

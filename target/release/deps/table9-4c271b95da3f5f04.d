@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table9-4c271b95da3f5f04.d: crates/bench/src/bin/table9.rs
+
+/root/repo/target/release/deps/table9-4c271b95da3f5f04: crates/bench/src/bin/table9.rs
+
+crates/bench/src/bin/table9.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/warmdbg-65c28838c6b80705.d: crates/bench/src/bin/warmdbg.rs
+
+/root/repo/target/release/deps/warmdbg-65c28838c6b80705: crates/bench/src/bin/warmdbg.rs
+
+crates/bench/src/bin/warmdbg.rs:

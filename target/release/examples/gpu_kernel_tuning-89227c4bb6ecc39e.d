@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/gpu_kernel_tuning-89227c4bb6ecc39e.d: examples/gpu_kernel_tuning.rs
+
+/root/repo/target/release/examples/gpu_kernel_tuning-89227c4bb6ecc39e: examples/gpu_kernel_tuning.rs
+
+examples/gpu_kernel_tuning.rs:

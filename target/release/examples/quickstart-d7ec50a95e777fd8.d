@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-d7ec50a95e777fd8.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-d7ec50a95e777fd8: examples/quickstart.rs
+
+examples/quickstart.rs:
