@@ -1,7 +1,21 @@
 //! Acquisition functions (Sec. 3.3): the modified, *noise-free* Expected
 //! Improvement, its feasibility-weighted extension for hidden constraints
 //! (Sec. 4.2), the randomly resampled minimum-feasibility threshold ε_f, and
-//! optional user [priors over the optimum](prior) (Sec. 6).
+//! optional user priors over the optimum ([`OptimumPrior`], Sec. 6).
+//!
+//! ```
+//! use baco::acquisition::{expected_improvement, feasibility_weighted_ei};
+//!
+//! // A candidate predicted at the incumbent with real uncertainty is worth
+//! // trying; one far above it with no uncertainty is not.
+//! let promising = expected_improvement(1.0, 0.5, 1.0);
+//! let hopeless = expected_improvement(5.0, 1e-9, 1.0);
+//! assert!(promising > 0.0 && hopeless < 1e-12);
+//!
+//! // Feasibility weighting gates candidates below the ε_f threshold.
+//! assert_eq!(feasibility_weighted_ei(promising, 0.9, 0.5), promising * 0.9);
+//! assert_eq!(feasibility_weighted_ei(promising, 0.2, 0.5), f64::NEG_INFINITY);
+//! ```
 
 mod prior;
 

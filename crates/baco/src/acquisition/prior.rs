@@ -5,6 +5,21 @@
 //! A prior is a nonnegative weight over configurations; the acquisition is
 //! multiplied by the weight with a decaying exponent, so early iterations
 //! trust the expert's hunch and later iterations trust the data.
+//!
+//! ```
+//! use baco::acquisition::OptimumPrior;
+//! use baco::space::{ParamValue, SearchSpace};
+//!
+//! let space = SearchSpace::builder().integer("x", 0, 15).build()?;
+//! let prior = OptimumPrior::new(|c| {
+//!     (-(c.value("x").as_f64() - 12.0).powi(2) / 8.0).exp()
+//! });
+//! let near = space.configuration(&[("x", ParamValue::Int(12))])?;
+//! let far = space.configuration(&[("x", ParamValue::Int(0))])?;
+//! // Early on, the same EI scores higher where the expert expects the optimum.
+//! assert!(prior.apply(1.0, &near, 0) > prior.apply(1.0, &far, 0));
+//! # Ok::<(), baco::Error>(())
+//! ```
 
 use crate::space::Configuration;
 use std::fmt;

@@ -2,6 +2,24 @@
 //! descriptions: ATF/OpenTuner (a bandit over local-search techniques with
 //! known-constraint support), Ytopt (random-forest BO with penalty handling
 //! of hidden-constraint failures), and the two random-sampling baselines.
+//!
+//! Every baseline implements the same [`Tuner`] trait, so the experiment
+//! harness sweeps them uniformly against any [`BlackBox`]:
+//!
+//! ```
+//! use baco::baselines::{Tuner, UniformSampler};
+//! use baco::prelude::*;
+//!
+//! let space = SearchSpace::builder().integer("x", 0, 31).build()?;
+//! let bb = FnBlackBox::new(|c: &Configuration| {
+//!     Evaluation::feasible(c.value("x").as_f64() + 1.0)
+//! });
+//! let mut uniform = UniformSampler::new(&space, 16, 7)?;
+//! let report = uniform.run(&bb)?;
+//! assert_eq!(report.len(), 16);
+//! assert!(report.best_value().unwrap() >= 1.0);
+//! # Ok::<(), baco::Error>(())
+//! ```
 
 mod atf;
 mod ytopt;

@@ -2,6 +2,32 @@
 //! configurations and an evaluation budget. The three compiler substrates
 //! (`taco-sim`, `gpu-sim`, `fpga-sim`) expose their workloads as
 //! [`Benchmark`] values; the experiment harness sweeps them uniformly.
+//!
+//! ```
+//! use baco::benchmark::{Benchmark, Group};
+//! use baco::prelude::*;
+//!
+//! let space = SearchSpace::builder()
+//!     .integer("tile", 1, 8)
+//!     .permutation("order", 3)
+//!     .build()?;
+//! let bench = Benchmark {
+//!     name: "demo".into(),
+//!     group: Group::Taco,
+//!     default_config: space.default_configuration(),
+//!     expert_config: None,
+//!     blackbox: Box::new(FnBlackBox::new(|c: &Configuration| {
+//!         Evaluation::feasible(c.value("tile").as_f64())
+//!     })),
+//!     space,
+//!     budget: 60,
+//!     has_hidden_constraints: false,
+//! };
+//! assert_eq!(bench.param_kinds(), "I/P");
+//! assert_eq!(bench.tiny_budget(), 20);
+//! assert_eq!(bench.default_value(), Some(1.0));
+//! # Ok::<(), baco::Error>(())
+//! ```
 
 use crate::space::{Configuration, SearchSpace};
 use crate::tuner::BlackBox;

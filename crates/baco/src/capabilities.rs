@@ -1,6 +1,15 @@
 //! Static capability matrices backing Tables 1 and 2 of the paper: which
 //! features each autotuning framework supports, and which features each
 //! compiler needs.
+//!
+//! ```
+//! use baco::capabilities::{framework_capabilities, Support};
+//!
+//! let rows = framework_capabilities();
+//! let baco = rows.iter().find(|r| r.name.starts_with("BaCO")).unwrap();
+//! assert_eq!(baco.permutation, Support::Yes);
+//! assert_eq!(Support::No.glyph(), "×");
+//! ```
 
 /// Degree of support for a feature.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

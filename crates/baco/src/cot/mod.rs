@@ -13,6 +13,26 @@
 //!   top-down uniform-child walk, kept as the `CoT sampling` baseline;
 //! * **fast membership tests** ([`ChainOfTrees::contains`]) used instead of
 //!   re-evaluating constraint expressions during local search.
+//!
+//! ```
+//! use baco::cot::ChainOfTrees;
+//! use baco::space::SearchSpace;
+//! use rand::SeedableRng;
+//!
+//! let space = SearchSpace::builder()
+//!     .integer("a", 0, 7)
+//!     .integer("b", 0, 7)
+//!     .known_constraint("a >= b")
+//!     .build()?;
+//! let cot = ChainOfTrees::build(&space)?;
+//! // 36 of the 64 grid points satisfy a >= b.
+//! assert_eq!(cot.feasible_size(), 36.0);
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let cfg = cot.sample_uniform(&mut rng);
+//! assert!(cot.contains(&cfg));
+//! # Ok::<(), baco::Error>(())
+//! ```
 
 mod tree;
 

@@ -1,0 +1,30 @@
+//! Concurrent black-box evaluation: the worker [`pool`] that keeps a round
+//! of batched proposals in flight simultaneously.
+//!
+//! The tuner side of BaCO is CPU-bound and deterministic; the *evaluation*
+//! side (compile + run a candidate schedule) is slow, often blocking, and
+//! embarrassingly parallel across candidates. This module owns that side:
+//! [`pool::evaluate_stream`] fans a round of configurations out over scoped
+//! worker threads and hands results back to the caller **in completion
+//! order**, so the tuning loop can fold fast evaluations into its model
+//! while slow ones are still running.
+//!
+//! ```
+//! use baco::eval::pool::evaluate_batch;
+//! use baco::prelude::*;
+//!
+//! let space = SearchSpace::builder().integer("x", 0, 7).build()?;
+//! let bb = FnBlackBox::new(|c: &Configuration| {
+//!     Evaluation::feasible(c.value("x").as_f64())
+//! });
+//! let cfgs: Vec<Configuration> =
+//!     (0..4).map(|_| space.default_configuration()).collect();
+//! let results = evaluate_batch(&bb, cfgs, 2);
+//! assert_eq!(results.len(), 4);
+//! assert!(results.iter().all(|(_, e)| e.value() == Some(0.0)));
+//! # Ok::<(), baco::Error>(())
+//! ```
+
+pub mod pool;
+
+pub use pool::{evaluate_batch, evaluate_stream, BatchOutcome};

@@ -1,0 +1,239 @@
+//! The scoped worker pool that evaluates one round of configurations
+//! concurrently.
+//!
+//! Built on the same primitives as [`crate::parallel`] — `std::thread::scope`
+//! plus an atomic work cursor, since `rayon` is unavailable in the offline
+//! build — but with one crucial difference: results are *streamed* through a
+//! channel in **completion order** instead of being collected in input order.
+//! A tuning loop driving [`evaluate_stream`] therefore observes evaluations
+//! exactly as a real build farm would deliver them: out of order, fastest
+//! first. Order-sensitive callers use [`evaluate_batch`], which re-sorts by
+//! submission index.
+//!
+//! With one worker (or one configuration) both entry points degenerate to
+//! plain in-line evaluation in submission order — this is what keeps
+//! batch-size-1 runs of the batched engine bit-identical to the sequential
+//! loop.
+//!
+//! ```
+//! use baco::eval::pool::evaluate_stream;
+//! use baco::prelude::*;
+//!
+//! let space = SearchSpace::builder().integer("x", 0, 7).build()?;
+//! let bb = FnBlackBox::new(|c: &Configuration| {
+//!     Evaluation::feasible(c.value("x").as_f64() + 1.0)
+//! });
+//! let cfgs = vec![space.default_configuration(); 3];
+//! let mut best = f64::INFINITY;
+//! evaluate_stream(&bb, cfgs, 2, |outcome| {
+//!     // Results arrive as they complete; fold them in immediately.
+//!     if let Some(v) = outcome.evaluation.value() {
+//!         best = best.min(v);
+//!     }
+//! });
+//! assert_eq!(best, 1.0);
+//! # Ok::<(), baco::Error>(())
+//! ```
+
+use crate::parallel::effective_threads;
+use crate::space::Configuration;
+use crate::tuner::{BlackBox, Evaluation};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Mutex};
+use std::time::{Duration, Instant};
+
+/// One completed evaluation delivered by [`evaluate_stream`].
+#[derive(Debug)]
+pub struct BatchOutcome {
+    /// Position of the configuration in the submitted round (submission
+    /// order, not completion order).
+    pub index: usize,
+    /// The evaluated configuration.
+    pub config: Configuration,
+    /// The black box's verdict.
+    pub evaluation: Evaluation,
+    /// Wall-clock time the black box took for this configuration.
+    pub eval_time: Duration,
+}
+
+/// Evaluates `cfgs` on a pool of `threads` scoped workers (`0` = one per
+/// configuration, capped at the available parallelism), invoking `on_result`
+/// on the **caller's** thread for each result *as it completes* — out of
+/// submission order whenever evaluations finish out of order.
+///
+/// The callback runs concurrently with the remaining evaluations, so the
+/// caller can refit models or update incumbents while the pool drains.
+/// Returns once every configuration has been evaluated and reported.
+///
+/// With `threads <= 1` (or a single configuration) this is a plain
+/// sequential loop in submission order with zero synchronization overhead.
+pub fn evaluate_stream<F>(
+    bb: &(dyn BlackBox + Sync),
+    cfgs: Vec<Configuration>,
+    threads: usize,
+    mut on_result: F,
+) where
+    F: FnMut(BatchOutcome),
+{
+    let n = cfgs.len();
+    if n == 0 {
+        return;
+    }
+    let threads = effective_threads(threads, n);
+    if threads <= 1 || n == 1 {
+        for (index, config) in cfgs.into_iter().enumerate() {
+            let t0 = Instant::now();
+            let evaluation = bb.evaluate(&config);
+            on_result(BatchOutcome {
+                index,
+                config,
+                evaluation,
+                eval_time: t0.elapsed(),
+            });
+        }
+        return;
+    }
+
+    // Work-stealing by atomic cursor (identical scheme to
+    // `parallel::parallel_map`); completed outcomes stream back through an
+    // mpsc channel and are surfaced on the caller's thread.
+    let work: Vec<Mutex<Option<Configuration>>> =
+        cfgs.into_iter().map(|c| Mutex::new(Some(c))).collect();
+    let cursor = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<BatchOutcome>();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let tx = tx.clone();
+            let work = &work;
+            let cursor = &cursor;
+            scope.spawn(move || loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let config = work[i].lock().unwrap().take().expect("config taken once");
+                let t0 = Instant::now();
+                let evaluation = bb.evaluate(&config);
+                // The receiver outlives the scope body; a send can only fail
+                // if the main thread panicked, which propagates anyway.
+                let _ = tx.send(BatchOutcome {
+                    index: i,
+                    config,
+                    evaluation,
+                    eval_time: t0.elapsed(),
+                });
+            });
+        }
+        drop(tx); // the iterator below ends when the last worker hangs up
+        for outcome in rx {
+            on_result(outcome);
+        }
+    });
+}
+
+/// Evaluates `cfgs` concurrently and returns the results in **submission
+/// order** — [`evaluate_stream`] with the completion-order shuffle undone,
+/// for callers that want parallelism without the streaming protocol.
+pub fn evaluate_batch(
+    bb: &(dyn BlackBox + Sync),
+    cfgs: Vec<Configuration>,
+    threads: usize,
+) -> Vec<(Configuration, Evaluation)> {
+    let n = cfgs.len();
+    let mut slots: Vec<Option<(Configuration, Evaluation)>> = (0..n).map(|_| None).collect();
+    evaluate_stream(bb, cfgs, threads, |out| {
+        slots[out.index] = Some((out.config, out.evaluation));
+    });
+    slots.into_iter().map(|s| s.expect("every slot filled")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::{ParamValue, SearchSpace};
+    use crate::tuner::FnBlackBox;
+
+    fn space() -> SearchSpace {
+        SearchSpace::builder().integer("x", 0, 63).build().unwrap()
+    }
+
+    fn cfg(s: &SearchSpace, x: i64) -> Configuration {
+        s.configuration(&[("x", ParamValue::Int(x))]).unwrap()
+    }
+
+    #[test]
+    fn batch_preserves_submission_order() {
+        let s = space();
+        let bb = FnBlackBox::new(|c: &Configuration| {
+            Evaluation::feasible(c.value("x").as_f64() * 2.0)
+        });
+        let cfgs: Vec<_> = (0..20).map(|i| cfg(&s, i)).collect();
+        for threads in [1, 2, 4, 0] {
+            let out = evaluate_batch(&bb, cfgs.clone(), threads);
+            assert_eq!(out.len(), 20);
+            for (i, (c, e)) in out.iter().enumerate() {
+                assert_eq!(c.value("x").as_i64(), i as i64, "threads={threads}");
+                assert_eq!(e.value(), Some(i as f64 * 2.0), "threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn stream_delivers_every_outcome_exactly_once() {
+        let s = space();
+        // Stagger sleeps so later submissions finish first under
+        // multi-threading: completion order != submission order.
+        let bb = FnBlackBox::new(|c: &Configuration| {
+            let x = c.value("x").as_i64();
+            std::thread::sleep(Duration::from_millis((8 - (x % 8)) as u64 * 2));
+            Evaluation::feasible(x as f64)
+        });
+        let cfgs: Vec<_> = (0..8).map(|i| cfg(&s, i)).collect();
+        let mut seen = vec![0usize; 8];
+        let mut order = Vec::new();
+        evaluate_stream(&bb, cfgs, 4, |out| {
+            assert_eq!(out.config.value("x").as_i64() as usize, out.index);
+            seen[out.index] += 1;
+            order.push(out.index);
+        });
+        assert!(seen.iter().all(|&c| c == 1), "each outcome exactly once: {seen:?}");
+        assert_eq!(order.len(), 8);
+    }
+
+    #[test]
+    fn single_thread_streams_in_submission_order() {
+        let s = space();
+        let bb = FnBlackBox::new(|c: &Configuration| {
+            Evaluation::feasible(c.value("x").as_f64())
+        });
+        let cfgs: Vec<_> = (0..6).map(|i| cfg(&s, i)).collect();
+        let mut order = Vec::new();
+        evaluate_stream(&bb, cfgs, 1, |out| order.push(out.index));
+        assert_eq!(order, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn empty_round_is_a_noop() {
+        let bb = FnBlackBox::new(|_: &Configuration| Evaluation::infeasible());
+        let mut called = false;
+        evaluate_stream(&bb, Vec::new(), 4, |_| called = true);
+        assert!(!called);
+        assert!(evaluate_batch(&bb, Vec::new(), 4).is_empty());
+    }
+
+    #[test]
+    fn infeasible_outcomes_flow_through() {
+        let s = space();
+        let bb = FnBlackBox::new(|c: &Configuration| {
+            if c.value("x").as_i64() % 2 == 0 {
+                Evaluation::infeasible()
+            } else {
+                Evaluation::feasible(1.0)
+            }
+        });
+        let cfgs: Vec<_> = (0..10).map(|i| cfg(&s, i)).collect();
+        let out = evaluate_batch(&bb, cfgs, 3);
+        let infeasible = out.iter().filter(|(_, e)| !e.is_feasible()).count();
+        assert_eq!(infeasible, 5);
+    }
+}

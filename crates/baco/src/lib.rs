@@ -43,6 +43,32 @@
 //! # Ok::<(), baco::Error>(())
 //! ```
 //!
+//! ## Batched tuning
+//!
+//! Sequential propose–evaluate–refit is the paper's loop; for concurrent
+//! evaluation backends the batched engine proposes `q` configurations per
+//! round via fantasy-model EI and keeps them all in flight:
+//!
+//! ```
+//! use baco::prelude::*;
+//! # let space = SearchSpace::builder().integer("x", 0, 15).integer("y", 0, 15).build()?;
+//! # let f = FnBlackBox::new(|cfg: &Configuration| {
+//! #     Evaluation::feasible((cfg.value("x").as_f64() - 11.0).powi(2))
+//! # });
+//! let report = Baco::builder(space)
+//!     .budget(24)
+//!     .batch_size(4) // 4 proposals per round, evaluated on a worker pool
+//!     .seed(7)
+//!     .build()?
+//!     .run_batched(&f)?;
+//! # assert_eq!(report.len(), 24);
+//! # Ok::<(), baco::Error>(())
+//! ```
+//!
+//! See [`tuner::batch`] for the proposal strategies, [`eval::pool`] for the
+//! worker pool, and [`tuner::Session::suggest_batch`] for driving the round
+//! trip yourself (results may be reported out of order).
+//!
 //! ## Crate layout
 //!
 //! * [`space`] — parameter types (RIPOC), transforms, [`space::SearchSpace`].
@@ -52,12 +78,14 @@
 //! * [`acquisition`] — noise-free Expected Improvement with feasibility
 //!   weighting.
 //! * [`search`] — design-of-experiments and multi-start local search.
-//! * [`tuner`] — the BaCO recommendation/evaluation loop.
+//! * [`tuner`] — the BaCO recommendation/evaluation loop; [`tuner::batch`]
+//!   adds q-point fantasy-EI proposals.
+//! * [`eval`] — the concurrent black-box evaluation pool.
 //! * [`baselines`] — ATF (OpenTuner-like), Ytopt-like, uniform and CoT
 //!   random-sampling baselines used in the paper's evaluation.
 //! * [`linalg`], [`opt`] — supporting numerics (Cholesky, L-BFGS).
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod acquisition;
@@ -67,6 +95,7 @@ pub mod capabilities;
 pub mod constraints;
 pub mod cot;
 mod error;
+pub mod eval;
 pub mod linalg;
 pub mod opt;
 pub mod parallel;
@@ -81,8 +110,16 @@ pub use tuner::{Baco, BacoBuilder, BlackBox, Evaluation, FnBlackBox, TuningRepor
 
 /// Convenience re-exports for typical use.
 pub mod prelude {
+    /// The reference tuners swept by the experiment harness.
     pub use crate::baselines::{AtfTuner, CotSampler, Tuner, UniformSampler, YtoptTuner};
+    /// Search-space declaration and configuration values.
     pub use crate::space::{Configuration, ParamValue, SearchSpace, SearchSpaceBuilder};
-    pub use crate::tuner::{Baco, BacoBuilder, BlackBox, Evaluation, FnBlackBox, TuningReport};
+    /// The BaCO tuner: builder, black-box adapter, batching knobs and the
+    /// incremental ask/report session.
+    pub use crate::tuner::{
+        Baco, BacoBuilder, BlackBox, Evaluation, FantasyStrategy, FnBlackBox, LiarValue, Session,
+        TuningReport,
+    };
+    /// The crate-wide error type.
     pub use crate::Error;
 }

@@ -4,6 +4,23 @@
 //! factorization, posterior solves and log-determinants — so this module
 //! provides a compact row-major [`Matrix`] with a Cholesky decomposition and
 //! triangular solves, instead of pulling in a full linear-algebra crate.
+//! [`Cholesky::extend`] appends one row/column in `O(n²)`, the primitive
+//! behind incremental GP refits and fantasy conditioning.
+//!
+//! ```
+//! use baco::linalg::{dot, Cholesky, Matrix};
+//!
+//! let a = Matrix::from_rows(&[&[4.0, 2.0], &[2.0, 3.0]]);
+//! let ch = Cholesky::new(&a)?;
+//! let x = ch.solve(&[8.0, 7.0]);
+//! assert!((dot(&x, &[1.0, 0.0]) - 1.25).abs() < 1e-12);
+//!
+//! // Grow the system by one row/column without refactorizing.
+//! let mut ext = ch.clone();
+//! ext.extend(&[1.0, 1.0], 5.0)?;
+//! assert_eq!(ext.dim(), 3);
+//! # Ok::<(), baco::Error>(())
+//! ```
 
 mod cholesky;
 mod matrix;

@@ -14,6 +14,18 @@
 //! sequentially from the caller's RNG before any parallel work begins, the
 //! objective is a pure function, and the best refined start is selected by
 //! `(value, start index)` order.
+//!
+//! ```
+//! use baco::opt::{minimize, LbfgsOptions};
+//!
+//! // Minimize (x₀ − 3)² + (x₁ + 1)² from the origin.
+//! let mut f = |x: &[f64]| {
+//!     let v = (x[0] - 3.0).powi(2) + (x[1] + 1.0).powi(2);
+//!     (v, vec![2.0 * (x[0] - 3.0), 2.0 * (x[1] + 1.0)])
+//! };
+//! let r = minimize(&mut f, vec![0.0, 0.0], &LbfgsOptions::default());
+//! assert!((r.x[0] - 3.0).abs() < 1e-6 && (r.x[1] + 1.0).abs() < 1e-6);
+//! ```
 
 mod lbfgs;
 

@@ -5,7 +5,18 @@
 //! an order-preserving parallel map over scoped threads. Results are
 //! identical to the sequential map for any thread count — outputs are placed
 //! by input index and every reduction the callers perform is done over the
-//! returned, deterministically ordered `Vec`.
+//! returned, deterministically ordered `Vec`. (The streaming,
+//! completion-order sibling used for black-box evaluation lives in
+//! [`crate::eval::pool`].)
+//!
+//! ```
+//! use baco::parallel::parallel_map;
+//!
+//! let squares = parallel_map((0..100).collect::<Vec<u64>>(), 4, |_, x| x * x);
+//! assert_eq!(squares[7], 49);
+//! // Bit-identical to the sequential map, whatever the thread count.
+//! assert_eq!(squares, parallel_map((0..100).collect(), 1, |_, x| x * x));
+//! ```
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;

@@ -2,6 +2,37 @@
 //! multi-start local search that optimizes the acquisition function
 //! (Sec. 3.3: "Neighbours are defined as all configurations that can be
 //! reached by modifying a single parameter").
+//!
+//! All searches score candidates through *batched* closures
+//! (`FnMut(&[Configuration]) -> Vec<f64>`) so surrogates with a bulk
+//! posterior path amortize their triangular solves, and all of them sample
+//! from a [`FeasibleSampler`] — the CoT for fully discrete spaces — so every
+//! candidate is known-constraint-feasible by construction.
+//!
+//! ```
+//! use baco::search::{local_search, scalar_score, FeasibleSampler, LocalSearchOptions};
+//! use baco::space::SearchSpace;
+//! use rand::SeedableRng;
+//! use std::collections::HashSet;
+//!
+//! let space = SearchSpace::builder()
+//!     .integer("a", 0, 15)
+//!     .integer("b", 0, 15)
+//!     .known_constraint("a >= b")
+//!     .build()?;
+//! let sampler = FeasibleSampler::new(&space)?;
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+//! let best = local_search(
+//!     &sampler,
+//!     &mut rng,
+//!     scalar_score(|c| -(c.value("a").as_f64() - 12.0).powi(2)),
+//!     &LocalSearchOptions::default(),
+//!     &HashSet::new(),
+//! )
+//! .unwrap();
+//! assert_eq!(best.value("a").as_i64(), 12);
+//! # Ok::<(), baco::Error>(())
+//! ```
 
 mod neighbors;
 
@@ -78,30 +109,45 @@ impl FeasibleSampler {
             FeasibleSampler::Rejection(s) => s.satisfies_known(cfg).unwrap_or(false),
         }
     }
+
+    /// Draws up to `n` **distinct** feasible configurations, excluding
+    /// anything in `excluded` — the batch-aware de-duplicating sampler behind
+    /// the DoE phase and the batched proposer's random fills (a round of `q`
+    /// proposals must be `q` *different* feasible points). May return fewer
+    /// than `n` when the unexcluded feasible set is nearly exhausted.
+    pub fn sample_batch<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        n: usize,
+        excluded: &HashSet<Configuration>,
+    ) -> Vec<Configuration> {
+        let mut out = Vec::with_capacity(n);
+        let mut local: HashSet<Configuration> = HashSet::new();
+        let mut attempts = 0usize;
+        while out.len() < n && attempts < 200 * n.max(1) {
+            attempts += 1;
+            let cfg = self.sample(rng);
+            if excluded.contains(&cfg) || local.contains(&cfg) {
+                continue;
+            }
+            local.insert(cfg.clone());
+            out.push(cfg);
+        }
+        out
+    }
 }
 
 /// Draws `n` distinct feasible configurations for the initial phase,
 /// excluding anything in `seen`. May return fewer if the feasible set is
-/// nearly exhausted.
+/// nearly exhausted. (A thin alias for
+/// [`FeasibleSampler::sample_batch`], kept for the DoE call sites.)
 pub fn doe_sample<R: Rng + ?Sized>(
     sampler: &FeasibleSampler,
     rng: &mut R,
     n: usize,
     seen: &HashSet<Configuration>,
 ) -> Vec<Configuration> {
-    let mut out = Vec::with_capacity(n);
-    let mut local: HashSet<Configuration> = HashSet::new();
-    let mut attempts = 0usize;
-    while out.len() < n && attempts < 200 * n.max(1) {
-        attempts += 1;
-        let cfg = sampler.sample(rng);
-        if seen.contains(&cfg) || local.contains(&cfg) {
-            continue;
-        }
-        local.insert(cfg.clone());
-        out.push(cfg);
-    }
-    out
+    sampler.sample_batch(rng, n, seen)
 }
 
 /// Options for [`local_search`].

@@ -5,6 +5,27 @@
 //! *known constraints* over them. Discrete parameter values are encoded as
 //! indices into their domain (permutations via their Lehmer rank), which lets
 //! the Chain-of-Trees treat every discrete parameter uniformly.
+//!
+//! ```
+//! use baco::space::{ParamValue, SearchSpace};
+//!
+//! let space = SearchSpace::builder()
+//!     .ordinal_log("tile", vec![1.0, 2.0, 4.0, 8.0])
+//!     .integer("unroll", 1, 4)
+//!     .permutation("order", 3)
+//!     .known_constraint("tile >= unroll")
+//!     .build()?;
+//! assert_eq!(space.len(), 3);
+//!
+//! let cfg = space.configuration(&[
+//!     ("tile", ParamValue::Ordinal(4.0)),
+//!     ("unroll", ParamValue::Int(2)),
+//!     ("order", ParamValue::Permutation(vec![2, 0, 1])),
+//! ])?;
+//! assert!(space.satisfies_known(&cfg)?);
+//! assert_eq!(cfg.value("order").as_permutation(), &[2, 0, 1]);
+//! # Ok::<(), baco::Error>(())
+//! ```
 
 mod builder;
 mod config;

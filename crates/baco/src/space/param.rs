@@ -1,4 +1,19 @@
 //! Parameter kinds, distance scales and the [`Parameter`] type itself.
+//!
+//! ```
+//! use baco::space::SearchSpace;
+//!
+//! let space = SearchSpace::builder()
+//!     .ordinal_log("tile", vec![1.0, 2.0, 4.0, 8.0])
+//!     .permutation("order", 3)
+//!     .build()?;
+//! let tile = &space.params()[0];
+//! assert_eq!(tile.name(), "tile");
+//! assert_eq!(tile.domain_size(), Some(4));
+//! assert!(tile.is_discrete());
+//! assert_eq!(space.params()[1].domain_size(), Some(6)); // 3! orderings
+//! # Ok::<(), baco::Error>(())
+//! ```
 
 use crate::space::perm;
 

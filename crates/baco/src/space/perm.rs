@@ -6,6 +6,18 @@
 //! of `0..m` exactly once. BaCO encodes permutations inside configurations as
 //! their Lehmer rank, an index in `0..m!`, so that permutation parameters look
 //! like any other finite-domain parameter to the Chain-of-Trees.
+//!
+//! ```
+//! use baco::space::perm::{distance, rank, unrank};
+//! use baco::space::PermMetric;
+//!
+//! assert_eq!(rank(&[0, 1, 2]), 0);          // identity ranks first
+//! assert_eq!(unrank(5, 3), vec![2, 1, 0]);  // reversal ranks last
+//! // Adjacent swaps are closer than reversals under Kendall distance.
+//! let near = distance(PermMetric::Kendall, &[0, 1, 2], &[1, 0, 2]);
+//! let far = distance(PermMetric::Kendall, &[0, 1, 2], &[2, 1, 0]);
+//! assert!(near < far);
+//! ```
 
 /// `m!` as `u64`.
 ///

@@ -18,6 +18,31 @@
 //! The cache is defensive: if the data it sees is not an extension of what it
 //! remembers (restarted tuner, different options, shuffled history), it
 //! silently resets and the fit falls back to the full from-scratch path.
+//! This is what lets the batched engine report results *out of order*: new
+//! observations land as appended rows in whatever order they complete, and
+//! the distance tables extend accordingly.
+//!
+//! ```
+//! use baco::space::{ParamValue, SearchSpace};
+//! use baco::surrogate::{GaussianProcess, GpCache, GpOptions};
+//! use rand::SeedableRng;
+//!
+//! let space = SearchSpace::builder().integer("x", 0, 20).build()?;
+//! let cfg = |x: i64| space.configuration(&[("x", ParamValue::Int(x))]).unwrap();
+//! let all: Vec<_> = (0..8).map(|i| cfg(i * 2)).collect();
+//! let y: Vec<f64> = all.iter().map(|c| c.value("x").as_f64().sqrt()).collect();
+//!
+//! // Growing-history refits share one cache; without warm starts the
+//! // result is bit-identical to fitting from scratch each time.
+//! let mut cache = GpCache::new();
+//! let opts = GpOptions::default();
+//! for n in 2..=all.len() {
+//!     let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//!     let gp = GaussianProcess::fit_with_cache(&space, &all[..n], &y[..n], &opts, &mut rng, &mut cache)?;
+//!     assert_eq!(gp.train_len(), n);
+//! }
+//! # Ok::<(), baco::Error>(())
+//! ```
 //!
 //! [`GaussianProcess::fit_with_cache`]: super::GaussianProcess::fit_with_cache
 

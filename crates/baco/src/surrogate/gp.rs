@@ -19,6 +19,30 @@
 //!   (extending them by one row/column per new observation) and, when warm
 //!   starts are enabled, reuses the previous iteration's hyperparameters
 //!   together with a rank-one [`Cholesky::extend`] instead of a full refit.
+//! * **Fantasy conditioning** — [`GaussianProcess::condition_on`] folds a
+//!   hallucinated observation into a fitted model in `O(n²)` (frozen
+//!   hyperparameters, extended factorization), the primitive behind the
+//!   batched q-EI proposer in [`crate::tuner::batch`].
+//!
+//! ```
+//! use baco::space::{ParamValue, SearchSpace};
+//! use baco::surrogate::{GaussianProcess, GpOptions};
+//! use rand::SeedableRng;
+//!
+//! let space = SearchSpace::builder().integer("x", 0, 20).build()?;
+//! let cfg = |x: i64| space.configuration(&[("x", ParamValue::Int(x))]).unwrap();
+//! let configs: Vec<_> = [0, 5, 10, 15, 20].map(cfg).into_iter().collect();
+//! let y = vec![4.0, 1.0, 0.0, 1.0, 4.0];
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+//! let gp = GaussianProcess::fit(&space, &configs, &y, &GpOptions::default(), &mut rng)?;
+//!
+//! // Kriging-believer fantasy: condition on the model's own mean at x = 12.
+//! let (mean, var_before) = gp.predict(&cfg(12));
+//! let fantasy = gp.condition_on(&cfg(12), mean)?;
+//! let (_, var_after) = fantasy.predict(&cfg(12));
+//! assert!(var_after < var_before, "uncertainty collapses at the fantasy point");
+//! # Ok::<(), baco::Error>(())
+//! ```
 
 use super::cache::GpCache;
 use super::features::{accumulate_scaled_dist2, DimView, ModelInput};
@@ -195,6 +219,10 @@ pub struct GaussianProcess {
     y_std: f64,
     chol: Cholesky,
     alpha: Vec<f64>,
+    /// Standardized training targets, kept so the model can be *conditioned*
+    /// on additional (possibly hallucinated) observations after fitting — the
+    /// extended system `K⁺ α⁺ = y⁺` needs the old right-hand side.
+    ys: Vec<f64>,
     /// Dimension-major training columns for the batched cross-kernel,
     /// built once per fit instead of once per `predict_batch` call.
     train_views: Vec<DimView>,
@@ -317,6 +345,57 @@ impl GaussianProcess {
             y_std,
             chol,
             alpha,
+            ys,
+            train_views,
+            scratch: Mutex::new(PredictScratch::default()),
+        })
+    }
+
+    /// Returns a new GP conditioned on one additional observation `(cfg, y)`
+    /// without refitting: the hyperparameters, output standardization and
+    /// per-dimension lengthscales are frozen, the kernel factorization is
+    /// grown by a rank-one [`Cholesky::extend`] row append (`O(n²)`), and the
+    /// posterior weights are re-solved against the extended targets.
+    ///
+    /// This is the primitive behind *fantasy models* for batched acquisition
+    /// (q-point EI): the batch proposer conditions the surrogate on
+    /// hallucinated outcomes — the posterior mean at the proposed point
+    /// ("kriging believer") or a constant lie — so the next pick in the same
+    /// round sees reduced uncertainty around points already chosen. `y` is on
+    /// the same scale as the targets the model was fitted on.
+    ///
+    /// # Errors
+    /// [`Error::Numerical`] if the extended kernel matrix is not numerically
+    /// positive definite (e.g. `cfg` duplicates a training point under a
+    /// near-zero noise estimate). Callers should treat this as "skip the
+    /// conditioning", not as a fatal error — the unconditioned model is still
+    /// valid.
+    pub fn condition_on(&self, cfg: &Configuration, y: f64) -> Result<GaussianProcess> {
+        let x = ModelInput::from_config(&self.space, cfg, self.input_transforms);
+        let row = self.cross_kernel_row(&x);
+        let mut chol = self.chol.clone();
+        chol.extend(&row, self.outputscale + self.noise + BASE_JITTER)
+            .map_err(|e| Error::Numerical(format!("GP conditioning failed: {e}")))?;
+        let mut inputs = self.inputs.clone();
+        inputs.push(x);
+        let mut ys = self.ys.clone();
+        ys.push((y - self.y_mean) / self.y_std);
+        let alpha = chol.solve(&ys);
+        let d = self.lengthscales.len();
+        let train_views = (0..d).map(|k| ModelInput::dim_view(&inputs, k)).collect();
+        Ok(GaussianProcess {
+            space: self.space.clone(),
+            inputs,
+            lengthscales: self.lengthscales.clone(),
+            outputscale: self.outputscale,
+            noise: self.noise,
+            perm_metric: self.perm_metric,
+            input_transforms: self.input_transforms,
+            y_mean: self.y_mean,
+            y_std: self.y_std,
+            chol,
+            alpha,
+            ys,
             train_views,
             scratch: Mutex::new(PredictScratch::default()),
         })
@@ -541,6 +620,23 @@ impl GaussianProcess {
         Ok((lengthscales, outputscale, noise, chol, alpha, final_nll))
     }
 
+    /// The cross-kernel row `k(x, xᵢ)` against every training input — shared
+    /// by the scalar posterior and by [`GaussianProcess::condition_on`] so
+    /// the kernel arithmetic cannot drift between the two.
+    fn cross_kernel_row(&self, x: &ModelInput) -> Vec<f64> {
+        self.inputs
+            .iter()
+            .map(|xi| {
+                let mut s = 0.0;
+                for k in 0..x.len() {
+                    s += x.dim_dist2(xi, k, self.perm_metric)
+                        / (self.lengthscales[k] * self.lengthscales[k]);
+                }
+                matern52(s.sqrt(), self.outputscale)
+            })
+            .collect()
+    }
+
     /// Posterior mean and latent (noise-free) variance at `cfg`, on the
     /// original output scale.
     pub fn predict(&self, cfg: &Configuration) -> (f64, f64) {
@@ -555,15 +651,7 @@ impl GaussianProcess {
     /// allocations per call. Candidate scoring should go through
     /// [`GaussianProcess::predict_batch`] instead.
     pub fn predict_input(&self, x: &ModelInput) -> (f64, f64) {
-        let n = self.inputs.len();
-        let mut kstar = vec![0.0; n];
-        for (i, xi) in self.inputs.iter().enumerate() {
-            let mut s = 0.0;
-            for k in 0..x.len() {
-                s += x.dim_dist2(xi, k, self.perm_metric) / (self.lengthscales[k] * self.lengthscales[k]);
-            }
-            kstar[i] = matern52(s.sqrt(), self.outputscale);
-        }
+        let kstar = self.cross_kernel_row(x);
         let mean_std = dot(&kstar, &self.alpha);
         let v = self.chol.solve(&kstar);
         let var_std = (self.outputscale - dot(&kstar, &v)).max(1e-12);

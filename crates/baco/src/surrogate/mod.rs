@@ -1,6 +1,27 @@
 //! Predictive models: the Gaussian-process value surrogate (Sec. 3.2) and the
 //! random-forest models used both as an alternative surrogate and as the
 //! hidden-constraint feasibility classifier (Sec. 4.2).
+//!
+//! The GP is the tuner's hot path; see [`gp`] for the batched-posterior,
+//! incremental-refit and fantasy-conditioning machinery, and [`cache`] for
+//! the cross-iteration state that makes refits incremental.
+//!
+//! ```
+//! use baco::space::{ParamValue, SearchSpace};
+//! use baco::surrogate::{GaussianProcess, GpOptions};
+//! use rand::SeedableRng;
+//!
+//! let space = SearchSpace::builder().integer("x", 0, 20).build()?;
+//! let cfg = |x: i64| space.configuration(&[("x", ParamValue::Int(x))]).unwrap();
+//! let configs: Vec<_> = (0..=20).step_by(4).map(cfg).collect();
+//! let y: Vec<f64> = configs.iter().map(|c| c.value("x").as_f64() / 10.0).collect();
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let gp = GaussianProcess::fit(&space, &configs, &y, &GpOptions::default(), &mut rng)?;
+//! let (mean, var) = gp.predict(&cfg(10));
+//! assert!((mean - 1.0).abs() < 0.5 && var >= 0.0);
+//! # Ok::<(), baco::Error>(())
+//! ```
 
 pub mod cache;
 mod features;

@@ -1,6 +1,22 @@
 //! Random forests: the hidden-constraint feasibility classifier of Sec. 4.2
 //! and the alternative value surrogate used in the Fig. 8 comparison (and by
 //! the Ytopt baseline).
+//!
+//! ```
+//! use baco::space::{ParamValue, SearchSpace};
+//! use baco::surrogate::{RandomForestClassifier, RfOptions};
+//! use rand::SeedableRng;
+//!
+//! let space = SearchSpace::builder().integer("x", 0, 31).build()?;
+//! let cfg = |x: i64| space.configuration(&[("x", ParamValue::Int(x))]).unwrap();
+//! // Feasible iff x < 16.
+//! let configs: Vec<_> = (0..32).map(cfg).collect();
+//! let labels: Vec<bool> = (0..32).map(|x| x < 16).collect();
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+//! let clf = RandomForestClassifier::fit(&space, &configs, &labels, &RfOptions::default(), &mut rng)?;
+//! assert!(clf.predict_proba(&space, &cfg(2)) > clf.predict_proba(&space, &cfg(30)));
+//! # Ok::<(), baco::Error>(())
+//! ```
 
 mod tree;
 

@@ -1,0 +1,418 @@
+//! Batched proposals: q-point Expected Improvement via *fantasy models*.
+//!
+//! The sequential BaCO loop proposes one configuration per surrogate refit.
+//! When evaluations are slow (or several can run at once), it pays to
+//! propose `q` configurations per round instead and keep them all in flight.
+//! Greedily maximizing plain EI `q` times would return the same point `q`
+//! times, so between picks the surrogate is conditioned on a *hallucinated*
+//! outcome for each point already chosen — the classic fantasy-model
+//! construction of q-EI:
+//!
+//! * **Kriging believer** ([`FantasyStrategy::KrigingBeliever`], the
+//!   default) — the lie is the GP's own posterior mean at the picked point.
+//!   The posterior mean field is unchanged but the predictive variance
+//!   collapses around the pick, so EI (which needs uncertainty) moves the
+//!   next pick elsewhere. Conditioning is a rank-one
+//!   [`Cholesky::extend`](crate::linalg::Cholesky::extend) row append plus
+//!   one `O(n²)` re-solve
+//!   ([`GaussianProcess::condition_on`](crate::surrogate::GaussianProcess::condition_on))
+//!   — no refit.
+//! * **Constant liar** ([`FantasyStrategy::ConstantLiar`]) — the lie is a
+//!   fixed statistic of the observed objective values ([`LiarValue`]):
+//!   `Min` (optimistic, spreads picks widest), `Mean`, or `Max`
+//!   (pessimistic, clusters picks near the incumbent).
+//!
+//! Proposals are de-duplicated against the evaluation history *and* against
+//! each other through the feasible sampler
+//! ([`FeasibleSampler::sample_batch`](crate::search::FeasibleSampler::sample_batch)),
+//! so a round always consists of `q` distinct, known-constraint-feasible
+//! configurations. With `q == 1` every entry point below degenerates to the
+//! sequential implementation — same code path, same RNG stream — which keeps
+//! fixed-seed paper-reproduction trajectories bit-identical.
+//!
+//! [`Baco::run_batched`] drives the full loop: propose a round, evaluate it
+//! on the [`eval::pool`](crate::eval::pool) worker pool, fold results into
+//! the report *in completion order* (out-of-order arrival is fine — the
+//! incremental [`GpCache`] extends its distance
+//! tables by whatever new rows appear), refit, repeat.
+//!
+//! ```
+//! use baco::prelude::*;
+//!
+//! let space = SearchSpace::builder()
+//!     .integer("a", 0, 15)
+//!     .integer("b", 0, 15)
+//!     .build()?;
+//! let bb = FnBlackBox::new(|c: &Configuration| {
+//!     let (a, b) = (c.value("a").as_f64(), c.value("b").as_f64());
+//!     Evaluation::feasible(1.0 + (a - 11.0).powi(2) + (b - 4.0).powi(2))
+//! });
+//! let report = Baco::builder(space)
+//!     .budget(24)
+//!     .doe_samples(8)
+//!     .batch_size(4) // 4 proposals per round, evaluated concurrently
+//!     .seed(7)
+//!     .build()?
+//!     .run_batched(&bb)?;
+//! assert_eq!(report.len(), 24);
+//! # Ok::<(), baco::Error>(())
+//! ```
+
+use super::{AcquisitionContext, Baco, BlackBox, FittedModel, Trial, TuningReport};
+use crate::eval::pool::evaluate_stream;
+use crate::search::{doe_sample, local_search, random_search};
+use crate::space::Configuration;
+use crate::surrogate::GpCache;
+use crate::Result;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashSet;
+use std::time::Instant;
+
+/// Which value a fantasy observation hallucinates for a just-picked
+/// configuration (see the [module docs](self)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FantasyStrategy {
+    /// Condition on the GP's posterior mean at the pick (the default).
+    #[default]
+    KrigingBeliever,
+    /// Condition on a constant statistic of the observed objective values.
+    ConstantLiar(LiarValue),
+}
+
+/// The statistic a [`FantasyStrategy::ConstantLiar`] hallucinates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LiarValue {
+    /// Best (smallest) observed value — optimistic; spreads picks widest.
+    Min,
+    /// Mean observed value.
+    Mean,
+    /// Worst (largest) observed value — pessimistic; clusters picks.
+    Max,
+}
+
+impl AcquisitionContext {
+    /// Folds the hallucinated outcome for `cfg` into the value model so the
+    /// next pick in this round sees reduced uncertainty there.
+    ///
+    /// Only the GP surrogate supports conditioning; for the random-forest
+    /// surrogate (and for the rare numerical failure of the rank-one row
+    /// append) this is a no-op and batch diversity rests on the seen-set
+    /// de-duplication alone.
+    fn fantasize(&mut self, cfg: &Configuration, strategy: FantasyStrategy) {
+        let FittedModel::Gp(gp) = &self.model else {
+            return;
+        };
+        let lie = match strategy {
+            FantasyStrategy::KrigingBeliever => gp.predict(cfg).0,
+            FantasyStrategy::ConstantLiar(which) => {
+                let n = self.y.len() as f64;
+                match which {
+                    LiarValue::Min => self.y.iter().copied().fold(f64::INFINITY, f64::min),
+                    LiarValue::Max => self.y.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+                    LiarValue::Mean => self.y.iter().sum::<f64>() / n.max(1.0),
+                }
+            }
+        };
+        if let Ok(conditioned) = gp.condition_on(cfg, lie) {
+            self.model = FittedModel::Gp(Box::new(conditioned));
+        }
+    }
+}
+
+impl Baco {
+    /// Proposes up to `q` *distinct*, known-constraint-feasible
+    /// configurations in one round: the surrogates are fitted once, then each
+    /// pick maximizes the acquisition with all earlier picks excluded and
+    /// (for `q > 1`) fantasized into the model per
+    /// [`BacoOptions::batch_strategy`](super::BacoOptions::batch_strategy).
+    ///
+    /// `q <= 1` delegates to [`Baco::recommend_with_cache`] — bit-identical
+    /// picks and RNG consumption to the sequential loop. May return fewer
+    /// than `q` configurations when the unevaluated feasible set is nearly
+    /// exhausted, and an empty vector when it is fully exhausted.
+    ///
+    /// # Errors
+    /// Propagates surrogate-fitting failures.
+    pub fn recommend_batch(
+        &self,
+        rng: &mut StdRng,
+        report: &TuningReport,
+        seen: &HashSet<Configuration>,
+        cache: &mut GpCache,
+        q: usize,
+    ) -> Result<Vec<Configuration>> {
+        if q == 0 {
+            return Ok(Vec::new());
+        }
+        if q == 1 {
+            return Ok(self
+                .recommend_with_cache(rng, report, seen, cache)?
+                .into_iter()
+                .collect());
+        }
+        // Too little signal: fill the whole round with distinct random
+        // feasible configurations.
+        let Some(mut ctx) = self.fit_acquisition(rng, report, cache)? else {
+            return Ok(self.sampler.sample_batch(rng, q, seen));
+        };
+
+        let mut excluded = seen.clone();
+        let mut picked: Vec<Configuration> = Vec::with_capacity(q);
+        for i in 0..q {
+            let next = {
+                let score_batch = ctx.score_batch(&self.space, self.opts.optimum_prior.as_ref());
+                if self.opts.local_search {
+                    local_search(&self.sampler, rng, score_batch, &self.opts.ls, &excluded)
+                } else {
+                    random_search(
+                        &self.sampler,
+                        rng,
+                        score_batch,
+                        self.opts.ls.n_candidates,
+                        &excluded,
+                    )
+                }
+            };
+            // Acquisition exhausted (e.g. ε_f gated everything unseen):
+            // pad with a random unseen feasible configuration.
+            let next = next.or_else(|| self.sampler.sample_batch(rng, 1, &excluded).pop());
+            let Some(cfg) = next else {
+                break; // feasible set fully evaluated
+            };
+            if i + 1 < q {
+                ctx.fantasize(&cfg, self.opts.batch_strategy);
+            }
+            excluded.insert(cfg.clone());
+            picked.push(cfg);
+        }
+        Ok(picked)
+    }
+
+    /// Runs the full loop with the asynchronous batched-evaluation engine:
+    /// rounds of [`BacoOptions::batch_size`](super::BacoOptions::batch_size)
+    /// fantasy-EI proposals, evaluated concurrently on an
+    /// [`eval::pool`](crate::eval::pool) worker pool, with results folded
+    /// into the model in whatever order they complete.
+    ///
+    /// With `batch_size == 1` the trajectory is bit-identical to
+    /// [`Baco::run`] for the same seed (and the pool degenerates to in-line
+    /// evaluation), so sequential paper-reproduction runs are unaffected by
+    /// routing through this entry point.
+    ///
+    /// # Errors
+    /// Propagates surrogate-fitting failures. Black-box failures are
+    /// hidden-constraint observations, not errors.
+    pub fn run_batched(&self, bb: &(dyn BlackBox + Sync)) -> Result<TuningReport> {
+        let q = self.opts.batch_size.max(1);
+        let threads = self.opts.eval_threads;
+        let mut rng = StdRng::seed_from_u64(self.opts.seed);
+        let mut report = TuningReport::new("BaCO");
+        let mut seen: HashSet<Configuration> = HashSet::new();
+        let mut cache = GpCache::new();
+
+        // ── Initial phase: DoE, evaluated q at a time ────────────────────
+        let doe_n = self.opts.doe_samples.min(self.opts.budget);
+        let t0 = Instant::now();
+        let initial = doe_sample(&self.sampler, &mut rng, doe_n, &seen);
+        let doe_pick_time = t0.elapsed() / doe_n.max(1) as u32;
+        for chunk in initial.chunks(q) {
+            seen.extend(chunk.iter().cloned());
+            evaluate_stream(bb, chunk.to_vec(), threads, |out| {
+                report.push(Trial {
+                    config: out.config,
+                    value: out.evaluation.value(),
+                    feasible: out.evaluation.is_feasible(),
+                    eval_time: out.eval_time,
+                    tuner_time: doe_pick_time,
+                });
+            });
+        }
+
+        // ── Learning phase: propose a round, evaluate concurrently ───────
+        while report.len() < self.opts.budget {
+            let q_eff = q.min(self.opts.budget - report.len());
+            let t0 = Instant::now();
+            let round = self.recommend_batch(&mut rng, &report, &seen, &mut cache, q_eff)?;
+            if round.is_empty() {
+                break; // feasible set exhausted
+            }
+            // Attribute the round's proposal cost evenly across its trials.
+            let tuner_time = t0.elapsed() / round.len() as u32;
+            seen.extend(round.iter().cloned());
+            evaluate_stream(bb, round, threads, |out| {
+                report.push(Trial {
+                    config: out.config,
+                    value: out.evaluation.value(),
+                    feasible: out.evaluation.is_feasible(),
+                    eval_time: out.eval_time,
+                    tuner_time,
+                });
+            });
+        }
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::SearchSpace;
+    use crate::tuner::{Evaluation, FnBlackBox};
+
+    fn space() -> SearchSpace {
+        SearchSpace::builder()
+            .integer("a", 0, 15)
+            .integer("b", 0, 15)
+            .known_constraint("a + b <= 24")
+            .build()
+            .unwrap()
+    }
+
+    fn bb() -> FnBlackBox<impl Fn(&Configuration) -> Evaluation> {
+        FnBlackBox::new(|c: &Configuration| {
+            let (a, b) = (c.value("a").as_f64(), c.value("b").as_f64());
+            Evaluation::feasible(1.0 + (a - 11.0).powi(2) + (b - 4.0).powi(2))
+        })
+    }
+
+    #[test]
+    fn batched_run_covers_budget_and_optimizes() {
+        for strategy in [
+            FantasyStrategy::KrigingBeliever,
+            FantasyStrategy::ConstantLiar(LiarValue::Min),
+            FantasyStrategy::ConstantLiar(LiarValue::Mean),
+            FantasyStrategy::ConstantLiar(LiarValue::Max),
+        ] {
+            let report = Baco::builder(space())
+                .budget(32)
+                .doe_samples(8)
+                .batch_size(4)
+                .batch_strategy(strategy)
+                .seed(5)
+                .build()
+                .unwrap()
+                .run_batched(&bb())
+                .unwrap();
+            assert_eq!(report.len(), 32, "{strategy:?}");
+            assert!(
+                report.best_value().unwrap() <= 10.0,
+                "{strategy:?}: best {:?}",
+                report.best_value()
+            );
+            // No configuration is ever evaluated twice.
+            let uniq: HashSet<String> =
+                report.trials().iter().map(|t| t.config.to_string()).collect();
+            assert_eq!(uniq.len(), report.len(), "{strategy:?}");
+        }
+    }
+
+    #[test]
+    fn q1_batched_run_is_bitwise_identical_to_sequential() {
+        for seed in [0u64, 7, 23] {
+            let tuner = Baco::builder(space())
+                .budget(20)
+                .doe_samples(6)
+                .seed(seed)
+                .build()
+                .unwrap();
+            let sequential = tuner.run(&bb()).unwrap();
+            let batched = tuner.run_batched(&bb()).unwrap();
+            let cfgs = |r: &TuningReport| {
+                r.trials().iter().map(|t| t.config.to_string()).collect::<Vec<_>>()
+            };
+            assert_eq!(cfgs(&sequential), cfgs(&batched), "seed {seed}");
+            for (a, b) in sequential.trials().iter().zip(batched.trials()) {
+                assert_eq!(
+                    a.value.map(f64::to_bits),
+                    b.value.map(f64::to_bits),
+                    "seed {seed}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn recommend_batch_returns_distinct_feasible_configs() {
+        let tuner = Baco::builder(space())
+            .budget(40)
+            .doe_samples(8)
+            .batch_size(8)
+            .seed(3)
+            .build()
+            .unwrap();
+        // Build some history first.
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut report = TuningReport::new("t");
+        let mut seen = HashSet::new();
+        let the_bb = bb();
+        for cfg in doe_sample(tuner.sampler(), &mut rng, 8, &seen) {
+            let eval = the_bb.evaluate(&cfg);
+            seen.insert(cfg.clone());
+            report.push(Trial {
+                config: cfg,
+                value: eval.value(),
+                feasible: eval.is_feasible(),
+                eval_time: Default::default(),
+                tuner_time: Default::default(),
+            });
+        }
+        let mut cache = GpCache::new();
+        let batch = tuner
+            .recommend_batch(&mut rng, &report, &seen, &mut cache, 8)
+            .unwrap();
+        assert_eq!(batch.len(), 8);
+        let uniq: HashSet<_> = batch.iter().cloned().collect();
+        assert_eq!(uniq.len(), 8, "proposals must be distinct");
+        for cfg in &batch {
+            assert!(tuner.sampler().contains(cfg), "infeasible proposal {cfg}");
+            assert!(!seen.contains(cfg), "already-evaluated proposal {cfg}");
+        }
+        // q = 0 proposes nothing and leaves the RNG untouched.
+        let before = rng.clone();
+        assert!(tuner.recommend_batch(&mut rng, &report, &seen, &mut cache, 0).unwrap().is_empty());
+        assert_eq!(rng, before);
+    }
+
+    #[test]
+    fn small_feasible_set_exhausts_gracefully() {
+        let space = SearchSpace::builder().integer("x", 0, 5).build().unwrap();
+        let report = Baco::builder(space)
+            .budget(50)
+            .doe_samples(2)
+            .batch_size(4)
+            .seed(1)
+            .build()
+            .unwrap()
+            .run_batched(&FnBlackBox::new(|c: &Configuration| {
+                Evaluation::feasible(c.value("x").as_f64() + 1.0)
+            }))
+            .unwrap();
+        assert_eq!(report.len(), 6, "only 6 configs exist");
+        assert_eq!(report.best_value(), Some(1.0));
+    }
+
+    #[test]
+    fn batched_run_handles_hidden_constraints() {
+        let space = space();
+        let hidden = FnBlackBox::new(|c: &Configuration| {
+            let (a, b) = (c.value("a").as_f64(), c.value("b").as_f64());
+            if a > 12.0 {
+                Evaluation::infeasible()
+            } else {
+                Evaluation::feasible(1.0 + (a - 10.0).powi(2) + (b - 4.0).powi(2))
+            }
+        });
+        let report = Baco::builder(space)
+            .budget(36)
+            .doe_samples(9)
+            .batch_size(4)
+            .seed(11)
+            .build()
+            .unwrap()
+            .run_batched(&hidden)
+            .unwrap();
+        assert_eq!(report.len(), 36);
+        assert!(report.best_value().unwrap() <= 8.0);
+    }
+}

@@ -2,11 +2,41 @@
 //! random phase followed by Bayesian optimization with a GP value model, an
 //! RF feasibility model, noise-free EI and multi-start local search, all over
 //! the Chain-of-Trees feasible set.
+//!
+//! Two execution modes share the same models and acquisition machinery:
+//!
+//! * **Sequential** ([`Baco::run`], [`Session::ask`]/[`Session::report`]) —
+//!   propose one configuration, evaluate, refit. Candidate scoring flows
+//!   through the surrogate's bulk posterior
+//!   ([`crate::surrogate::ValueModel::predict_batch`]) and refits reuse the
+//!   incremental [`GpCache`] hot path, so even the sequential loop never
+//!   pays the historical per-candidate scalar costs.
+//! * **Batched** ([`Baco::run_batched`], [`Session::suggest_batch`], the
+//!   [`batch`] module) — propose `q` configurations per round via
+//!   fantasy-model EI and evaluate them concurrently on an
+//!   [`eval::pool`](crate::eval::pool) worker pool, folding results back into
+//!   the model as they complete (in any order). With
+//!   [`BacoOptions::batch_size`] `== 1` the batched engine reproduces the
+//!   sequential trajectory bit for bit.
+//!
+//! ```
+//! use baco::prelude::*;
+//!
+//! let space = SearchSpace::builder().integer("x", 0, 15).build()?;
+//! let bb = FnBlackBox::new(|c: &Configuration| {
+//!     Evaluation::feasible((c.value("x").as_f64() - 11.0).powi(2))
+//! });
+//! let report = Baco::builder(space).budget(10).seed(1).build()?.run(&bb)?;
+//! assert_eq!(report.len(), 10);
+//! # Ok::<(), baco::Error>(())
+//! ```
 
+pub mod batch;
 mod blackbox;
 mod report;
 mod session;
 
+pub use batch::{FantasyStrategy, LiarValue};
 pub use blackbox::{BlackBox, Evaluation, FnBlackBox};
 pub use report::{Trial, TuningReport};
 pub use session::Session;
@@ -67,6 +97,20 @@ pub struct BacoOptions {
     /// Optional user prior over the optimum's location (Sec. 6), applied as
     /// a decaying multiplicative weight on the acquisition.
     pub optimum_prior: Option<OptimumPrior>,
+    /// Configurations proposed per round by the closed batched loop,
+    /// [`Baco::run_batched`]. `1` (the default) is the paper's sequential
+    /// loop; larger values propose `q` distinct configurations via
+    /// fantasy-model EI (see [`batch`]) and evaluate them concurrently.
+    /// Open-loop drivers pass their round size to
+    /// [`Session::suggest_batch`] per call instead — this option does not
+    /// constrain them.
+    pub batch_size: usize,
+    /// How hallucinated outcomes are chosen for fantasy-model EI when
+    /// `batch_size > 1`.
+    pub batch_strategy: FantasyStrategy,
+    /// Worker threads for batched evaluation (`0` = one per configuration in
+    /// the round, capped at the available parallelism).
+    pub eval_threads: usize,
 }
 
 impl Default for BacoOptions {
@@ -85,6 +129,9 @@ impl Default for BacoOptions {
             ls: LocalSearchOptions::default(),
             log_objective: true,
             optimum_prior: None,
+            batch_size: 1,
+            batch_strategy: FantasyStrategy::default(),
+            eval_threads: 0,
         }
     }
 }
@@ -170,6 +217,26 @@ impl BacoBuilder {
         self
     }
 
+    /// Sets how many configurations the batched engine proposes per round
+    /// (see [`BacoOptions::batch_size`]). `1` keeps the sequential loop.
+    pub fn batch_size(mut self, q: usize) -> Self {
+        self.opts.batch_size = q.max(1);
+        self
+    }
+
+    /// Chooses the fantasy strategy for batched proposals (see
+    /// [`FantasyStrategy`]).
+    pub fn batch_strategy(mut self, s: FantasyStrategy) -> Self {
+        self.opts.batch_strategy = s;
+        self
+    }
+
+    /// Sets the worker-pool size for batched evaluation (`0` = auto).
+    pub fn eval_threads(mut self, t: usize) -> Self {
+        self.opts.eval_threads = t;
+        self
+    }
+
     /// Replaces all options at once.
     pub fn options(mut self, opts: BacoOptions) -> Self {
         self.opts = opts;
@@ -230,7 +297,11 @@ impl Baco {
         &self.sampler
     }
 
-    /// Runs the full recommendation/evaluation loop against `bb`.
+    /// Runs the full *sequential* recommendation/evaluation loop against
+    /// `bb`: one proposal per surrogate refit, evaluated in-line. For
+    /// concurrent evaluation, see [`Baco::run_batched`] — at
+    /// [`BacoOptions::batch_size`] `== 1` the two produce bit-identical
+    /// trajectories.
     ///
     /// # Errors
     /// Propagates surrogate-fitting failures. Black-box failures are not
@@ -300,6 +371,38 @@ impl Baco {
         seen: &HashSet<Configuration>,
         cache: &mut GpCache,
     ) -> Result<Option<Configuration>> {
+        // Too little signal: keep sampling randomly.
+        let Some(ctx) = self.fit_acquisition(rng, report, cache)? else {
+            return Ok(self.random_unseen(rng, seen));
+        };
+        let score_batch = ctx.score_batch(&self.space, self.opts.optimum_prior.as_ref());
+        let picked = if self.opts.local_search {
+            local_search(&self.sampler, rng, score_batch, &self.opts.ls, seen)
+        } else {
+            random_search(&self.sampler, rng, score_batch, self.opts.ls.n_candidates, seen)
+        };
+        match picked {
+            Some(c) => Ok(Some(c)),
+            // Acquisition found nothing new (e.g. ε_f gated everything):
+            // fall back to a random unseen feasible point.
+            None => Ok(self.random_unseen(rng, seen)),
+        }
+    }
+
+    /// Fits the value model and (when warranted) the feasibility classifier
+    /// on the history in `report`, returning everything one acquisition round
+    /// needs. `None` when fewer than two feasible observations exist — the
+    /// caller should fall back to random sampling.
+    ///
+    /// Both the sequential recommender and the batched proposer
+    /// ([`Baco::recommend_batch`]) are built on this, so they consume the RNG
+    /// identically up to the point where their search strategies diverge.
+    pub(crate) fn fit_acquisition(
+        &self,
+        rng: &mut StdRng,
+        report: &TuningReport,
+        cache: &mut GpCache,
+    ) -> Result<Option<AcquisitionContext>> {
         let (feas_cfgs, feas_vals): (Vec<Configuration>, Vec<f64>) = report
             .trials()
             .iter()
@@ -307,9 +410,8 @@ impl Baco {
             .map(|t| (t.config.clone(), t.value.unwrap()))
             .unzip();
 
-        // Too little signal: keep sampling randomly.
         if feas_cfgs.len() < 2 {
-            return Ok(self.random_unseen(rng, seen));
+            return Ok(None);
         }
 
         let transform = |v: f64| {
@@ -322,16 +424,18 @@ impl Baco {
         let y: Vec<f64> = feas_vals.iter().map(|&v| transform(v)).collect();
 
         // Value model.
-        let model: Box<dyn ValueModel> = match self.opts.surrogate {
-            SurrogateKind::GaussianProcess => Box::new(GaussianProcess::fit_with_cache(
-                &self.space,
-                &feas_cfgs,
-                &y,
-                &self.opts.gp,
-                rng,
-                cache,
-            )?),
-            SurrogateKind::RandomForest => Box::new(RandomForestRegressor::fit(
+        let model = match self.opts.surrogate {
+            SurrogateKind::GaussianProcess => FittedModel::Gp(Box::new(
+                GaussianProcess::fit_with_cache(
+                    &self.space,
+                    &feas_cfgs,
+                    &y,
+                    &self.opts.gp,
+                    rng,
+                    cache,
+                )?,
+            )),
+            SurrogateKind::RandomForest => FittedModel::Rf(RandomForestRegressor::fit(
                 &self.space,
                 &feas_cfgs,
                 &y,
@@ -368,49 +472,22 @@ impl Baco {
         // the evaluated points, not the best raw observation — a noise-lucky
         // observation would otherwise freeze EI everywhere.
         let incumbent = model
+            .as_value_model()
             .predict_batch(&self.space, &feas_cfgs)
             .into_iter()
             .map(|(m, _)| m)
             .fold(f64::INFINITY, f64::min)
             .min(y.iter().copied().fold(f64::INFINITY, f64::min) + 1.0); // sanity cap
 
-        let space = &self.space;
         let guided_iter = report.len().saturating_sub(self.opts.doe_samples);
-        // Candidate batches flow through the model's bulk posterior (one
-        // blocked triangular solve for the whole slice) and only then through
-        // the cheap per-candidate acquisition arithmetic.
-        let score_batch = |cfgs: &[Configuration]| -> Vec<f64> {
-            let preds = model.predict_batch(space, cfgs);
-            cfgs.iter()
-                .zip(preds)
-                .map(|(cfg, (mean, var))| {
-                    let ei = expected_improvement(mean, var, incumbent);
-                    let acq = match &classifier {
-                        Some(c) => {
-                            let p = c.predict_proba(space, cfg);
-                            feasibility_weighted_ei(ei, p, epsilon_f)
-                        }
-                        None => ei,
-                    };
-                    match &self.opts.optimum_prior {
-                        Some(prior) => prior.apply(acq, cfg, guided_iter),
-                        None => acq,
-                    }
-                })
-                .collect()
-        };
-
-        let picked = if self.opts.local_search {
-            local_search(&self.sampler, rng, score_batch, &self.opts.ls, seen)
-        } else {
-            random_search(&self.sampler, rng, score_batch, self.opts.ls.n_candidates, seen)
-        };
-        match picked {
-            Some(c) => Ok(Some(c)),
-            // Acquisition found nothing new (e.g. ε_f gated everything):
-            // fall back to a random unseen feasible point.
-            None => Ok(self.random_unseen(rng, seen)),
-        }
+        Ok(Some(AcquisitionContext {
+            model,
+            classifier,
+            epsilon_f,
+            incumbent,
+            guided_iter,
+            y,
+        }))
     }
 
     fn random_unseen<R: Rng + ?Sized>(
@@ -446,6 +523,77 @@ impl Baco {
             eval_time,
             tuner_time,
         });
+    }
+}
+
+/// The fitted value surrogate of one acquisition round. Kept as an enum (not
+/// a trait object) because the batched proposer needs the concrete
+/// [`GaussianProcess`] to condition it on fantasy observations.
+pub(crate) enum FittedModel {
+    /// Gaussian-process surrogate (boxed: far larger than the RF handle).
+    Gp(Box<GaussianProcess>),
+    /// Random-forest surrogate (cannot be fantasy-conditioned; batched
+    /// proposals fall back to pure de-duplication).
+    Rf(RandomForestRegressor),
+}
+
+impl FittedModel {
+    fn as_value_model(&self) -> &dyn ValueModel {
+        match self {
+            FittedModel::Gp(g) => &**g,
+            FittedModel::Rf(r) => r,
+        }
+    }
+}
+
+/// Everything one acquisition round needs to score candidates: the fitted
+/// value model, the optional feasibility classifier with its ε_f draw, the
+/// noise-free incumbent and the (transformed) observed objective values.
+///
+/// Produced by [`Baco::fit_acquisition`]; consumed by the sequential
+/// recommender and, with fantasy conditioning between picks, by the batched
+/// proposer in [`batch`].
+pub(crate) struct AcquisitionContext {
+    pub(crate) model: FittedModel,
+    classifier: Option<RandomForestClassifier>,
+    epsilon_f: f64,
+    incumbent: f64,
+    guided_iter: usize,
+    /// Transformed objective values of the feasible history (liar values for
+    /// constant-liar fantasies are statistics of these).
+    pub(crate) y: Vec<f64>,
+}
+
+impl AcquisitionContext {
+    /// The acquisition scorer over whole candidate slices. Candidate batches
+    /// flow through the model's bulk posterior (one blocked triangular solve
+    /// for the whole slice) and only then through the cheap per-candidate
+    /// acquisition arithmetic.
+    pub(crate) fn score_batch<'a>(
+        &'a self,
+        space: &'a SearchSpace,
+        prior: Option<&'a OptimumPrior>,
+    ) -> impl FnMut(&[Configuration]) -> Vec<f64> + 'a {
+        move |cfgs: &[Configuration]| -> Vec<f64> {
+            let preds = self.model.as_value_model().predict_batch(space, cfgs);
+            cfgs.iter()
+                .zip(preds)
+                .map(|(cfg, (mean, var))| {
+                    let ei = expected_improvement(mean, var, self.incumbent);
+                    let acq = match &self.classifier {
+                        Some(c) => {
+                            let p = c.predict_proba(space, cfg);
+                            feasibility_weighted_ei(ei, p, self.epsilon_f)
+                        }
+                        None => ei,
+                    };
+                    match prior {
+                        Some(prior) => prior.apply(acq, cfg, self.guided_iter),
+                        None => acq,
+                    }
+                })
+                .collect()
+        }
     }
 }
 

@@ -25,14 +25,18 @@ pub struct TuningReport {
 }
 
 impl TuningReport {
-    pub(crate) fn new(tuner_name: &str) -> Self {
+    /// An empty report attributed to `tuner_name`. Custom driver loops
+    /// (e.g. ones feeding [`Baco::recommend_batch`](crate::tuner::Baco)
+    /// by hand) start here.
+    pub fn new(tuner_name: &str) -> Self {
         TuningReport {
             trials: Vec::new(),
             tuner_name: tuner_name.to_string(),
         }
     }
 
-    pub(crate) fn push(&mut self, t: Trial) {
+    /// Appends one evaluated trial. Evaluation order is the push order.
+    pub fn push(&mut self, t: Trial) {
         self.trials.push(t);
     }
 

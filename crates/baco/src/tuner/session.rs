@@ -10,9 +10,35 @@
 //! let mut session = Session::new(Baco::builder(space).budget(12).seed(1).build()?)?;
 //! while let Some(cfg) = session.ask()? {
 //!     let x = cfg.value("x").as_f64();
-//!     session.tell(cfg, Evaluation::feasible((x - 11.0).powi(2)));
+//!     session.report(cfg, Evaluation::feasible((x - 11.0).powi(2)));
 //! }
-//! assert_eq!(session.report().best().unwrap().config.value("x").as_i64(), 11);
+//! assert_eq!(session.history().best().unwrap().config.value("x").as_i64(), 11);
+//! # Ok::<(), baco::Error>(())
+//! ```
+//!
+//! For concurrent evaluation backends, [`Session::suggest_batch`] hands out a
+//! whole round of distinct proposals at once; [`Session::report`] accepts
+//! their results **in any order** — neither call blocks on an evaluation:
+//!
+//! ```
+//! use baco::prelude::*;
+//! use baco::tuner::Session;
+//!
+//! let space = SearchSpace::builder().integer("x", 0, 15).build()?;
+//! let tuner = Baco::builder(space).budget(12).seed(1).build()?;
+//! let mut session = Session::new(tuner)?;
+//! loop {
+//!     let round = session.suggest_batch(4)?;
+//!     if round.is_empty() {
+//!         break;
+//!     }
+//!     // Dispatch `round` to workers; results may come back out of order.
+//!     for cfg in round.into_iter().rev() {
+//!         let x = cfg.value("x").as_f64();
+//!         session.report(cfg, Evaluation::feasible((x - 3.0).powi(2)));
+//!     }
+//! }
+//! assert_eq!(session.history().len(), 12);
 //! # Ok::<(), baco::Error>(())
 //! ```
 
@@ -28,9 +54,12 @@ use std::time::{Duration, Instant};
 
 /// An incremental tuning session around a configured [`Baco`] tuner.
 ///
-/// Call [`Session::ask`] for the next configuration to evaluate and
-/// [`Session::tell`] with the result. `ask` returns `None` once the budget
-/// is exhausted or the feasible set has been fully evaluated.
+/// Call [`Session::ask`] (or [`Session::suggest_batch`] for a round of `q`
+/// proposals) for configurations to evaluate and [`Session::report`] with
+/// each result as it arrives — out-of-order reporting across a batch is
+/// fully supported. `ask` returns `None` (and `suggest_batch` an empty
+/// round) once the budget is exhausted or the feasible set has been fully
+/// evaluated.
 #[derive(Debug)]
 pub struct Session {
     tuner: Baco,
@@ -43,8 +72,16 @@ pub struct Session {
     doe_queue: Vec<Configuration>,
     /// Surrogate state carried across `ask` calls (incremental GP refits).
     cache: GpCache,
-    last_ask: Option<Instant>,
+    /// Per-proposal share of the last ask/suggest round's think time
+    /// (recorded as each trial's `tuner_time`).
     last_think: Duration,
+    /// When the last ask/suggest round finished proposing; evaluation time
+    /// never starts before this.
+    think_end: Option<Instant>,
+    /// When the most recent result was reported; wall-clock attribution for
+    /// a batch reported sequentially starts each trial's `eval_time` at the
+    /// previous report instead of double-counting earlier evaluations.
+    last_report: Option<Instant>,
 }
 
 impl Session {
@@ -65,13 +102,14 @@ impl Session {
             pending: Vec::new(),
             doe_queue,
             cache: GpCache::new(),
-            last_ask: None,
             last_think: Duration::ZERO,
+            think_end: None,
+            last_report: None,
         })
     }
 
     /// The tuning history so far.
-    pub fn report(&self) -> &TuningReport {
+    pub fn history(&self) -> &TuningReport {
         &self.report
     }
 
@@ -104,30 +142,107 @@ impl Session {
                 .recommend_with_cache(&mut self.rng, &self.report, &excluded, &mut self.cache)?
         };
         self.last_think = t0.elapsed();
-        self.last_ask = Some(t0);
+        self.think_end = Some(Instant::now());
+        self.last_report = None;
         if let Some(cfg) = &next {
             self.pending.push(cfg.clone());
         }
         Ok(next)
     }
 
+    /// Recommends a round of up to `q` **distinct** configurations to
+    /// evaluate concurrently, without blocking on any evaluation. Proposals
+    /// are drawn from the remaining DoE queue first, then from the batched
+    /// fantasy-EI proposer ([`Baco::recommend_batch`]); all of them count as
+    /// pending against the budget until reported.
+    ///
+    /// Returns fewer than `q` when the budget or the feasible set is nearly
+    /// exhausted, and an empty round when nothing is left.
+    /// `suggest_batch(1)` is equivalent to [`Session::ask`] — same proposals,
+    /// same RNG stream — so a q=1 driver reproduces the sequential loop
+    /// exactly.
+    ///
+    /// # Errors
+    /// Propagates surrogate-fitting failures.
+    pub fn suggest_batch(&mut self, q: usize) -> Result<Vec<Configuration>> {
+        let q = q.min(self.remaining_budget());
+        if q == 0 {
+            return Ok(Vec::new());
+        }
+        let t0 = Instant::now();
+        let mut round: Vec<Configuration> = Vec::with_capacity(q);
+        while round.len() < q {
+            let Some(cfg) = self.doe_queue.pop() else {
+                break;
+            };
+            round.push(cfg);
+        }
+        if round.len() < q {
+            let mut excluded = self.seen.clone();
+            excluded.extend(self.pending.iter().cloned());
+            excluded.extend(round.iter().cloned());
+            match self.tuner.recommend_batch(
+                &mut self.rng,
+                &self.report,
+                &excluded,
+                &mut self.cache,
+                q - round.len(),
+            ) {
+                Ok(more) => round.extend(more),
+                Err(e) => {
+                    // Return any drawn DoE configurations to the queue (in
+                    // their original order) so a caller that recovers from
+                    // the error does not silently lose designed samples.
+                    while let Some(cfg) = round.pop() {
+                        self.doe_queue.push(cfg);
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        // Attribute the round's proposal cost evenly across its trials, as
+        // the closed batched loop does.
+        self.last_think = t0.elapsed() / round.len().max(1) as u32;
+        self.think_end = Some(Instant::now());
+        self.last_report = None;
+        self.pending.extend(round.iter().cloned());
+        Ok(round)
+    }
+
     /// Reports the outcome of evaluating `cfg` (which should have come from
-    /// [`Session::ask`]; foreign configurations are accepted and simply
-    /// added to the history).
-    pub fn tell(&mut self, cfg: Configuration, eval: Evaluation) {
+    /// [`Session::ask`] or [`Session::suggest_batch`]; foreign
+    /// configurations are accepted and simply added to the history).
+    ///
+    /// Never blocks, and accepts the results of a batch **in any order** —
+    /// the pending set tracks what is still in flight, and the incremental
+    /// surrogate cache absorbs new observations in whatever order they land.
+    pub fn report(&mut self, cfg: Configuration, eval: Evaluation) {
         self.pending.retain(|c| c != &cfg);
         self.seen.insert(cfg.clone());
-        let eval_time = self
-            .last_ask
-            .map(|t| t.elapsed().saturating_sub(self.last_think))
-            .unwrap_or_default();
+        // Each trial's eval_time spans from the later of "thinking finished"
+        // and "previous result reported" to now, so a batch reported
+        // sequentially sums to the round's wall time instead of
+        // quadratically double-counting earlier evaluations.
+        let now = Instant::now();
+        let eval_start = match (self.think_end, self.last_report) {
+            (Some(a), Some(r)) => a.max(r),
+            (Some(a), None) => a,
+            (None, Some(r)) => r,
+            (None, None) => now,
+        };
+        self.last_report = Some(now);
         self.report.push(Trial {
             config: cfg,
             value: eval.value(),
             feasible: eval.is_feasible(),
-            eval_time,
+            eval_time: now.saturating_duration_since(eval_start),
             tuner_time: self.last_think,
         });
+    }
+
+    /// Alias for [`Session::report`], completing the classic ask/tell idiom.
+    pub fn tell(&mut self, cfg: Configuration, eval: Evaluation) {
+        self.report(cfg, eval);
     }
 
     /// Consumes the session, returning the final report.
@@ -191,8 +306,8 @@ mod tests {
             .configuration(&[("a", ParamValue::Int(7)), ("b", ParamValue::Int(7))])
             .unwrap();
         s.tell(foreign, Evaluation::feasible(0.5));
-        assert_eq!(s.report().len(), 1);
-        assert_eq!(s.report().best_value(), Some(0.5));
+        assert_eq!(s.history().len(), 1);
+        assert_eq!(s.history().best_value(), Some(0.5));
         // The budget accounts for the told evaluation.
         assert_eq!(s.remaining_budget(), 9);
     }
@@ -212,6 +327,100 @@ mod tests {
         let r = s.into_report();
         assert_eq!(r.len(), 20);
         assert!(r.best_value().unwrap() <= 3.0);
+    }
+
+    #[test]
+    fn suggest_batch_of_one_matches_ask_exactly() {
+        let mk = || {
+            Session::new(
+                Baco::builder(space()).budget(16).doe_samples(5).seed(9).build().unwrap(),
+            )
+            .unwrap()
+        };
+        let obj = |cfg: &Configuration| {
+            let a = cfg.value("a").as_f64();
+            let b = cfg.value("b").as_f64();
+            1.0 + (a - 2.0).powi(2) + (b - 9.0).powi(2)
+        };
+        let mut asked = mk();
+        let mut batched = mk();
+        loop {
+            let a = asked.ask().unwrap();
+            let mut b_round = batched.suggest_batch(1).unwrap();
+            assert_eq!(a.is_none(), b_round.is_empty());
+            let Some(a) = a else { break };
+            let b = b_round.pop().unwrap();
+            assert_eq!(a, b, "q=1 batch proposal must match ask() bitwise");
+            let v = obj(&a);
+            asked.report(a, Evaluation::feasible(v));
+            batched.report(b, Evaluation::feasible(v));
+        }
+        let seq = |s: &Session| {
+            s.history().trials().iter().map(|t| t.config.to_string()).collect::<Vec<_>>()
+        };
+        assert_eq!(seq(&asked), seq(&batched));
+    }
+
+    #[test]
+    fn out_of_order_batch_reporting_converges_to_same_incumbent() {
+        // Two drivers over the same tuner: one reports each round in
+        // proposal order, one in reverse (fully out-of-order) order. Both
+        // must find the optimum of this small unimodal problem — the engine
+        // may propose different intermediate rounds (the model sees the same
+        // observations in a different sequence) but the incumbent set it
+        // converges to is the same.
+        let obj = |cfg: &Configuration| {
+            let a = cfg.value("a").as_f64();
+            let b = cfg.value("b").as_f64();
+            1.0 + (a - 12.0).powi(2) + (b - 5.0).powi(2)
+        };
+        let run = |reverse: bool| {
+            let tuner = Baco::builder(space())
+                .budget(40)
+                .doe_samples(10)
+                .batch_size(4)
+                .seed(17)
+                .build()
+                .unwrap();
+            let mut s = Session::new(tuner).unwrap();
+            loop {
+                let mut round = s.suggest_batch(4).unwrap();
+                if round.is_empty() {
+                    break;
+                }
+                if reverse {
+                    round.reverse();
+                }
+                for cfg in round {
+                    let v = obj(&cfg);
+                    s.report(cfg, Evaluation::feasible(v));
+                }
+            }
+            let best = s.history().best().unwrap().clone();
+            (best.config, best.value)
+        };
+        let (cfg_in_order, v_in_order) = run(false);
+        let (cfg_reversed, v_reversed) = run(true);
+        assert_eq!(v_in_order, Some(1.0), "in-order run must find the optimum");
+        assert_eq!(v_reversed, Some(1.0), "reversed run must find the optimum");
+        assert_eq!(cfg_in_order, cfg_reversed, "same incumbent configuration");
+    }
+
+    #[test]
+    fn suggest_batch_respects_budget_and_pending() {
+        let tuner = Baco::builder(space()).budget(6).doe_samples(2).seed(4).build().unwrap();
+        let mut s = Session::new(tuner).unwrap();
+        let round = s.suggest_batch(4).unwrap();
+        assert_eq!(round.len(), 4);
+        assert_eq!(s.remaining_budget(), 2);
+        // Distinct proposals, even across the DoE/model boundary.
+        let uniq: HashSet<_> = round.iter().cloned().collect();
+        assert_eq!(uniq.len(), 4);
+        // Asking for more than remains is clipped.
+        let round2 = s.suggest_batch(10).unwrap();
+        assert_eq!(round2.len(), 2);
+        assert_eq!(s.remaining_budget(), 0);
+        assert!(s.suggest_batch(3).unwrap().is_empty());
     }
 
     #[test]

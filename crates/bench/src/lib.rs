@@ -21,9 +21,13 @@
 //! | `table10`    | Table 10 (wall-clock split) |
 //! | `cot_timing` | Sec. 5.3's CoT speed statistics |
 //! | `calibrate`  | regenerates the hard-coded expert configurations |
+//! | `gp_hotpath` | GP hot-path microbenchmark → `BENCH_gp_hotpath.json` |
+//! | `batch_scaling` | batched-engine scaling (q ∈ {1,2,4,8}) → `BENCH_batch_scaling.json` |
 //!
 //! Shared flags: `--reps N` (default 5; the paper uses 30), `--scale
 //! test|small|large` (TACO tensor scale), `--seed S`, `--out PATH`.
+//! See `crates/bench/README.md` for the artifact-by-artifact map with
+//! expected runtimes.
 
 pub mod ablation;
 pub mod agg;

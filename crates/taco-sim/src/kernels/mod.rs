@@ -3,11 +3,11 @@
 //!
 //! | kernel | expression |
 //! |---|---|
-//! | [`spmv`]   | `a(i) = Σ_k B(i,k) c(k)` |
-//! | [`spmm`]   | `A(i,j) = Σ_k B(i,k) C(k,j)` |
-//! | [`sddmm`]  | `A(i,j) = B(i,j) · Σ_k C(i,k) D(j,k)` |
-//! | [`ttv`]    | `A(i,j) = Σ_k B(i,j,k) c(k)` |
-//! | [`mttkrp`] | `A(i,j) = Σ_{k,l,m} B(i,k,l,m) C(k,j) D(l,j) E(m,j)` |
+//! | [`spmv()`]   | `a(i) = Σ_k B(i,k) c(k)` |
+//! | [`spmm()`]   | `A(i,j) = Σ_k B(i,k) C(k,j)` |
+//! | [`sddmm()`]  | `A(i,j) = B(i,j) · Σ_k C(i,k) D(j,k)` |
+//! | [`ttv()`]    | `A(i,j) = Σ_k B(i,j,k) c(k)` |
+//! | [`mttkrp()`] | `A(i,j) = Σ_{k,l,m} B(i,k,l,m) C(k,j) D(l,j) E(m,j)` |
 
 pub mod mttkrp;
 pub mod sddmm;
