@@ -213,4 +213,37 @@ mod tests {
         let t = lex("x > 1.5e-3").unwrap();
         assert_eq!(t[2], Token::Num(1.5e-3));
     }
+
+    #[test]
+    fn rejects_malformed_number_literals() {
+        for bad in ["x > 1.2.3", "x > 1e", "x > 1e+", "x > 5e- 1", "x > .e3"] {
+            let e = lex(bad).unwrap_err();
+            assert!(
+                matches!(e, crate::Error::ConstraintParse(_)),
+                "{bad} → {e:?}"
+            );
+            assert!(e.to_string().contains(bad), "message should quote `{bad}`: {e}");
+        }
+    }
+
+    #[test]
+    fn rejects_power_operator_with_guidance() {
+        let e = lex("a ** 2").unwrap_err();
+        assert!(e.to_string().contains("**"), "{e}");
+    }
+
+    #[test]
+    fn rejects_unterminated_strings_of_both_quotes() {
+        for bad in ["c == 'seq", "c == \"par", "'"] {
+            let e = lex(bad).unwrap_err();
+            assert!(e.to_string().contains("unterminated"), "{bad} → {e}");
+        }
+    }
+
+    #[test]
+    fn rejects_stray_unicode_and_symbols() {
+        for bad in ["a ≥ 1", "a @ b", "a $ b", "a ~ b", "a ^ 2"] {
+            assert!(lex(bad).is_err(), "should reject {bad:?}");
+        }
+    }
 }

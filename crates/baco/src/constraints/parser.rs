@@ -240,4 +240,63 @@ mod tests {
         let e = p("!!(a > 1)").unwrap();
         assert!(matches!(e, Expr::Not(_)));
     }
+
+    #[test]
+    fn rejects_unterminated_expressions() {
+        // Every prefix cut mid-production must fail with a parse error (and
+        // never panic), whichever sub-parser was interrupted.
+        for bad in [
+            "a >", "a > 1 &&", "a ||", "(a > 1", "((a > 1)", "min(a, b", "min(a,", "!", "-",
+            "a +", "a * ", "b %",
+        ] {
+            let e = p(bad).unwrap_err();
+            assert!(
+                matches!(e, crate::Error::ConstraintParse(_)),
+                "{bad:?} → {e:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_unknown_identifiers_with_their_name() {
+        let e = p("a > frob").unwrap_err();
+        match e {
+            crate::Error::UnknownParameter(name) => assert_eq!(name, "frob"),
+            other => panic!("expected UnknownParameter, got {other:?}"),
+        }
+        // … including deep inside a call argument.
+        assert!(matches!(
+            p("min(a, zzz) > 1"),
+            Err(crate::Error::UnknownParameter(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_malformed_precedence_shapes() {
+        // Comparisons don't chain and operators can't collide; the parser
+        // must reject the leftovers as trailing garbage or a bad primary.
+        for bad in [
+            "a > 1 > 2",    // chained comparison: trailing `> 2`
+            "a > 1 == 2",   // chained comparison via ==
+            "a + * b",      // operator collision
+            "a && && b",    // logical collision
+            "()",           // empty parenthesis
+            "a b",          // juxtaposition
+            "1 2",          // number juxtaposition
+        ] {
+            let e = p(bad).unwrap_err();
+            assert!(
+                matches!(e, crate::Error::ConstraintParse(_)),
+                "{bad:?} → {e:?}"
+            );
+            assert!(e.to_string().contains(bad), "message should quote `{bad}`: {e}");
+        }
+    }
+
+    #[test]
+    fn rejects_empty_call_and_trailing_comma() {
+        assert!(p("min() > 1").is_err());
+        assert!(p("min(a,) > 1").is_err());
+        assert!(p("pos(a) == 0").is_err());
+    }
 }

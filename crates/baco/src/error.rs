@@ -27,6 +27,17 @@ pub enum Error {
     InvalidConfig(String),
     /// A configuration refers to a parameter value outside its domain.
     InvalidValue(String),
+    /// A run-journal I/O operation failed (open, append, fsync, …).
+    Io(String),
+    /// A run journal could not be decoded: truncated mid-stream, a corrupt
+    /// or garbage record, or a header incompatible with the resuming tuner.
+    /// `line` is 1-based; `0` marks whole-file problems (empty, no header).
+    JournalCorrupt {
+        /// 1-based journal line of the offending record (0 = whole file).
+        line: usize,
+        /// What was wrong with it.
+        msg: String,
+    },
 }
 
 impl fmt::Display for Error {
@@ -43,6 +54,10 @@ impl fmt::Display for Error {
             Error::Numerical(m) => write!(f, "numerical error: {m}"),
             Error::InvalidConfig(m) => write!(f, "invalid tuner configuration: {m}"),
             Error::InvalidValue(m) => write!(f, "invalid parameter value: {m}"),
+            Error::Io(m) => write!(f, "journal I/O error: {m}"),
+            Error::JournalCorrupt { line, msg } => {
+                write!(f, "corrupt run journal (line {line}): {msg}")
+            }
         }
     }
 }
@@ -68,6 +83,8 @@ mod tests {
             Error::Numerical("cholesky".into()),
             Error::InvalidConfig("budget".into()),
             Error::InvalidValue("7".into()),
+            Error::Io("open failed".into()),
+            Error::JournalCorrupt { line: 3, msg: "bad record".into() },
         ];
         for e in errs {
             let s = e.to_string();

@@ -13,7 +13,11 @@
 //! With one worker (or one configuration) both entry points degenerate to
 //! plain in-line evaluation in submission order — this is what keeps
 //! batch-size-1 runs of the batched engine bit-identical to the sequential
-//! loop.
+//! loop. Run journaling ([`crate::journal`]) records trials in the order
+//! this pool *completes* them, so a resumed journal replays the round as it
+//! actually unfolded; with `threads <= 1` completion order is submission
+//! order, which extends the resume-anywhere bitwise guarantee to any batch
+//! size.
 //!
 //! ```
 //! use baco::eval::pool::evaluate_stream;

@@ -1,0 +1,1112 @@
+//! Crash-safe run journaling: the append-only JSONL record of a tuning run
+//! that [`Baco::resume`](crate::tuner::Baco::resume) and
+//! [`Session::resume`](crate::tuner::Session::resume) reconstruct optimizer
+//! state from.
+//!
+//! # Why
+//!
+//! BaCO exists for *expensive* black boxes — compile-and-run evaluations that
+//! take minutes each. A crashed or preempted process losing hours of
+//! evaluations is unacceptable, so persistence is a first-class subsystem:
+//! every proposal round and every completed evaluation is appended to the
+//! journal (one JSON object per line) and fsync'd *before* the loop moves
+//! on. After a crash — even one that tears the final record mid-write — the
+//! journal reconstructs the run to a state whose continued trajectory is
+//! **bit-for-bit identical** to the uninterrupted run.
+//!
+//! # Format (version 1)
+//!
+//! Line 1 is a [`Header`]; every further line is a [`Record`]:
+//!
+//! | record | written when | payload |
+//! |---|---|---|
+//! | `propose` | a round of configurations is chosen | trial count, DoE share, RNG state before/after proposing, per-proposal think time, the configurations |
+//! | `trial` | one evaluation completes | trial index, configuration, objective, feasibility, timings |
+//! | `resume` | a resumed writer reopens the journal | trial count at resume |
+//!
+//! Integers that must survive exactly (`u64` RNG state words, nanosecond
+//! timings, 64-bit seeds and bounds) are encoded as decimal strings — JSON
+//! numbers only carry 53 bits. Finite `f64` objective values round-trip
+//! bitwise through shortest-form decimal; non-finite values are the tagged
+//! strings `"NaN"`, `"inf"` and `"-inf"`. See `docs/ARCHITECTURE.md` for the
+//! full format specification and compatibility policy.
+//!
+//! # Crash model
+//!
+//! Records are written with a single `write` of the full line (including the
+//! trailing newline) followed by `fdatasync`. A crash can therefore leave at
+//! most one *torn* final line — a prefix of a record with no trailing
+//! newline. [`Journal::load`] drops such a tail (reporting it via
+//! [`Journal::torn_tail`]); any other malformed line is a hard, typed
+//! [`Error::JournalCorrupt`] — the loader returns `Err`, it never panics,
+//! whatever the bytes.
+//!
+//! ```
+//! use baco::prelude::*;
+//!
+//! let dir = std::env::temp_dir().join(format!("baco-doc-{}", std::process::id()));
+//! std::fs::create_dir_all(&dir).unwrap();
+//! let path = dir.join("run.jsonl");
+//! let space = SearchSpace::builder().integer("x", 0, 15).build()?;
+//! let bb = FnBlackBox::new(|c: &Configuration| {
+//!     Evaluation::feasible((c.value("x").as_f64() - 11.0).powi(2))
+//! });
+//! let tuner = Baco::builder(space.clone())
+//!     .budget(8)
+//!     .doe_samples(3)
+//!     .seed(1)
+//!     .journal_path(&path)
+//!     .build()?;
+//! let report = tuner.run(&bb)?;
+//!
+//! // The journal now replays to the exact same history …
+//! let journal = baco::journal::Journal::load(&path, &space)?;
+//! assert_eq!(journal.trials.len(), 8);
+//! // … and `resume` continues a finished run as a no-op.
+//! let resumed = tuner.resume(&bb)?;
+//! assert_eq!(resumed.len(), report.len());
+//! # std::fs::remove_dir_all(&dir).ok();
+//! # Ok::<(), baco::Error>(())
+//! ```
+
+pub mod json;
+
+use crate::space::{Configuration, ParamKind, ParamValue, Scale, SearchSpace};
+use crate::tuner::{BacoOptions, SurrogateKind, Trial};
+use crate::{Error, Result};
+use json::Json;
+use std::fs::{File, OpenOptions};
+use std::io::{Seek, SeekFrom, Write};
+use std::path::Path;
+use std::time::Duration;
+
+/// Journal format version written by this crate. Readers reject newer
+/// versions; older versions (none yet) are migrated on load.
+pub const FORMAT_VERSION: u64 = 1;
+
+/// The format magic in every header.
+pub const FORMAT_NAME: &str = "baco-journal";
+
+/// Which tuning loop produced a journal. Resume refuses to continue a
+/// journal under a different loop, since their RNG consumption differs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// The sequential closed loop ([`Baco::run`](crate::tuner::Baco::run)) —
+    /// also written by `run_batched` at `batch_size == 1`, which is
+    /// bit-identical.
+    Run,
+    /// The batched closed loop
+    /// ([`Baco::run_batched`](crate::tuner::Baco::run_batched), `q > 1`).
+    Batched,
+    /// The open ask/report loop ([`Session`](crate::tuner::Session)).
+    Session,
+}
+
+impl Mode {
+    fn tag(self) -> &'static str {
+        match self {
+            Mode::Run => "run",
+            Mode::Batched => "batched",
+            Mode::Session => "session",
+        }
+    }
+
+    fn from_tag(s: &str) -> Option<Mode> {
+        match s {
+            "run" => Some(Mode::Run),
+            "batched" => Some(Mode::Batched),
+            "session" => Some(Mode::Session),
+            _ => None,
+        }
+    }
+}
+
+/// The first line of every journal: the determinism envelope of the run.
+///
+/// Resume validates the envelope against the resuming tuner and refuses on
+/// any mismatch — continuing a journal under a different seed, search space
+/// or loop shape would silently corrupt the trajectory. The budget is
+/// recorded but *not* enforced, so a finished run can be continued with a
+/// larger budget.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Header {
+    /// Format version ([`FORMAT_VERSION`]).
+    pub version: u64,
+    /// Which loop wrote the journal.
+    pub mode: Mode,
+    /// RNG seed of the run.
+    pub seed: u64,
+    /// Budget in effect when the journal was created (informational).
+    pub budget: usize,
+    /// Initial-phase sample count.
+    pub doe_samples: usize,
+    /// Proposals per round (1 for the sequential loop).
+    pub batch_size: usize,
+    /// Scalar option knobs that steer the trajectory (surrogate kind,
+    /// hidden-constraint handling, …), as a canonical JSON object.
+    pub options: Json,
+    /// The search space specification, as a canonical JSON object.
+    pub space: Json,
+}
+
+impl Header {
+    /// Builds the header for a run of `space` under `opts`.
+    pub fn new(mode: Mode, opts: &BacoOptions, space: &SearchSpace) -> Header {
+        Header {
+            version: FORMAT_VERSION,
+            mode,
+            seed: opts.seed,
+            budget: opts.budget,
+            doe_samples: opts.doe_samples,
+            batch_size: if mode == Mode::Batched { opts.batch_size } else { 1 },
+            options: options_spec(opts),
+            space: space_spec(space),
+        }
+    }
+
+    /// Checks that a resuming tuner matches the journal's determinism
+    /// envelope.
+    ///
+    /// # Errors
+    /// [`Error::JournalCorrupt`] naming the first mismatching field.
+    pub fn validate(&self, mode: Mode, opts: &BacoOptions, space: &SearchSpace) -> Result<()> {
+        let fail = |msg: String| {
+            Err(Error::JournalCorrupt { line: 1, msg })
+        };
+        if self.version > FORMAT_VERSION {
+            return fail(format!(
+                "journal format v{} is newer than this binary's v{FORMAT_VERSION}",
+                self.version
+            ));
+        }
+        if self.mode != mode {
+            return fail(format!(
+                "journal was written by the `{}` loop, cannot resume with `{}`",
+                self.mode.tag(),
+                mode.tag()
+            ));
+        }
+        if self.seed != opts.seed {
+            return fail(format!("seed mismatch: journal {}, tuner {}", self.seed, opts.seed));
+        }
+        if self.doe_samples != opts.doe_samples {
+            return fail(format!(
+                "doe_samples mismatch: journal {}, tuner {}",
+                self.doe_samples, opts.doe_samples
+            ));
+        }
+        if mode == Mode::Batched && self.batch_size != opts.batch_size {
+            return fail(format!(
+                "batch_size mismatch: journal {}, tuner {}",
+                self.batch_size, opts.batch_size
+            ));
+        }
+        if self.options != options_spec(opts) {
+            return fail(format!(
+                "option mismatch: journal {}, tuner {}",
+                self.options.to_line(),
+                options_spec(opts).to_line()
+            ));
+        }
+        if self.space != space_spec(space) {
+            return fail("search-space mismatch between journal and tuner".into());
+        }
+        Ok(())
+    }
+
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("t".into(), Json::Str("header".into())),
+            ("format".into(), Json::Str(FORMAT_NAME.into())),
+            ("version".into(), Json::Num(self.version as f64)),
+            ("mode".into(), Json::Str(self.mode.tag().into())),
+            ("seed".into(), u64_str(self.seed)),
+            ("budget".into(), Json::Num(self.budget as f64)),
+            ("doe_samples".into(), Json::Num(self.doe_samples as f64)),
+            ("batch_size".into(), Json::Num(self.batch_size as f64)),
+            ("options".into(), self.options.clone()),
+            ("space".into(), self.space.clone()),
+        ])
+    }
+
+    fn from_json(j: &Json) -> std::result::Result<Header, String> {
+        if j.get("format").and_then(Json::as_str) != Some(FORMAT_NAME) {
+            return Err(format!("not a {FORMAT_NAME} header"));
+        }
+        Ok(Header {
+            version: get_u64(j, "version")?,
+            mode: j
+                .get("mode")
+                .and_then(Json::as_str)
+                .and_then(Mode::from_tag)
+                .ok_or("missing or unknown `mode`")?,
+            seed: get_u64(j, "seed")?,
+            budget: get_usize(j, "budget")?,
+            doe_samples: get_usize(j, "doe_samples")?,
+            batch_size: get_usize(j, "batch_size")?,
+            options: j.get("options").cloned().ok_or("missing `options`")?,
+            space: j.get("space").cloned().ok_or("missing `space`")?,
+        })
+    }
+}
+
+/// One journaled proposal round: the configurations chosen together, plus
+/// the RNG stream state on either side of choosing them. `rng_after` is the
+/// resume point once the round is fully evaluated; `rng_before` lets an
+/// open-loop resume roll an entirely-unevaluated round back as if it was
+/// never proposed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProposeRec {
+    /// Completed trials when the round was proposed.
+    pub len: usize,
+    /// How many leading `configs` came from the pre-drawn DoE queue (the
+    /// rest came from the model; DoE proposals consume no RNG in the open
+    /// loop).
+    pub doe_k: usize,
+    /// RNG state before proposing.
+    pub rng_before: [u64; 4],
+    /// RNG state after proposing.
+    pub rng_after: [u64; 4],
+    /// Per-proposal think time, nanoseconds (recorded as each resulting
+    /// trial's `tuner_time`).
+    pub tuner_ns: u64,
+    /// The proposed configurations, in pick order.
+    pub configs: Vec<Configuration>,
+}
+
+/// One journaled evaluation outcome (mirrors [`Trial`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrialRec {
+    /// Zero-based position in the run's evaluation order.
+    pub index: usize,
+    /// The evaluated configuration.
+    pub config: Configuration,
+    /// Measured objective (`None` for hidden-constraint failures; non-finite
+    /// values survive the round trip).
+    pub value: Option<f64>,
+    /// Whether the evaluation succeeded.
+    pub feasible: bool,
+    /// Black-box wall time, nanoseconds.
+    pub eval_ns: u64,
+    /// Tuner think time attributed to this trial, nanoseconds.
+    pub tuner_ns: u64,
+}
+
+impl TrialRec {
+    /// Converts a [`Trial`] into its journal form at position `index`.
+    pub fn from_trial(index: usize, t: &Trial) -> TrialRec {
+        TrialRec {
+            index,
+            config: t.config.clone(),
+            value: t.value,
+            feasible: t.feasible,
+            eval_ns: t.eval_time.as_nanos().min(u64::MAX as u128) as u64,
+            tuner_ns: t.tuner_time.as_nanos().min(u64::MAX as u128) as u64,
+        }
+    }
+
+    /// Reconstructs the [`Trial`] this record describes.
+    pub fn to_trial(&self) -> Trial {
+        Trial {
+            config: self.config.clone(),
+            value: self.value,
+            feasible: self.feasible,
+            eval_time: Duration::from_nanos(self.eval_ns),
+            tuner_time: Duration::from_nanos(self.tuner_ns),
+        }
+    }
+}
+
+/// One non-header journal line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Record {
+    /// A proposal round.
+    Propose(ProposeRec),
+    /// A completed evaluation.
+    Trial(TrialRec),
+    /// A resume marker: a new writer took over with `len` trials on record.
+    Resume {
+        /// Trials on record when the journal was reopened.
+        len: usize,
+    },
+}
+
+impl Record {
+    /// Serializes the record to one JSONL line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        self.to_json().to_line()
+    }
+
+    fn to_json(&self) -> Json {
+        match self {
+            Record::Propose(p) => Json::Obj(vec![
+                ("t".into(), Json::Str("propose".into())),
+                ("len".into(), Json::Num(p.len as f64)),
+                ("doe_k".into(), Json::Num(p.doe_k as f64)),
+                ("rng_before".into(), rng_json(&p.rng_before)),
+                ("rng_after".into(), rng_json(&p.rng_after)),
+                ("tuner_ns".into(), u64_str(p.tuner_ns)),
+                (
+                    "configs".into(),
+                    Json::Arr(p.configs.iter().map(encode_config).collect()),
+                ),
+            ]),
+            Record::Trial(tr) => Json::Obj(vec![
+                ("t".into(), Json::Str("trial".into())),
+                ("i".into(), Json::Num(tr.index as f64)),
+                ("config".into(), encode_config(&tr.config)),
+                ("value".into(), encode_value(tr.value)),
+                ("feasible".into(), Json::Bool(tr.feasible)),
+                ("eval_ns".into(), u64_str(tr.eval_ns)),
+                ("tuner_ns".into(), u64_str(tr.tuner_ns)),
+            ]),
+            Record::Resume { len } => Json::Obj(vec![
+                ("t".into(), Json::Str("resume".into())),
+                ("len".into(), Json::Num(*len as f64)),
+            ]),
+        }
+    }
+
+    /// Parses one non-header line against `space`.
+    ///
+    /// # Errors
+    /// A message describing the malformation (the caller attaches the line
+    /// number). Never panics.
+    pub fn parse_line(space: &SearchSpace, line: &str) -> std::result::Result<Record, String> {
+        let j = json::parse(line)?;
+        Self::from_json(space, &j)
+    }
+
+    fn from_json(space: &SearchSpace, j: &Json) -> std::result::Result<Record, String> {
+        match j.get("t").and_then(Json::as_str) {
+            Some("propose") => {
+                let configs = j
+                    .get("configs")
+                    .and_then(Json::as_arr)
+                    .ok_or("propose record missing `configs`")?
+                    .iter()
+                    .map(|c| decode_config(space, c))
+                    .collect::<std::result::Result<Vec<_>, _>>()?;
+                let rec = ProposeRec {
+                    len: get_usize(j, "len")?,
+                    doe_k: get_usize(j, "doe_k")?,
+                    rng_before: rng_from_json(j.get("rng_before").ok_or("missing `rng_before`")?)?,
+                    rng_after: rng_from_json(j.get("rng_after").ok_or("missing `rng_after`")?)?,
+                    tuner_ns: get_u64(j, "tuner_ns")?,
+                    configs,
+                };
+                if rec.doe_k > rec.configs.len() {
+                    return Err("propose record: doe_k exceeds round size".into());
+                }
+                Ok(Record::Propose(rec))
+            }
+            Some("trial") => Ok(Record::Trial(TrialRec {
+                index: get_usize(j, "i")?,
+                config: decode_config(space, j.get("config").ok_or("trial missing `config`")?)?,
+                value: decode_value(j.get("value").ok_or("trial missing `value`")?)?,
+                feasible: match j.get("feasible") {
+                    Some(Json::Bool(b)) => *b,
+                    _ => return Err("trial missing boolean `feasible`".into()),
+                },
+                eval_ns: get_u64(j, "eval_ns")?,
+                tuner_ns: get_u64(j, "tuner_ns")?,
+            })),
+            Some("resume") => Ok(Record::Resume { len: get_usize(j, "len")? }),
+            Some("header") => Err("unexpected second header".into()),
+            Some(other) => Err(format!("unknown record type `{other}`")),
+            None => Err("record has no `t` tag".into()),
+        }
+    }
+}
+
+// ── value / config / integer codecs ─────────────────────────────────────────
+
+fn u64_str(v: u64) -> Json {
+    Json::Str(v.to_string())
+}
+
+fn parse_u64_json(j: &Json) -> std::result::Result<u64, String> {
+    match j {
+        Json::Str(s) => s.parse::<u64>().map_err(|_| format!("bad u64 string `{s}`")),
+        Json::Num(v) if *v >= 0.0 && v.fract() == 0.0 && *v <= 9.007_199_254_740_992e15 => {
+            Ok(*v as u64)
+        }
+        other => Err(format!("expected u64, found {}", other.to_line())),
+    }
+}
+
+fn get_u64(j: &Json, key: &str) -> std::result::Result<u64, String> {
+    parse_u64_json(j.get(key).ok_or_else(|| format!("missing `{key}`"))?)
+        .map_err(|e| format!("`{key}`: {e}"))
+}
+
+fn get_usize(j: &Json, key: &str) -> std::result::Result<usize, String> {
+    usize::try_from(get_u64(j, key)?).map_err(|_| format!("`{key}` overflows usize"))
+}
+
+fn rng_json(state: &[u64; 4]) -> Json {
+    Json::Arr(state.iter().map(|&w| u64_str(w)).collect())
+}
+
+fn rng_from_json(j: &Json) -> std::result::Result<[u64; 4], String> {
+    let arr = j.as_arr().ok_or("RNG state is not an array")?;
+    if arr.len() != 4 {
+        return Err(format!("RNG state has {} words, expected 4", arr.len()));
+    }
+    let mut out = [0u64; 4];
+    for (o, w) in out.iter_mut().zip(arr) {
+        *o = parse_u64_json(w)?;
+    }
+    Ok(out)
+}
+
+/// Encodes an objective value. Finite values are JSON numbers (bitwise
+/// round-trip); non-finite values and `None` need tags JSON lacks.
+fn encode_value(v: Option<f64>) -> Json {
+    match v {
+        None => Json::Null,
+        Some(v) if v.is_nan() => Json::Str("NaN".into()),
+        Some(v) if v == f64::INFINITY => Json::Str("inf".into()),
+        Some(v) if v == f64::NEG_INFINITY => Json::Str("-inf".into()),
+        Some(v) => Json::Num(v),
+    }
+}
+
+fn decode_value(j: &Json) -> std::result::Result<Option<f64>, String> {
+    match j {
+        Json::Null => Ok(None),
+        Json::Num(v) => Ok(Some(*v)),
+        Json::Str(s) => match s.as_str() {
+            "NaN" => Ok(Some(f64::NAN)),
+            "inf" => Ok(Some(f64::INFINITY)),
+            "-inf" => Ok(Some(f64::NEG_INFINITY)),
+            other => Err(format!("unknown value tag `{other}`")),
+        },
+        other => Err(format!("bad objective value {}", other.to_line())),
+    }
+}
+
+/// Encodes a configuration as a `name → value` object in declaration order.
+pub fn encode_config(cfg: &Configuration) -> Json {
+    let members = cfg
+        .values()
+        .into_iter()
+        .map(|(name, v)| {
+            let jv = match v {
+                ParamValue::Real(x) | ParamValue::Ordinal(x) => Json::Num(x),
+                // JSON numbers carry 53 integer bits; larger magnitudes go
+                // through the same decimal-string encoding the header uses
+                // for i64 bounds, keeping the round trip exact.
+                ParamValue::Int(i) if i.unsigned_abs() <= (1u64 << 53) => Json::Num(i as f64),
+                ParamValue::Int(i) => Json::Str(i.to_string()),
+                ParamValue::Categorical(s) => Json::Str(s),
+                ParamValue::Permutation(p) => {
+                    Json::Arr(p.iter().map(|&e| Json::Num(e as f64)).collect())
+                }
+            };
+            (name.to_string(), jv)
+        })
+        .collect();
+    Json::Obj(members)
+}
+
+/// Decodes a configuration object against `space`, validating names, types
+/// and domains.
+///
+/// # Errors
+/// A description of the first malformed member. Never panics.
+pub fn decode_config(
+    space: &SearchSpace,
+    j: &Json,
+) -> std::result::Result<Configuration, String> {
+    let members = j.as_obj().ok_or("configuration is not an object")?;
+    if members.len() != space.len() {
+        return Err(format!(
+            "configuration has {} members, space has {} parameters",
+            members.len(),
+            space.len()
+        ));
+    }
+    let mut pairs: Vec<(&str, ParamValue)> = Vec::with_capacity(members.len());
+    for (name, jv) in members {
+        let idx = space
+            .param_index(name)
+            .ok_or_else(|| format!("unknown parameter `{name}`"))?;
+        let v = match (space.param(idx).kind(), jv) {
+            (ParamKind::Real { .. }, Json::Num(x)) => ParamValue::Real(*x),
+            (ParamKind::Integer { .. }, Json::Num(x))
+                if x.fract() == 0.0 && x.abs() <= (1u64 << 53) as f64 =>
+            {
+                ParamValue::Int(*x as i64)
+            }
+            (ParamKind::Integer { .. }, Json::Str(s)) => ParamValue::Int(
+                s.parse::<i64>()
+                    .map_err(|_| format!("parameter `{name}`: bad integer string `{s}`"))?,
+            ),
+            (ParamKind::Ordinal { .. }, Json::Num(x)) => ParamValue::Ordinal(*x),
+            (ParamKind::Categorical { .. }, Json::Str(s)) => ParamValue::Categorical(s.clone()),
+            (ParamKind::Permutation { .. }, Json::Arr(items)) => {
+                let mut p = Vec::with_capacity(items.len());
+                for it in items {
+                    let e = it
+                        .as_f64()
+                        .filter(|v| v.fract() == 0.0 && (0.0..256.0).contains(v))
+                        .ok_or_else(|| format!("bad permutation element in `{name}`"))?;
+                    p.push(e as u8);
+                }
+                ParamValue::Permutation(p)
+            }
+            (kind, v) => {
+                return Err(format!(
+                    "parameter `{name}`: value {} does not fit kind {kind:?}",
+                    v.to_line()
+                ))
+            }
+        };
+        pairs.push((name.as_str(), v));
+    }
+    space
+        .configuration(&pairs)
+        .map_err(|e| format!("invalid configuration: {e}"))
+}
+
+/// The canonical JSON specification of a search space, recorded in the
+/// header and compared structurally at resume.
+pub fn space_spec(space: &SearchSpace) -> Json {
+    let params = space
+        .params()
+        .iter()
+        .map(|p| {
+            let mut m: Vec<(String, Json)> = vec![("name".into(), Json::Str(p.name().into()))];
+            match p.kind() {
+                ParamKind::Real { lo, hi } => {
+                    m.push(("kind".into(), Json::Str("real".into())));
+                    m.push(("lo".into(), Json::Num(*lo)));
+                    m.push(("hi".into(), Json::Num(*hi)));
+                }
+                ParamKind::Integer { lo, hi } => {
+                    m.push(("kind".into(), Json::Str("int".into())));
+                    m.push(("lo".into(), Json::Str(lo.to_string())));
+                    m.push(("hi".into(), Json::Str(hi.to_string())));
+                }
+                ParamKind::Ordinal { values } => {
+                    m.push(("kind".into(), Json::Str("ordinal".into())));
+                    m.push((
+                        "values".into(),
+                        Json::Arr(values.iter().map(|&v| Json::Num(v)).collect()),
+                    ));
+                }
+                ParamKind::Categorical { values } => {
+                    m.push(("kind".into(), Json::Str("cat".into())));
+                    m.push((
+                        "values".into(),
+                        Json::Arr(values.iter().map(|v| Json::Str(v.clone())).collect()),
+                    ));
+                }
+                ParamKind::Permutation { len } => {
+                    m.push(("kind".into(), Json::Str("perm".into())));
+                    m.push(("len".into(), Json::Num(*len as f64)));
+                }
+            }
+            if p.scale() == Scale::Log {
+                m.push(("scale".into(), Json::Str("log".into())));
+            }
+            Json::Obj(m)
+        })
+        .collect();
+    let constraints = space
+        .known_constraints()
+        .iter()
+        .map(|c| Json::Str(c.name().into()))
+        .collect();
+    Json::Obj(vec![
+        ("params".into(), Json::Arr(params)),
+        ("constraints".into(), Json::Arr(constraints)),
+    ])
+}
+
+/// The scalar trajectory-steering knobs recorded in the header. Structured
+/// sub-options (GP priors, local-search shape, …) are *not* captured —
+/// resuming with different ones is undetectable here and on the caller.
+fn options_spec(opts: &BacoOptions) -> Json {
+    Json::Obj(vec![
+        (
+            "surrogate".into(),
+            Json::Str(
+                match opts.surrogate {
+                    SurrogateKind::GaussianProcess => "gp",
+                    SurrogateKind::RandomForest => "rf",
+                }
+                .into(),
+            ),
+        ),
+        ("hidden_constraints".into(), Json::Bool(opts.hidden_constraints)),
+        ("feasibility_limit".into(), Json::Bool(opts.feasibility_limit)),
+        ("local_search".into(), Json::Bool(opts.local_search)),
+        ("log_objective".into(), Json::Bool(opts.log_objective)),
+        ("optimum_prior".into(), Json::Bool(opts.optimum_prior.is_some())),
+        ("warm_start".into(), Json::Bool(opts.gp.warm_start.is_some())),
+    ])
+}
+
+// ── writer ──────────────────────────────────────────────────────────────────
+
+/// Appends records to a journal file with write-ahead durability: each
+/// record is one `write` of the full line followed by `fdatasync`, so a
+/// crash can tear at most the final line.
+#[derive(Debug)]
+pub struct JournalWriter {
+    file: File,
+    path: String,
+}
+
+impl JournalWriter {
+    fn io_err(path: &Path, e: std::io::Error) -> Error {
+        Error::Io(format!("{}: {e}", path.display()))
+    }
+
+    /// Creates (or truncates) the journal at `path` and durably writes the
+    /// header.
+    ///
+    /// # Errors
+    /// [`Error::Io`] on any filesystem failure.
+    pub fn create(path: &Path, header: &Header) -> Result<JournalWriter> {
+        let file = File::create(path).map_err(|e| Self::io_err(path, e))?;
+        let mut w = JournalWriter {
+            file,
+            path: path.display().to_string(),
+        };
+        w.write_line(header.to_json().to_line())?;
+        // Make the new directory entry itself durable (best effort — some
+        // filesystems refuse fsync on directories).
+        if let Some(dir) = path.parent() {
+            if let Ok(d) = File::open(if dir.as_os_str().is_empty() {
+                Path::new(".")
+            } else {
+                dir
+            }) {
+                let _ = d.sync_all();
+            }
+        }
+        Ok(w)
+    }
+
+    /// Reopens an existing journal for appending, first truncating any torn
+    /// tail at `journal.clean_len` and durably writing a
+    /// [`Record::Resume`] marker for `report_len` trials.
+    ///
+    /// A crash can also tear off *just the final newline* of an otherwise
+    /// complete record (the loader keeps such a line); the separator is
+    /// restored here before anything is appended, so the journal stays
+    /// line-delimited across any crash/resume cycle.
+    ///
+    /// # Errors
+    /// [`Error::Io`] on any filesystem failure.
+    pub fn resume(path: &Path, journal: &Journal, report_len: usize) -> Result<JournalWriter> {
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(path)
+            .map_err(|e| Self::io_err(path, e))?;
+        file.set_len(journal.clean_len).map_err(|e| Self::io_err(path, e))?;
+        let mut w = JournalWriter {
+            file,
+            path: path.display().to_string(),
+        };
+        let io = |path: &str, e: std::io::Error| Error::Io(format!("{path}: {e}"));
+        if journal.clean_len > 0 {
+            w.file
+                .seek(SeekFrom::Start(journal.clean_len - 1))
+                .map_err(|e| io(&w.path, e))?;
+            let mut last = [0u8; 1];
+            use std::io::Read;
+            w.file.read_exact(&mut last).map_err(|e| io(&w.path, e))?;
+            if last[0] != b'\n' {
+                w.file.write_all(b"\n").map_err(|e| io(&w.path, e))?;
+            }
+        }
+        w.file
+            .seek(SeekFrom::End(0))
+            .map_err(|e| io(&w.path, e))?;
+        w.append(&Record::Resume { len: report_len })?;
+        Ok(w)
+    }
+
+    /// Durably appends one record.
+    ///
+    /// # Errors
+    /// [`Error::Io`] if the write or fsync fails; the journal must then be
+    /// considered unreliable and the run should stop.
+    pub fn append(&mut self, rec: &Record) -> Result<()> {
+        self.write_line(rec.to_line())
+    }
+
+    fn write_line(&mut self, mut line: String) -> Result<()> {
+        line.push('\n');
+        self.file
+            .write_all(line.as_bytes())
+            .and_then(|()| self.file.sync_data())
+            .map_err(|e| Error::Io(format!("{}: {e}", self.path)))
+    }
+}
+
+// ── loader ──────────────────────────────────────────────────────────────────
+
+/// A fully parsed and integrity-checked journal.
+#[derive(Debug, Clone)]
+pub struct Journal {
+    /// The run's determinism envelope.
+    pub header: Header,
+    /// Every proposal round, in write order.
+    pub proposes: Vec<ProposeRec>,
+    /// Every completed trial, in evaluation order (`trials[i].index == i`).
+    pub trials: Vec<TrialRec>,
+    /// Resume markers seen (count of prior crashes/continuations).
+    pub resumes: usize,
+    /// Whether a torn final line (crash mid-write) was dropped.
+    pub torn_tail: bool,
+    /// Byte length of the clean prefix; a resuming writer truncates here.
+    pub clean_len: u64,
+}
+
+impl Journal {
+    /// Whether `path` holds at least a journal header (used to decide
+    /// between resuming and starting fresh).
+    pub fn exists(path: &Path) -> bool {
+        std::fs::metadata(path).map(|m| m.len() > 0).unwrap_or(false)
+    }
+
+    /// Loads and validates the journal at `path`, decoding configurations
+    /// against `space`.
+    ///
+    /// A torn final line (the crash-mid-write case) is dropped and flagged
+    /// in [`Journal::torn_tail`]. Anything else malformed — garbage bytes,
+    /// a corrupt interior record, out-of-sequence indices — is a typed
+    /// error, never a panic.
+    ///
+    /// # Errors
+    /// [`Error::Io`] if the file cannot be read; [`Error::JournalCorrupt`]
+    /// with the offending 1-based line otherwise.
+    pub fn load(path: &Path, space: &SearchSpace) -> Result<Journal> {
+        let bytes =
+            std::fs::read(path).map_err(|e| Error::Io(format!("{}: {e}", path.display())))?;
+        Self::from_bytes(&bytes, space)
+    }
+
+    /// [`Journal::load`] over in-memory bytes (exposed for tests and tools).
+    ///
+    /// # Errors
+    /// As [`Journal::load`], minus the I/O cases.
+    pub fn from_bytes(bytes: &[u8], space: &SearchSpace) -> Result<Journal> {
+        let corrupt = |line: usize, msg: String| Error::JournalCorrupt { line, msg };
+        if bytes.is_empty() {
+            return Err(corrupt(0, "empty journal".into()));
+        }
+
+        // Split into (offset, segment, newline_terminated) line triples.
+        let mut segments: Vec<(usize, &[u8], bool)> = Vec::new();
+        let mut start = 0;
+        for (i, &b) in bytes.iter().enumerate() {
+            if b == b'\n' {
+                segments.push((start, &bytes[start..i], true));
+                start = i + 1;
+            }
+        }
+        if start < bytes.len() {
+            segments.push((start, &bytes[start..], false));
+        }
+
+        let mut header: Option<Header> = None;
+        let mut proposes = Vec::new();
+        let mut trials: Vec<TrialRec> = Vec::new();
+        let mut resumes = 0;
+        let mut torn_tail = false;
+        let mut clean_len = 0u64;
+
+        enum Line {
+            Head(Header),
+            Rec(Record),
+        }
+        for (seg_idx, &(offset, seg, terminated)) in segments.iter().enumerate() {
+            let line_no = seg_idx + 1;
+            let last = seg_idx + 1 == segments.len();
+            let parsed: std::result::Result<Line, String> = std::str::from_utf8(seg)
+                .map_err(|_| "invalid UTF-8".to_string())
+                .and_then(|text| {
+                    if header.is_none() {
+                        let j = json::parse(text)?;
+                        if j.get("t").and_then(Json::as_str) != Some("header") {
+                            return Err("first record is not a header".into());
+                        }
+                        Header::from_json(&j).map(Line::Head)
+                    } else {
+                        Record::parse_line(space, text).map(Line::Rec)
+                    }
+                });
+            match parsed {
+                Ok(Line::Head(h)) => {
+                    if h.version > FORMAT_VERSION {
+                        return Err(corrupt(
+                            line_no,
+                            format!(
+                                "journal format v{} is newer than this binary's v{FORMAT_VERSION}",
+                                h.version
+                            ),
+                        ));
+                    }
+                    header = Some(h);
+                }
+                Ok(Line::Rec(rec)) => {
+                    match rec {
+                        Record::Propose(p) => {
+                            if p.len != trials.len() {
+                                return Err(corrupt(
+                                    line_no,
+                                    format!(
+                                        "propose record claims {} trials, journal has {}",
+                                        p.len,
+                                        trials.len()
+                                    ),
+                                ));
+                            }
+                            proposes.push(p);
+                        }
+                        Record::Trial(tr) => {
+                            if tr.index != trials.len() {
+                                return Err(corrupt(
+                                    line_no,
+                                    format!(
+                                        "trial index {} out of sequence (expected {})",
+                                        tr.index,
+                                        trials.len()
+                                    ),
+                                ));
+                            }
+                            trials.push(tr);
+                        }
+                        Record::Resume { len } => {
+                            if len != trials.len() {
+                                return Err(corrupt(
+                                    line_no,
+                                    format!(
+                                        "resume marker claims {len} trials, journal has {}",
+                                        trials.len()
+                                    ),
+                                ));
+                            }
+                            resumes += 1;
+                        }
+                    }
+                }
+                Err(msg) => {
+                    // A malformed *final* line with no terminating newline is
+                    // the torn-write crash signature: drop it. Everything
+                    // else is real corruption.
+                    if last && !terminated {
+                        torn_tail = true;
+                        clean_len = offset as u64;
+                        break;
+                    }
+                    return Err(corrupt(line_no, msg));
+                }
+            }
+            clean_len = (offset + seg.len() + usize::from(terminated)) as u64;
+        }
+
+        let header = header.ok_or_else(|| corrupt(0, "journal has no complete header".into()))?;
+        Ok(Journal {
+            header,
+            proposes,
+            trials,
+            resumes,
+            torn_tail,
+            clean_len,
+        })
+    }
+
+    /// Total DoE configurations handed out across all proposal rounds.
+    pub fn doe_used(&self) -> usize {
+        self.proposes.iter().map(|p| p.doe_k).sum()
+    }
+
+    /// The closed-loop continuation point: the RNG state to continue from
+    /// (`None` when no round was ever proposed — continue from the seed) and
+    /// the still-unevaluated tail of the in-flight round, in pick order.
+    ///
+    /// # Errors
+    /// [`Error::JournalCorrupt`] if trials recorded after the last proposal
+    /// round do not belong to it.
+    pub fn closed_loop_continuation(&self) -> Result<Continuation> {
+        let Some(last) = self.proposes.last() else {
+            if self.trials.is_empty() {
+                return Ok(Continuation {
+                    rng_after: None,
+                    remaining_round: Vec::new(),
+                    round_tuner_ns: 0,
+                });
+            }
+            return Err(Error::JournalCorrupt {
+                line: 0,
+                msg: "journal has trials but no propose record".into(),
+            });
+        };
+        // The trials recorded after the last propose are the evaluated part
+        // of its round; match them off (multiset-aware) to find the rest.
+        let mut remaining: Vec<Option<&Configuration>> =
+            last.configs.iter().map(Some).collect();
+        for tr in &self.trials[last.len.min(self.trials.len())..] {
+            let Some(slot) = remaining
+                .iter_mut()
+                .find(|s| s.is_some_and(|c| c == &tr.config))
+            else {
+                return Err(Error::JournalCorrupt {
+                    line: 0,
+                    msg: format!(
+                        "trial {} does not belong to the in-flight round",
+                        tr.index
+                    ),
+                });
+            };
+            *slot = None;
+        }
+        let rest: Vec<Configuration> = remaining.into_iter().flatten().cloned().collect();
+        Ok(Continuation {
+            rng_after: Some(last.rng_after),
+            remaining_round: rest,
+            round_tuner_ns: last.tuner_ns,
+        })
+    }
+}
+
+/// Where a closed-loop resume picks the run back up; see
+/// [`Journal::closed_loop_continuation`].
+#[derive(Debug, Clone)]
+pub struct Continuation {
+    /// RNG state after the last proposal round, or `None` when nothing was
+    /// proposed yet (continue from the seed).
+    pub rng_after: Option<[u64; 4]>,
+    /// Configurations of the in-flight round still awaiting evaluation.
+    pub remaining_round: Vec<Configuration>,
+    /// The in-flight round's per-proposal think time, nanoseconds.
+    pub round_tuner_ns: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::SearchSpace;
+
+    fn space() -> SearchSpace {
+        SearchSpace::builder()
+            .integer("a", 0, 15)
+            .ordinal_log("tile", vec![1.0, 2.0, 4.0, 8.0])
+            .categorical("c", vec!["x", "y"])
+            .permutation("p", 4)
+            .real("r", 0.0, 1.0)
+            .known_constraint("a >= 1")
+            .build()
+            .unwrap()
+    }
+
+    fn demo_cfg(s: &SearchSpace) -> Configuration {
+        s.configuration(&[
+            ("a", ParamValue::Int(7)),
+            ("tile", ParamValue::Ordinal(4.0)),
+            ("c", ParamValue::Categorical("y".into())),
+            ("p", ParamValue::Permutation(vec![2, 0, 3, 1])),
+            ("r", ParamValue::Real(0.1 + 0.2)),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn config_roundtrip_is_exact() {
+        let s = space();
+        let cfg = demo_cfg(&s);
+        let back = decode_config(&s, &encode_config(&cfg)).unwrap();
+        assert_eq!(cfg, back);
+        // Bitwise for the real parameter.
+        let (ParamValue::Real(a), ParamValue::Real(b)) = (cfg.value("r"), back.value("r")) else {
+            panic!("not real");
+        };
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+
+    #[test]
+    fn value_codec_handles_non_finite() {
+        for v in [None, Some(1.5), Some(f64::NAN), Some(f64::INFINITY), Some(f64::NEG_INFINITY)] {
+            let back = decode_value(&encode_value(v)).unwrap();
+            match (v, back) {
+                (Some(a), Some(b)) if a.is_nan() => assert!(b.is_nan()),
+                (a, b) => assert_eq!(a, b),
+            }
+        }
+    }
+
+    #[test]
+    fn record_roundtrip() {
+        let s = space();
+        let rec = Record::Propose(ProposeRec {
+            len: 3,
+            doe_k: 1,
+            rng_before: [u64::MAX, 1, 2, 3],
+            rng_after: [4, 5, 6, u64::MAX - 1],
+            tuner_ns: u64::MAX,
+            configs: vec![demo_cfg(&s)],
+        });
+        let line = rec.to_line();
+        assert_eq!(Record::parse_line(&s, &line).unwrap(), rec);
+
+        let tr = Record::Trial(TrialRec {
+            index: 0,
+            config: demo_cfg(&s),
+            value: Some(f64::NAN),
+            feasible: false,
+            eval_ns: 123,
+            tuner_ns: 456,
+        });
+        let line = tr.to_line();
+        let Record::Trial(back) = Record::parse_line(&s, &line).unwrap() else {
+            panic!("wrong record kind");
+        };
+        assert!(back.value.unwrap().is_nan());
+        assert!(!back.feasible);
+    }
+
+    #[test]
+    fn huge_integer_values_roundtrip_exactly() {
+        let s = SearchSpace::builder().integer("x", 0, i64::MAX).build().unwrap();
+        for x in [0, 1 << 53, (1i64 << 53) + 1, i64::MAX] {
+            let cfg = s.configuration(&[("x", ParamValue::Int(x))]).unwrap();
+            let back = decode_config(&s, &encode_config(&cfg)).unwrap();
+            assert_eq!(back.value("x"), ParamValue::Int(x), "x = {x}");
+        }
+    }
+
+    #[test]
+    fn rejects_config_outside_domain() {
+        let s = space();
+        let j = json::parse(r#"{"a":99,"tile":4,"c":"y","p":[0,1,2,3],"r":0.5}"#).unwrap();
+        assert!(decode_config(&s, &j).unwrap_err().contains("invalid configuration"));
+        let j = json::parse(r#"{"a":7,"tile":4,"c":"z","p":[0,1,2,3],"r":0.5}"#).unwrap();
+        assert!(decode_config(&s, &j).is_err());
+        let j = json::parse(r#"{"a":7,"tile":4,"c":"y","p":[0,1,1,3],"r":0.5}"#).unwrap();
+        assert!(decode_config(&s, &j).is_err());
+    }
+
+    #[test]
+    fn space_spec_discriminates() {
+        let a = space();
+        let b = SearchSpace::builder()
+            .integer("a", 0, 15)
+            .ordinal("tile", vec![1.0, 2.0, 4.0, 8.0]) // linear, not log
+            .categorical("c", vec!["x", "y"])
+            .permutation("p", 4)
+            .real("r", 0.0, 1.0)
+            .known_constraint("a >= 1")
+            .build()
+            .unwrap();
+        assert_eq!(space_spec(&a), space_spec(&a));
+        assert_ne!(space_spec(&a), space_spec(&b));
+    }
+}

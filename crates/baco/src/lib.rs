@@ -81,6 +81,8 @@
 //! * [`tuner`] — the BaCO recommendation/evaluation loop; [`tuner::batch`]
 //!   adds q-point fantasy-EI proposals.
 //! * [`eval`] — the concurrent black-box evaluation pool.
+//! * [`journal`] — crash-safe JSONL run journaling and bitwise-exact resume
+//!   (see `BacoOptions::journal_path` / `resume`).
 //! * [`baselines`] — ATF (OpenTuner-like), Ytopt-like, uniform and CoT
 //!   random-sampling baselines used in the paper's evaluation.
 //! * [`linalg`], [`opt`] — supporting numerics (Cholesky, L-BFGS).
@@ -96,6 +98,7 @@ pub mod constraints;
 pub mod cot;
 mod error;
 pub mod eval;
+pub mod journal;
 pub mod linalg;
 pub mod opt;
 pub mod parallel;

@@ -22,6 +22,15 @@
 //! observations land as appended rows in whatever order they complete, and
 //! the distance tables extend accordingly.
 //!
+//! The cache is an *exact* optimization — cached and uncached fits of the
+//! same history are bit-identical (guarded by
+//! `cached_batched_run_matches_uncached_reference`). Crash-safe resume
+//! ([`crate::journal`]) leans on exactly this property: a resumed run starts
+//! from an **empty** cache, the first refit warm-rebuilds the distance
+//! tables from the replayed history, and the continued trajectory still
+//! matches the uninterrupted run to the last bit, so no surrogate state ever
+//! needs to be serialized.
+//!
 //! ```
 //! use baco::space::{ParamValue, SearchSpace};
 //! use baco::surrogate::{GaussianProcess, GpCache, GpOptions};

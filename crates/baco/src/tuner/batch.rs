@@ -200,47 +200,64 @@ impl Baco {
     /// evaluation), so sequential paper-reproduction runs are unaffected by
     /// routing through this entry point.
     ///
+    /// With [`BacoOptions::journal_path`](super::BacoOptions::journal_path)
+    /// set, rounds and evaluations are durably journaled exactly as in
+    /// [`Baco::run`]; results are journaled in *completion* order, so a
+    /// resumed journal replays the run as it actually unfolded. With
+    /// [`BacoOptions::eval_threads`](super::BacoOptions::eval_threads)
+    /// `<= 1` completion order equals submission order and the
+    /// resume-anywhere bitwise guarantee of the sequential loop carries over
+    /// to any batch size.
+    ///
     /// # Errors
-    /// Propagates surrogate-fitting failures. Black-box failures are
-    /// hidden-constraint observations, not errors.
+    /// Propagates surrogate-fitting failures and journal errors. Black-box
+    /// failures are hidden-constraint observations, not errors.
     pub fn run_batched(&self, bb: &(dyn BlackBox + Sync)) -> Result<TuningReport> {
+        self.run_batched_impl(bb, self.opts.resume)
+    }
+
+    /// Resumes a batched run from its journal; the batched analogue of
+    /// [`Baco::resume`] (same reconstruction, same guarantees, including
+    /// re-dispatching the unevaluated part of the in-flight round).
+    ///
+    /// # Errors
+    /// As [`Baco::resume`].
+    pub fn resume_batched(&self, bb: &(dyn BlackBox + Sync)) -> Result<TuningReport> {
+        self.require_journal()?;
+        self.run_batched_impl(bb, true)
+    }
+
+    fn run_batched_impl(&self, bb: &(dyn BlackBox + Sync), resume: bool) -> Result<TuningReport> {
+        use super::{append_propose, ClosedLoopStart};
+        use crate::journal::{JournalWriter, Mode, Record, TrialRec};
+
         let q = self.opts.batch_size.max(1);
+        // A q=1 batched run is bit-identical to the sequential loop, so its
+        // journal is interchangeable with `run`'s.
+        let mode = if q == 1 { Mode::Run } else { Mode::Batched };
         let threads = self.opts.eval_threads;
         let mut rng = StdRng::seed_from_u64(self.opts.seed);
         let mut report = TuningReport::new("BaCO");
         let mut seen: HashSet<Configuration> = HashSet::new();
         let mut cache = GpCache::new();
+        let ClosedLoopStart {
+            mut writer,
+            mut pending,
+            mut pending_tuner,
+            doe_done,
+        } = self.open_closed_loop_journal(mode, resume, &mut rng, &mut report, &mut seen)?;
 
-        // ── Initial phase: DoE, evaluated q at a time ────────────────────
-        let doe_n = self.opts.doe_samples.min(self.opts.budget);
-        let t0 = Instant::now();
-        let initial = doe_sample(&self.sampler, &mut rng, doe_n, &seen);
-        let doe_pick_time = t0.elapsed() / doe_n.max(1) as u32;
-        for chunk in initial.chunks(q) {
-            seen.extend(chunk.iter().cloned());
-            evaluate_stream(bb, chunk.to_vec(), threads, |out| {
-                report.push(Trial {
-                    config: out.config,
-                    value: out.evaluation.value(),
-                    feasible: out.evaluation.is_feasible(),
-                    eval_time: out.eval_time,
-                    tuner_time: doe_pick_time,
-                });
-            });
-        }
-
-        // ── Learning phase: propose a round, evaluate concurrently ───────
-        while report.len() < self.opts.budget {
-            let q_eff = q.min(self.opts.budget - report.len());
-            let t0 = Instant::now();
-            let round = self.recommend_batch(&mut rng, &report, &seen, &mut cache, q_eff)?;
-            if round.is_empty() {
-                break; // feasible set exhausted
-            }
-            // Attribute the round's proposal cost evenly across its trials.
-            let tuner_time = t0.elapsed() / round.len() as u32;
+        // Streams one round through the pool, journaling each completion.
+        let run_round = |round: Vec<Configuration>,
+                             tuner_time: std::time::Duration,
+                             report: &mut TuningReport,
+                             seen: &mut HashSet<Configuration>,
+                             writer: &mut Option<JournalWriter>|
+         -> Result<()> {
             seen.extend(round.iter().cloned());
+            let mut journal_err: Option<crate::Error> = None;
             evaluate_stream(bb, round, threads, |out| {
+                let index = report.len();
                 report.push(Trial {
                     config: out.config,
                     value: out.evaluation.value(),
@@ -248,7 +265,69 @@ impl Baco {
                     eval_time: out.eval_time,
                     tuner_time,
                 });
+                if let (Some(w), None) = (writer.as_mut(), journal_err.as_ref()) {
+                    let rec =
+                        TrialRec::from_trial(index, report.trials().last().expect("just pushed"));
+                    if let Err(e) = w.append(&Record::Trial(rec)) {
+                        journal_err = Some(e);
+                    }
+                }
             });
+            match journal_err {
+                Some(e) => Err(e),
+                None => Ok(()),
+            }
+        };
+
+        // ── Initial phase: DoE, evaluated q at a time ────────────────────
+        if !doe_done {
+            let doe_n = self.opts.doe_samples.min(self.opts.budget);
+            let t0 = Instant::now();
+            let rng_before = rng.state();
+            let initial = doe_sample(&self.sampler, &mut rng, doe_n, &seen);
+            let doe_pick_time = t0.elapsed() / doe_n.max(1) as u32;
+            append_propose(
+                &mut writer,
+                report.len(),
+                initial.len(),
+                rng_before,
+                rng.state(),
+                doe_pick_time,
+                &initial,
+            )?;
+            pending = initial;
+            pending_tuner = doe_pick_time;
+        }
+        for chunk in std::mem::take(&mut pending).chunks(q) {
+            let room = self.opts.budget.saturating_sub(report.len());
+            if room == 0 {
+                break;
+            }
+            let chunk = &chunk[..chunk.len().min(room)];
+            run_round(chunk.to_vec(), pending_tuner, &mut report, &mut seen, &mut writer)?;
+        }
+
+        // ── Learning phase: propose a round, evaluate concurrently ───────
+        while report.len() < self.opts.budget {
+            let q_eff = q.min(self.opts.budget - report.len());
+            let t0 = Instant::now();
+            let rng_before = rng.state();
+            let round = self.recommend_batch(&mut rng, &report, &seen, &mut cache, q_eff)?;
+            if round.is_empty() {
+                break; // feasible set exhausted
+            }
+            // Attribute the round's proposal cost evenly across its trials.
+            let tuner_time = t0.elapsed() / round.len() as u32;
+            append_propose(
+                &mut writer,
+                report.len(),
+                0,
+                rng_before,
+                rng.state(),
+                tuner_time,
+                &round,
+            )?;
+            run_round(round, tuner_time, &mut report, &mut seen, &mut writer)?;
         }
         Ok(report)
     }

@@ -111,6 +111,18 @@ pub struct BacoOptions {
     /// Worker threads for batched evaluation (`0` = one per configuration in
     /// the round, capped at the available parallelism).
     pub eval_threads: usize,
+    /// When set, every proposal round and completed evaluation of the run is
+    /// appended (write-ahead, fsync'd) to this crash-safe JSONL journal; see
+    /// [`crate::journal`]. `None` (the default) disables journaling.
+    pub journal_path: Option<std::path::PathBuf>,
+    /// When `true` and [`BacoOptions::journal_path`] holds an existing
+    /// journal, [`Baco::run`]/[`Baco::run_batched`]/[`Session::new`] resume
+    /// from it instead of starting over — reconstructing history, RNG stream
+    /// and the in-flight round so the continued trajectory is bit-identical
+    /// to an uninterrupted run. With no journal on disk the run starts
+    /// fresh (and begins journaling), which is what a `--resume` CLI flag
+    /// wants on the first launch.
+    pub resume: bool,
 }
 
 impl Default for BacoOptions {
@@ -132,6 +144,8 @@ impl Default for BacoOptions {
             batch_size: 1,
             batch_strategy: FantasyStrategy::default(),
             eval_threads: 0,
+            journal_path: None,
+            resume: false,
         }
     }
 }
@@ -237,6 +251,20 @@ impl BacoBuilder {
         self
     }
 
+    /// Journals the run to a crash-safe JSONL file at `path` (see
+    /// [`BacoOptions::journal_path`] and [`crate::journal`]).
+    pub fn journal_path(mut self, path: impl Into<std::path::PathBuf>) -> Self {
+        self.opts.journal_path = Some(path.into());
+        self
+    }
+
+    /// Resumes from the journal when one exists (see
+    /// [`BacoOptions::resume`]).
+    pub fn resume(mut self, on: bool) -> Self {
+        self.opts.resume = on;
+        self
+    }
+
     /// Replaces all options at once.
     pub fn options(mut self, opts: BacoOptions) -> Self {
         self.opts = opts;
@@ -303,33 +331,153 @@ impl Baco {
     /// [`BacoOptions::batch_size`] `== 1` the two produce bit-identical
     /// trajectories.
     ///
+    /// With [`BacoOptions::journal_path`] set, every round and evaluation is
+    /// durably journaled; with [`BacoOptions::resume`] also set, an existing
+    /// journal is continued instead of restarted (see [`Baco::resume`]).
+    ///
     /// # Errors
-    /// Propagates surrogate-fitting failures. Black-box failures are not
-    /// errors — they are hidden-constraint observations.
+    /// Propagates surrogate-fitting failures and journal I/O or corruption
+    /// errors. Black-box failures are not errors — they are
+    /// hidden-constraint observations.
     pub fn run(&self, bb: &dyn BlackBox) -> Result<TuningReport> {
+        self.run_sequential(bb, self.opts.resume)
+    }
+
+    /// Resumes a sequential run from its journal, reconstructing the
+    /// evaluation history, the RNG stream and any in-flight proposal, then
+    /// continues the loop to the budget. The continued trajectory is
+    /// bit-identical to what the uninterrupted run would have produced; on
+    /// an already-finished journal this is a no-op that returns the final
+    /// report without touching the black box.
+    ///
+    /// # Errors
+    /// [`Error::InvalidConfig`] when no [`BacoOptions::journal_path`] is
+    /// configured, [`Error::Io`] when the journal does not exist, and
+    /// [`Error::JournalCorrupt`] when it cannot be trusted (corrupt records
+    /// or a determinism-envelope mismatch).
+    pub fn resume(&self, bb: &dyn BlackBox) -> Result<TuningReport> {
+        self.require_journal()?;
+        self.run_sequential(bb, true)
+    }
+
+    pub(crate) fn require_journal(&self) -> Result<&std::path::Path> {
+        let Some(path) = self.opts.journal_path.as_deref() else {
+            return Err(Error::InvalidConfig(
+                "resume requires BacoOptions::journal_path".into(),
+            ));
+        };
+        if !crate::journal::Journal::exists(path) {
+            return Err(Error::Io(format!(
+                "{}: journal not found or empty",
+                path.display()
+            )));
+        }
+        Ok(path)
+    }
+
+    /// Opens the run journal for a closed loop. When `resume` is set and a
+    /// journal exists, replays its trials into `report`/`seen`, restores
+    /// `rng` to the last round's post-proposal state, and returns the
+    /// in-flight round still awaiting evaluation (with its per-trial think
+    /// time) plus whether the DoE draw already happened; otherwise creates
+    /// the journal fresh (or does nothing without a configured path).
+    pub(crate) fn open_closed_loop_journal(
+        &self,
+        mode: crate::journal::Mode,
+        resume: bool,
+        rng: &mut StdRng,
+        report: &mut TuningReport,
+        seen: &mut HashSet<Configuration>,
+    ) -> Result<ClosedLoopStart> {
+        use crate::journal::{Header, Journal, JournalWriter};
+        let Some(path) = &self.opts.journal_path else {
+            return Ok(ClosedLoopStart::default());
+        };
+        if resume && Journal::exists(path) {
+            let journal = Journal::load(path, &self.space)?;
+            journal.header.validate(mode, &self.opts, &self.space)?;
+            for tr in &journal.trials {
+                seen.insert(tr.config.clone());
+                report.push(tr.to_trial());
+            }
+            let cont = journal.closed_loop_continuation()?;
+            if let Some(state) = cont.rng_after {
+                *rng = StdRng::from_state(state);
+            }
+            Ok(ClosedLoopStart {
+                writer: Some(JournalWriter::resume(path, &journal, report.len())?),
+                pending: cont.remaining_round,
+                pending_tuner: std::time::Duration::from_nanos(cont.round_tuner_ns),
+                doe_done: cont.rng_after.is_some(),
+            })
+        } else {
+            let header = Header::new(mode, &self.opts, &self.space);
+            Ok(ClosedLoopStart {
+                writer: Some(JournalWriter::create(path, &header)?),
+                ..ClosedLoopStart::default()
+            })
+        }
+    }
+
+    fn run_sequential(&self, bb: &dyn BlackBox, resume: bool) -> Result<TuningReport> {
+        use crate::journal::Mode;
+
         let mut rng = StdRng::seed_from_u64(self.opts.seed);
         let mut report = TuningReport::new("BaCO");
         let mut seen: HashSet<Configuration> = HashSet::new();
         let mut cache = GpCache::new();
+        let ClosedLoopStart {
+            mut writer,
+            mut pending,
+            mut pending_tuner,
+            doe_done,
+        } = self.open_closed_loop_journal(Mode::Run, resume, &mut rng, &mut report, &mut seen)?;
 
         // ── Initial phase ────────────────────────────────────────────────
-        let doe_n = self.opts.doe_samples.min(self.opts.budget);
-        let t0 = Instant::now();
-        let initial = doe_sample(&self.sampler, &mut rng, doe_n, &seen);
-        let doe_pick_time = t0.elapsed() / doe_n.max(1) as u32;
-        for cfg in initial {
-            self.evaluate_into(bb, cfg, doe_pick_time, &mut seen, &mut report);
+        if !doe_done {
+            let doe_n = self.opts.doe_samples.min(self.opts.budget);
+            let t0 = Instant::now();
+            let rng_before = rng.state();
+            let initial = doe_sample(&self.sampler, &mut rng, doe_n, &seen);
+            let doe_pick_time = t0.elapsed() / doe_n.max(1) as u32;
+            append_propose(
+                &mut writer,
+                report.len(),
+                initial.len(),
+                rng_before,
+                rng.state(),
+                doe_pick_time,
+                &initial,
+            )?;
+            pending = initial;
+            pending_tuner = doe_pick_time;
+        }
+        for cfg in std::mem::take(&mut pending) {
+            if report.len() >= self.opts.budget {
+                break;
+            }
+            self.evaluate_journaled(bb, cfg, pending_tuner, &mut seen, &mut report, &mut writer)?;
         }
 
         // ── Learning phase ───────────────────────────────────────────────
         while report.len() < self.opts.budget {
             let t0 = Instant::now();
+            let rng_before = rng.state();
             let next = self.recommend_with_cache(&mut rng, &report, &seen, &mut cache)?;
             let tuner_time = t0.elapsed();
             let Some(cfg) = next else {
                 break; // feasible set exhausted
             };
-            self.evaluate_into(bb, cfg, tuner_time, &mut seen, &mut report);
+            append_propose(
+                &mut writer,
+                report.len(),
+                0,
+                rng_before,
+                rng.state(),
+                tuner_time,
+                std::slice::from_ref(&cfg),
+            )?;
+            self.evaluate_journaled(bb, cfg, tuner_time, &mut seen, &mut report, &mut writer)?;
         }
         Ok(report)
     }
@@ -504,6 +652,28 @@ impl Baco {
         None
     }
 
+    /// [`Baco::evaluate_into`] plus the trial's durable journal append.
+    fn evaluate_journaled(
+        &self,
+        bb: &dyn BlackBox,
+        cfg: Configuration,
+        tuner_time: std::time::Duration,
+        seen: &mut HashSet<Configuration>,
+        report: &mut TuningReport,
+        writer: &mut Option<crate::journal::JournalWriter>,
+    ) -> Result<()> {
+        let index = report.len();
+        self.evaluate_into(bb, cfg, tuner_time, seen, report);
+        if let Some(w) = writer.as_mut() {
+            let rec = crate::journal::TrialRec::from_trial(
+                index,
+                report.trials().last().expect("just pushed"),
+            );
+            w.append(&crate::journal::Record::Trial(rec))?;
+        }
+        Ok(())
+    }
+
     fn evaluate_into(
         &self,
         bb: &dyn BlackBox,
@@ -524,6 +694,41 @@ impl Baco {
             tuner_time,
         });
     }
+}
+
+/// How a closed loop starts: the journal writer (if journaling), the round
+/// proposed but not fully evaluated (a fresh DoE draw or the in-flight tail
+/// of a resumed journal) with its per-trial think time, and whether the DoE
+/// draw already happened. Produced by [`Baco::open_closed_loop_journal`].
+#[derive(Debug, Default)]
+pub(crate) struct ClosedLoopStart {
+    pub(crate) writer: Option<crate::journal::JournalWriter>,
+    pub(crate) pending: Vec<Configuration>,
+    pub(crate) pending_tuner: std::time::Duration,
+    pub(crate) doe_done: bool,
+}
+
+/// Durably journals one proposal round (no-op without a writer).
+pub(crate) fn append_propose(
+    writer: &mut Option<crate::journal::JournalWriter>,
+    len: usize,
+    doe_k: usize,
+    rng_before: [u64; 4],
+    rng_after: [u64; 4],
+    tuner_time: std::time::Duration,
+    configs: &[Configuration],
+) -> Result<()> {
+    if let Some(w) = writer.as_mut() {
+        w.append(&crate::journal::Record::Propose(crate::journal::ProposeRec {
+            len,
+            doe_k,
+            rng_before,
+            rng_after,
+            tuner_ns: tuner_time.as_nanos().min(u64::MAX as u128) as u64,
+            configs: configs.to_vec(),
+        }))?;
+    }
+    Ok(())
 }
 
 /// The fitted value surrogate of one acquisition round. Kept as an enum (not

@@ -43,10 +43,11 @@
 //! ```
 
 use super::{Baco, Evaluation, Trial, TuningReport};
+use crate::journal::{Header, Journal, JournalWriter, Mode, ProposeRec, Record, TrialRec};
 use crate::search::doe_sample;
 use crate::space::Configuration;
 use crate::surrogate::GpCache;
-use crate::Result;
+use crate::{Error, Result};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::HashSet;
@@ -82,18 +83,44 @@ pub struct Session {
     /// a batch reported sequentially starts each trial's `eval_time` at the
     /// previous report instead of double-counting earlier evaluations.
     last_report: Option<Instant>,
+    /// Crash-safe run journal, when configured.
+    journal: Option<JournalWriter>,
+    /// A journal failure raised inside the infallible [`Session::report`];
+    /// surfaced by the next fallible call.
+    journal_error: Option<Error>,
 }
 
 impl Session {
     /// Starts a session; draws the initial-phase configurations up front.
     ///
+    /// With [`BacoOptions::journal_path`](super::BacoOptions::journal_path)
+    /// set, proposals and reports are durably journaled; with
+    /// [`BacoOptions::resume`](super::BacoOptions::resume) also set and a
+    /// journal already on disk, the session resumes from it instead (see
+    /// [`Session::resume`]).
+    ///
     /// # Errors
-    /// Propagates tuner construction state errors (none today; reserved).
+    /// Journal creation/load failures ([`Error::Io`],
+    /// [`Error::JournalCorrupt`]).
     pub fn new(tuner: Baco) -> Result<Self> {
+        if tuner.options().resume {
+            if let Some(path) = tuner.options().journal_path.clone() {
+                if Journal::exists(&path) {
+                    return Self::resume_from(tuner, &path);
+                }
+            }
+        }
         let mut rng = StdRng::seed_from_u64(tuner.options().seed);
         let doe_n = tuner.options().doe_samples.min(tuner.options().budget);
         let mut doe_queue = doe_sample(tuner.sampler(), &mut rng, doe_n, &HashSet::new());
         doe_queue.reverse(); // pop() hands them out in draw order
+        let journal = match &tuner.options().journal_path {
+            Some(path) => {
+                let header = Header::new(Mode::Session, tuner.options(), tuner.space());
+                Some(JournalWriter::create(path, &header)?)
+            }
+            None => None,
+        };
         Ok(Session {
             tuner,
             rng,
@@ -105,7 +132,99 @@ impl Session {
             last_think: Duration::ZERO,
             think_end: None,
             last_report: None,
+            journal,
+            journal_error: None,
         })
+    }
+
+    /// Resumes a session from its journal: the reported history, the RNG
+    /// stream and the remaining DoE queue are reconstructed exactly.
+    ///
+    /// Proposals that were in flight at the crash are *not* kept pending —
+    /// the evaluations are gone. Designed (DoE-phase) casualties return to
+    /// the front of the DoE queue so no designed sample is lost; model-phase
+    /// casualties are simply dropped (the model will re-derive anything
+    /// still worth trying). Trailing rounds with **no** reported result are
+    /// rolled back RNG-and-all, as if never proposed — which is what makes a
+    /// resumed strictly-sequential ask/report driver reproduce the
+    /// uninterrupted trajectory bit for bit from any interruption point.
+    ///
+    /// # Errors
+    /// [`Error::InvalidConfig`] without a configured journal path,
+    /// [`Error::Io`] when the journal is missing, and
+    /// [`Error::JournalCorrupt`] on undecodable or envelope-mismatched
+    /// journals.
+    pub fn resume(tuner: Baco) -> Result<Self> {
+        let path = tuner.require_journal()?.to_path_buf();
+        Self::resume_from(tuner, &path)
+    }
+
+    fn resume_from(tuner: Baco, path: &std::path::Path) -> Result<Self> {
+        let journal = Journal::load(path, tuner.space())?;
+        journal.header.validate(Mode::Session, tuner.options(), tuner.space())?;
+
+        let mut report = TuningReport::new("BaCO");
+        let mut seen: HashSet<Configuration> = HashSet::new();
+        for tr in &journal.trials {
+            seen.insert(tr.config.clone());
+            report.push(tr.to_trial());
+        }
+
+        // Redraw the deterministic DoE queue, then replay the bookkeeping.
+        let mut rng = StdRng::seed_from_u64(tuner.options().seed);
+        let doe_n = tuner.options().doe_samples.min(tuner.options().budget);
+        let initial = doe_sample(tuner.sampler(), &mut rng, doe_n, &HashSet::new());
+
+        // Roll back trailing rounds with no reported outcome at all.
+        let mut kept: &[ProposeRec] = &journal.proposes;
+        while let Some(last) = kept.last() {
+            if last.configs.is_empty() || last.configs.iter().any(|c| seen.contains(c)) {
+                break;
+            }
+            kept = &kept[..kept.len() - 1];
+        }
+        let rng = match kept.last() {
+            Some(p) => StdRng::from_state(p.rng_after),
+            None => rng, // nothing proposed yet: continue after the DoE draw
+        };
+
+        // DoE queue: everything from the deterministic draw that has no
+        // reported outcome yet, in draw order. This re-queues in-flight DoE
+        // casualties (they sit earliest in draw order) and is stable across
+        // repeated crash/resume cycles.
+        let mut queue: Vec<Configuration> =
+            initial.into_iter().filter(|c| !seen.contains(c)).collect();
+        queue.reverse(); // pop() order
+
+        let writer = JournalWriter::resume(path, &journal, report.len())?;
+        Ok(Session {
+            tuner,
+            rng,
+            report,
+            seen,
+            pending: Vec::new(),
+            doe_queue: queue,
+            cache: GpCache::new(),
+            last_think: Duration::ZERO,
+            think_end: None,
+            last_report: None,
+            journal: Some(writer),
+            journal_error: None,
+        })
+    }
+
+    fn surface_journal_error(&mut self) -> Result<()> {
+        match self.journal_error.take() {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    fn journal_propose(&mut self, rec: ProposeRec) -> Result<()> {
+        if let Some(w) = self.journal.as_mut() {
+            w.append(&Record::Propose(rec))?;
+        }
+        Ok(())
     }
 
     /// The tuning history so far.
@@ -126,13 +245,18 @@ impl Session {
     /// exhausted or no unevaluated feasible configuration remains.
     ///
     /// # Errors
-    /// Propagates surrogate-fitting failures.
+    /// Propagates surrogate-fitting failures, journal-append failures, and
+    /// any journal failure deferred from an earlier [`Session::report`].
     pub fn ask(&mut self) -> Result<Option<Configuration>> {
+        self.surface_journal_error()?;
         if self.remaining_budget() == 0 {
             return Ok(None);
         }
         let t0 = Instant::now();
+        let rng_before = self.rng.state();
+        let mut doe_k = 0;
         let next = if let Some(cfg) = self.doe_queue.pop() {
+            doe_k = 1;
             Some(cfg)
         } else {
             // Exclude pending proposals as well as evaluated ones.
@@ -146,6 +270,14 @@ impl Session {
         self.last_report = None;
         if let Some(cfg) = &next {
             self.pending.push(cfg.clone());
+            self.journal_propose(ProposeRec {
+                len: self.report.len(),
+                doe_k,
+                rng_before,
+                rng_after: self.rng.state(),
+                tuner_ns: self.last_think.as_nanos().min(u64::MAX as u128) as u64,
+                configs: vec![cfg.clone()],
+            })?;
         }
         Ok(next)
     }
@@ -163,13 +295,16 @@ impl Session {
     /// exactly.
     ///
     /// # Errors
-    /// Propagates surrogate-fitting failures.
+    /// Propagates surrogate-fitting failures, journal-append failures, and
+    /// any journal failure deferred from an earlier [`Session::report`].
     pub fn suggest_batch(&mut self, q: usize) -> Result<Vec<Configuration>> {
+        self.surface_journal_error()?;
         let q = q.min(self.remaining_budget());
         if q == 0 {
             return Ok(Vec::new());
         }
         let t0 = Instant::now();
+        let rng_before = self.rng.state();
         let mut round: Vec<Configuration> = Vec::with_capacity(q);
         while round.len() < q {
             let Some(cfg) = self.doe_queue.pop() else {
@@ -177,6 +312,7 @@ impl Session {
             };
             round.push(cfg);
         }
+        let doe_k = round.len();
         if round.len() < q {
             let mut excluded = self.seen.clone();
             excluded.extend(self.pending.iter().cloned());
@@ -206,6 +342,16 @@ impl Session {
         self.think_end = Some(Instant::now());
         self.last_report = None;
         self.pending.extend(round.iter().cloned());
+        if !round.is_empty() {
+            self.journal_propose(ProposeRec {
+                len: self.report.len(),
+                doe_k,
+                rng_before,
+                rng_after: self.rng.state(),
+                tuner_ns: self.last_think.as_nanos().min(u64::MAX as u128) as u64,
+                configs: round.clone(),
+            })?;
+        }
         Ok(round)
     }
 
@@ -216,6 +362,11 @@ impl Session {
     /// Never blocks, and accepts the results of a batch **in any order** —
     /// the pending set tracks what is still in flight, and the incremental
     /// surrogate cache absorbs new observations in whatever order they land.
+    ///
+    /// When journaling is enabled the outcome is durably appended before
+    /// this returns. Because `report` is infallible by design, a journal
+    /// write failure is deferred and raised by the next [`Session::ask`] /
+    /// [`Session::suggest_batch`] call instead.
     pub fn report(&mut self, cfg: Configuration, eval: Evaluation) {
         self.pending.retain(|c| c != &cfg);
         self.seen.insert(cfg.clone());
@@ -231,6 +382,7 @@ impl Session {
             (None, None) => now,
         };
         self.last_report = Some(now);
+        let index = self.report.len();
         self.report.push(Trial {
             config: cfg,
             value: eval.value(),
@@ -238,9 +390,19 @@ impl Session {
             eval_time: now.saturating_duration_since(eval_start),
             tuner_time: self.last_think,
         });
+        if let Some(w) = self.journal.as_mut() {
+            if self.journal_error.is_none() {
+                let rec =
+                    TrialRec::from_trial(index, self.report.trials().last().expect("just pushed"));
+                if let Err(e) = w.append(&Record::Trial(rec)) {
+                    self.journal_error = Some(e);
+                }
+            }
+        }
     }
 
     /// Alias for [`Session::report`], completing the classic ask/tell idiom.
+    #[deprecated(note = "use report")]
     pub fn tell(&mut self, cfg: Configuration, eval: Evaluation) {
         self.report(cfg, eval);
     }
@@ -277,7 +439,7 @@ mod tests {
         while let Some(cfg) = s.ask().unwrap() {
             let a = cfg.value("a").as_f64();
             let b = cfg.value("b").as_f64();
-            s.tell(cfg, Evaluation::feasible(1.0 + (a - 3.0).powi(2) + (b - 13.0).powi(2)));
+            s.report(cfg, Evaluation::feasible(1.0 + (a - 3.0).powi(2) + (b - 13.0).powi(2)));
             n += 1;
         }
         assert_eq!(n, 25);
@@ -293,7 +455,7 @@ mod tests {
         let mut seen = HashSet::new();
         while let Some(cfg) = s.ask().unwrap() {
             assert!(seen.insert(cfg.clone()), "repeated {cfg}");
-            s.tell(cfg, Evaluation::feasible(1.0));
+            s.report(cfg, Evaluation::feasible(1.0));
         }
     }
 
@@ -305,7 +467,7 @@ mod tests {
         let foreign = sp
             .configuration(&[("a", ParamValue::Int(7)), ("b", ParamValue::Int(7))])
             .unwrap();
-        s.tell(foreign, Evaluation::feasible(0.5));
+        s.report(foreign, Evaluation::feasible(0.5));
         assert_eq!(s.history().len(), 1);
         assert_eq!(s.history().best_value(), Some(0.5));
         // The budget accounts for the told evaluation.
@@ -319,14 +481,25 @@ mod tests {
         while let Some(cfg) = s.ask().unwrap() {
             let a = cfg.value("a").as_i64();
             if a > 7 {
-                s.tell(cfg, Evaluation::infeasible());
+                s.report(cfg, Evaluation::infeasible());
             } else {
-                s.tell(cfg, Evaluation::feasible(1.0 + (7 - a) as f64));
+                s.report(cfg, Evaluation::feasible(1.0 + (7 - a) as f64));
             }
         }
         let r = s.into_report();
         assert_eq!(r.len(), 20);
         assert!(r.best_value().unwrap() <= 3.0);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_tell_alias_forwards_to_report() {
+        let tuner = Baco::builder(space()).budget(4).doe_samples(2).seed(0).build().unwrap();
+        let mut s = Session::new(tuner).unwrap();
+        let cfg = s.ask().unwrap().unwrap();
+        s.tell(cfg, Evaluation::feasible(2.5));
+        assert_eq!(s.history().len(), 1);
+        assert_eq!(s.history().best_value(), Some(2.5));
     }
 
     #[test]
@@ -430,7 +603,7 @@ mod tests {
         assert_eq!(s.remaining_budget(), 5);
         let c = s.ask().unwrap().unwrap();
         assert_eq!(s.remaining_budget(), 4);
-        s.tell(c, Evaluation::feasible(1.0));
+        s.report(c, Evaluation::feasible(1.0));
         assert_eq!(s.remaining_budget(), 4);
     }
 }

@@ -1,0 +1,251 @@
+//! `baco-cli` — the journaled tuning driver.
+//!
+//! Runs any taco-sim / gpu-sim / fpga-sim benchmark through the BaCO tuner
+//! with crash-safe run journaling, resumes interrupted runs, and doubles as
+//! the golden-fixture generator for `tests/golden_trajectories.rs`.
+//!
+//! ```text
+//! baco-cli list [--scale test|small|large]
+//! baco-cli tune --bench NAME --journal PATH [--resume] [--budget N]
+//!          [--doe N] [--seed S] [--batch Q] [--threads T]
+//!          [--scale test|small|large] [--crash-after K]
+//! baco-cli best --bench NAME --journal PATH [--scale ...]
+//! ```
+//!
+//! `--crash-after K` aborts the process (exit 137, like a SIGKILL) as soon
+//! as the black box is asked for its (K+1)-th evaluation — the journal then
+//! ends exactly as a crash would leave it, which is what the CI
+//! kill-and-resume smoke test exercises:
+//!
+//! ```text
+//! baco-cli tune --bench BFS --journal run.jsonl --budget 20 --crash-after 9
+//! baco-cli tune --bench BFS --journal run.jsonl --budget 20 --resume
+//! baco-cli best --bench BFS --journal run.jsonl
+//! ```
+
+use baco::benchmark::Benchmark;
+use baco::journal::Journal;
+use baco::tuner::{Baco, BlackBox, Evaluation};
+use baco::Configuration;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use taco_sim::benchmarks::TacoScale;
+
+struct Opts {
+    bench: Option<String>,
+    journal: Option<PathBuf>,
+    resume: bool,
+    budget: Option<usize>,
+    doe: Option<usize>,
+    seed: u64,
+    batch: usize,
+    threads: usize,
+    scale: TacoScale,
+    crash_after: Option<usize>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  baco-cli list [--scale test|small|large]\n  baco-cli tune --bench NAME --journal PATH [--resume] [--budget N] [--doe N]\n           [--seed S] [--batch Q] [--threads T] [--scale test|small|large]\n           [--crash-after K]\n  baco-cli best --bench NAME --journal PATH [--scale test|small|large]"
+    );
+    std::process::exit(2);
+}
+
+fn parse(mut args: std::env::Args) -> (String, Opts) {
+    let Some(cmd) = args.next() else { usage() };
+    let mut o = Opts {
+        bench: None,
+        journal: None,
+        resume: false,
+        budget: None,
+        doe: None,
+        seed: 0,
+        batch: 1,
+        threads: 1,
+        scale: TacoScale::Test,
+        crash_after: None,
+    };
+    let mut args = args.peekable();
+    while let Some(a) = args.next() {
+        let mut need = |flag: &str| -> String {
+            args.next().unwrap_or_else(|| {
+                eprintln!("missing value for {flag}");
+                std::process::exit(2);
+            })
+        };
+        let parse_num = |flag: &str, v: String| -> usize {
+            v.parse().unwrap_or_else(|_| {
+                eprintln!("{flag} must be a non-negative integer");
+                std::process::exit(2);
+            })
+        };
+        match a.as_str() {
+            "--bench" => o.bench = Some(need("--bench")),
+            "--journal" => o.journal = Some(PathBuf::from(need("--journal"))),
+            "--resume" => o.resume = true,
+            "--budget" => o.budget = Some(parse_num("--budget", need("--budget"))),
+            "--doe" => o.doe = Some(parse_num("--doe", need("--doe"))),
+            "--seed" => o.seed = parse_num("--seed", need("--seed")) as u64,
+            "--batch" => o.batch = parse_num("--batch", need("--batch")).max(1),
+            "--threads" => o.threads = parse_num("--threads", need("--threads")),
+            "--crash-after" => o.crash_after = Some(parse_num("--crash-after", need("--crash-after"))),
+            "--scale" => {
+                o.scale = match need("--scale").as_str() {
+                    "test" => TacoScale::Test,
+                    "small" => TacoScale::Small,
+                    "large" => TacoScale::Large,
+                    other => {
+                        eprintln!("unknown scale `{other}` (test|small|large)");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag `{other}`");
+                usage();
+            }
+        }
+    }
+    (cmd, o)
+}
+
+/// Wraps a benchmark's black box so the process aborts — simulating a
+/// SIGKILL — when evaluation `limit` would start.
+struct CrashingBox<'a> {
+    inner: &'a (dyn BlackBox + Send + Sync),
+    evals: AtomicUsize,
+    limit: usize,
+}
+
+impl BlackBox for CrashingBox<'_> {
+    fn evaluate(&self, cfg: &Configuration) -> Evaluation {
+        let n = self.evals.fetch_add(1, Ordering::SeqCst);
+        if n >= self.limit {
+            eprintln!("baco-cli: simulated crash before evaluation {}", n + 1);
+            // Hard exit: no destructors, no flushing — the journal must
+            // already be durable, exactly as under a real SIGKILL.
+            std::process::exit(137);
+        }
+        self.inner.evaluate(cfg)
+    }
+}
+
+fn lookup(o: &Opts) -> Benchmark {
+    let Some(name) = o.bench.as_deref() else {
+        eprintln!("--bench is required");
+        usage();
+    };
+    let mut found = baco_bench::all_benchmarks(o.scale)
+        .into_iter()
+        .find(|b| b.name == name);
+    if found.is_none() {
+        // Convenience: case-insensitive and underscore/space tolerant.
+        let canon = |s: &str| s.to_lowercase().replace([' ', '_', '-'], "");
+        found = baco_bench::all_benchmarks(o.scale)
+            .into_iter()
+            .find(|b| canon(&b.name) == canon(name));
+    }
+    found.unwrap_or_else(|| {
+        eprintln!("unknown benchmark `{name}`; try `baco-cli list`");
+        std::process::exit(2);
+    })
+}
+
+fn build_tuner(bench: &Benchmark, o: &Opts) -> Baco {
+    let Some(journal) = o.journal.clone() else {
+        eprintln!("--journal is required");
+        usage();
+    };
+    Baco::builder(bench.space.clone())
+        .budget(o.budget.unwrap_or(bench.budget))
+        .doe_samples(o.doe.unwrap_or(10))
+        .seed(o.seed)
+        .batch_size(o.batch)
+        .eval_threads(o.threads)
+        .journal_path(journal)
+        .resume(o.resume)
+        .build()
+        .unwrap_or_else(|e| {
+            eprintln!("tuner construction failed: {e}");
+            std::process::exit(1);
+        })
+}
+
+fn print_best(report: &baco::TuningReport) {
+    match report.best() {
+        Some(t) => println!(
+            "best {} after {} evaluations at {}",
+            t.value.expect("best is feasible"),
+            report.len(),
+            t.config
+        ),
+        None => println!("no feasible evaluation in {} trials", report.len()),
+    }
+}
+
+fn main() {
+    let mut args = std::env::args();
+    args.next(); // argv[0]
+    let (cmd, o) = parse(args);
+    match cmd.as_str() {
+        "list" => {
+            for b in baco_bench::all_benchmarks(o.scale) {
+                println!(
+                    "{:18} {:14} dims={:2} budget={:3} kinds={}",
+                    b.name,
+                    b.group.to_string(),
+                    b.space.len(),
+                    b.budget,
+                    b.param_kinds()
+                );
+            }
+        }
+        "tune" => {
+            let bench = lookup(&o);
+            let tuner = build_tuner(&bench, &o);
+            let crashing;
+            let bb: &(dyn BlackBox + Sync) = match o.crash_after {
+                Some(k) => {
+                    crashing = CrashingBox {
+                        inner: bench.blackbox.as_ref(),
+                        evals: AtomicUsize::new(0),
+                        limit: k,
+                    };
+                    &crashing
+                }
+                None => bench.blackbox.as_ref(),
+            };
+            let report = if o.batch > 1 {
+                tuner.run_batched(bb)
+            } else {
+                tuner.run(bb)
+            }
+            .unwrap_or_else(|e| {
+                eprintln!("tuning failed: {e}");
+                std::process::exit(1);
+            });
+            print_best(&report);
+        }
+        "best" => {
+            let bench = lookup(&o);
+            let Some(path) = o.journal.as_deref() else {
+                eprintln!("--journal is required");
+                usage();
+            };
+            let journal = Journal::load(path, &bench.space).unwrap_or_else(|e| {
+                eprintln!("cannot read journal: {e}");
+                std::process::exit(1);
+            });
+            let mut report = baco::TuningReport::new("BaCO");
+            for tr in &journal.trials {
+                report.push(tr.to_trial());
+            }
+            print_best(&report);
+        }
+        other => {
+            eprintln!("unknown command `{other}`");
+            usage();
+        }
+    }
+}

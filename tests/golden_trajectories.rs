@@ -1,0 +1,223 @@
+//! Golden-trajectory regression suite.
+//!
+//! The committed fixtures under `tests/fixtures/` are journals of seeded
+//! runs on real benchmark substrates, generated with `baco-cli`:
+//!
+//! ```text
+//! cargo run --release -p baco-bench --bin baco-cli -- tune \
+//!     --bench "SpMM scircuit" --scale test \
+//!     --journal tests/fixtures/spmm_scircuit_seed7.jsonl \
+//!     --budget 20 --doe 6 --seed 7
+//! cargo run --release -p baco-bench --bin baco-cli -- tune \
+//!     --bench MM_GPU \
+//!     --journal tests/fixtures/mm_gpu_seed3_q4.jsonl \
+//!     --budget 20 --doe 6 --seed 3 --batch 4 --threads 1
+//! ```
+//!
+//! Each test replays a fixture: the tuner re-runs from the same seed with
+//! the black box *replaced* by the journal's recorded evaluations, and every
+//! proposal must reproduce the fixture bit for bit. Objective values feed
+//! the surrogate exactly as recorded, so the assertion isolates the tuner's
+//! own determinism — any drift in the RNG stream, GP numerics, acquisition
+//! or CoT sampling shows up as a diverging proposal. (The substrates
+//! themselves measure wall time or inject run-to-run noise, so replaying
+//! recorded values — not re-measuring — is what makes the golden comparison
+//! well-defined.)
+//!
+//! If a PR *intentionally* changes the trajectory (new RNG consumption, new
+//! acquisition math), regenerate the fixtures with the commands above and
+//! call the change out in the PR description.
+
+use baco::benchmark::Benchmark;
+use baco::journal::{Journal, Mode};
+use baco::tuner::{Baco, BlackBox, Evaluation};
+use baco::{Configuration, TuningReport};
+use std::collections::HashMap;
+use std::path::Path;
+
+/// Serves the fixture's recorded evaluations; panics on any configuration
+/// the fixture never saw (= the trajectory already diverged).
+struct ReplayBox {
+    name: &'static str,
+    recorded: HashMap<Configuration, (Option<f64>, bool)>,
+}
+
+impl BlackBox for ReplayBox {
+    fn evaluate(&self, cfg: &Configuration) -> Evaluation {
+        let Some(&(value, feasible)) = self.recorded.get(cfg) else {
+            panic!(
+                "golden trajectory diverged: {} proposed {cfg}, which the fixture never \
+                 evaluated. If the change is intentional, regenerate the fixture (see \
+                 tests/golden_trajectories.rs docs).",
+                self.name
+            );
+        };
+        match (feasible, value) {
+            (true, Some(v)) => Evaluation::feasible(v),
+            _ => Evaluation::infeasible(),
+        }
+    }
+}
+
+fn signature(r: &TuningReport) -> Vec<(String, Option<u64>, bool)> {
+    r.trials()
+        .iter()
+        .map(|t| (t.config.to_string(), t.value.map(f64::to_bits), t.feasible))
+        .collect()
+}
+
+struct Golden {
+    fixture: &'static str,
+    bench: Benchmark,
+    seed: u64,
+    batch: usize,
+}
+
+impl Golden {
+    fn load(&self) -> (Journal, Baco, ReplayBox) {
+        let path = Path::new(env!("CARGO_MANIFEST_DIR")).join(self.fixture);
+        let journal = Journal::load(&path, &self.bench.space)
+            .unwrap_or_else(|e| panic!("{}: {e}", self.fixture));
+        let tuner = Baco::builder(self.bench.space.clone())
+            .budget(20)
+            .doe_samples(6)
+            .seed(self.seed)
+            .batch_size(self.batch)
+            .eval_threads(1)
+            .build()
+            .unwrap();
+        // The fixture must have been generated under exactly the options the
+        // test reconstructs — `validate` cross-checks the envelope.
+        let mode = if self.batch > 1 { Mode::Batched } else { Mode::Run };
+        journal
+            .header
+            .validate(mode, tuner.options(), &self.bench.space)
+            .unwrap_or_else(|e| panic!("{}: fixture/test option drift: {e}", self.fixture));
+        let recorded = journal
+            .trials
+            .iter()
+            .map(|t| (t.config.clone(), (t.value, t.feasible)))
+            .collect();
+        let replay = ReplayBox {
+            name: self.fixture,
+            recorded,
+        };
+        (journal, tuner, replay)
+    }
+
+    fn fixture_signature(&self, journal: &Journal) -> Vec<(String, Option<u64>, bool)> {
+        journal
+            .trials
+            .iter()
+            .map(|t| (t.config.to_string(), t.value.map(f64::to_bits), t.feasible))
+            .collect()
+    }
+
+    /// Recompute-from-scratch replay: every proposal and every fold-in must
+    /// reproduce the fixture bitwise.
+    fn assert_replay(&self) {
+        let (journal, tuner, replay) = self.load();
+        assert_eq!(journal.trials.len(), 20, "{}: fixture incomplete", self.fixture);
+        let report = if self.batch > 1 {
+            tuner.run_batched(&replay).unwrap()
+        } else {
+            tuner.run(&replay).unwrap()
+        };
+        assert_eq!(
+            self.fixture_signature(&journal),
+            signature(&report),
+            "{}: recomputed trajectory drifted from the committed fixture",
+            self.fixture
+        );
+    }
+
+    /// Crash-and-resume replay: truncate the fixture at several interior
+    /// record boundaries, resume each, and require the fixture trajectory.
+    fn assert_resume(&self) {
+        let (journal, _, replay) = self.load();
+        let path = Path::new(env!("CARGO_MANIFEST_DIR")).join(self.fixture);
+        let bytes = std::fs::read(&path).unwrap();
+        let boundaries: Vec<usize> = bytes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &b)| (b == b'\n').then_some(i + 1))
+            .collect();
+        // Per-fixture dir: the two *_resumes_bitwise tests run concurrently
+        // in one process, so a shared dir would race with the cleanup below.
+        let stem = Path::new(self.fixture)
+            .file_stem()
+            .expect("fixture has a file name")
+            .to_string_lossy();
+        let dir =
+            std::env::temp_dir().join(format!("baco-golden-{}-{stem}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let crash = dir.join("crash.jsonl");
+        // Every 3rd boundary keeps runtime modest while still covering
+        // mid-DoE, mid-round and late interruption points.
+        for &cut in boundaries.iter().step_by(3) {
+            std::fs::write(&crash, &bytes[..cut]).unwrap();
+            let tuner = Baco::builder(self.bench.space.clone())
+                .budget(20)
+                .doe_samples(6)
+                .seed(self.seed)
+                .batch_size(self.batch)
+                .eval_threads(1)
+                .journal_path(&crash)
+                .build()
+                .unwrap();
+            let report = if self.batch > 1 {
+                tuner.resume_batched(&replay).unwrap()
+            } else {
+                tuner.resume(&replay).unwrap()
+            };
+            assert_eq!(
+                self.fixture_signature(&journal),
+                signature(&report),
+                "{}: resume at byte {cut} drifted from the fixture",
+                self.fixture
+            );
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+fn spmm() -> Golden {
+    Golden {
+        fixture: "tests/fixtures/spmm_scircuit_seed7.jsonl",
+        bench: taco_sim::benchmarks::spmm_benchmark(
+            "scircuit",
+            taco_sim::benchmarks::TacoScale::Test,
+        ),
+        seed: 7,
+        batch: 1,
+    }
+}
+
+fn mm_gpu() -> Golden {
+    Golden {
+        fixture: "tests/fixtures/mm_gpu_seed3_q4.jsonl",
+        bench: gpu_sim::benchmarks::mm_gpu(),
+        seed: 3,
+        batch: 4,
+    }
+}
+
+#[test]
+fn taco_spmm_golden_trajectory_replays_bitwise() {
+    spmm().assert_replay();
+}
+
+#[test]
+fn gpu_mm_batched_golden_trajectory_replays_bitwise() {
+    mm_gpu().assert_replay();
+}
+
+#[test]
+fn taco_spmm_golden_trajectory_resumes_bitwise() {
+    spmm().assert_resume();
+}
+
+#[test]
+fn gpu_mm_batched_golden_trajectory_resumes_bitwise() {
+    mm_gpu().assert_resume();
+}
