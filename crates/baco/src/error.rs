@@ -38,6 +38,11 @@ pub enum Error {
         /// What was wrong with it.
         msg: String,
     },
+    /// A tuning-server request named a session the registry does not hold.
+    UnknownSession(String),
+    /// A tuning-server request tried to create a session under a name the
+    /// registry already holds.
+    SessionExists(String),
 }
 
 impl fmt::Display for Error {
@@ -58,6 +63,8 @@ impl fmt::Display for Error {
             Error::JournalCorrupt { line, msg } => {
                 write!(f, "corrupt run journal (line {line}): {msg}")
             }
+            Error::UnknownSession(name) => write!(f, "unknown session `{name}`"),
+            Error::SessionExists(name) => write!(f, "session `{name}` already exists"),
         }
     }
 }
@@ -85,6 +92,8 @@ mod tests {
             Error::InvalidValue("7".into()),
             Error::Io("open failed".into()),
             Error::JournalCorrupt { line: 3, msg: "bad record".into() },
+            Error::UnknownSession("s1".into()),
+            Error::SessionExists("s1".into()),
         ];
         for e in errs {
             let s = e.to_string();

@@ -425,7 +425,7 @@ fn u64_str(v: u64) -> Json {
     Json::Str(v.to_string())
 }
 
-fn parse_u64_json(j: &Json) -> std::result::Result<u64, String> {
+pub(crate) fn parse_u64_json(j: &Json) -> std::result::Result<u64, String> {
     match j {
         Json::Str(s) => s.parse::<u64>().map_err(|_| format!("bad u64 string `{s}`")),
         Json::Num(v) if *v >= 0.0 && v.fract() == 0.0 && *v <= 9.007_199_254_740_992e15 => {
@@ -461,8 +461,10 @@ fn rng_from_json(j: &Json) -> std::result::Result<[u64; 4], String> {
 }
 
 /// Encodes an objective value. Finite values are JSON numbers (bitwise
-/// round-trip); non-finite values and `None` need tags JSON lacks.
-fn encode_value(v: Option<f64>) -> Json {
+/// round-trip); non-finite values and `None` need tags JSON lacks
+/// (`"NaN"`, `"inf"`, `"-inf"`, `null`). Shared by the journal's trial
+/// records and the tuning server's wire protocol.
+pub fn encode_value(v: Option<f64>) -> Json {
     match v {
         None => Json::Null,
         Some(v) if v.is_nan() => Json::Str("NaN".into()),
@@ -472,7 +474,11 @@ fn encode_value(v: Option<f64>) -> Json {
     }
 }
 
-fn decode_value(j: &Json) -> std::result::Result<Option<f64>, String> {
+/// Decodes an objective value written by [`encode_value`].
+///
+/// # Errors
+/// A description of the malformation. Never panics.
+pub fn decode_value(j: &Json) -> std::result::Result<Option<f64>, String> {
     match j {
         Json::Null => Ok(None),
         Json::Num(v) => Ok(Some(*v)),
@@ -623,6 +629,138 @@ pub fn space_spec(space: &SearchSpace) -> Json {
         ("params".into(), Json::Arr(params)),
         ("constraints".into(), Json::Arr(constraints)),
     ])
+}
+
+/// Rebuilds a [`SearchSpace`] from its canonical [`space_spec`] JSON — the
+/// inverse used by the tuning server to accept spaces over the wire (and by
+/// tools that reconstruct a space from a journal header alone).
+///
+/// Defaults declared on the original space (`*_default` builder methods) are
+/// not part of the spec, so they do not survive the round trip; nothing in
+/// the tuning trajectory depends on them. Native (`known_constraint_fn`)
+/// predicates cannot be serialized — a spec naming one fails to rebuild.
+///
+/// # Errors
+/// A description of the first malformed member, or the builder's own
+/// validation error. Never panics.
+///
+/// ```
+/// use baco::journal::{space_from_spec, space_spec};
+/// use baco::SearchSpace;
+///
+/// let space = SearchSpace::builder()
+///     .integer("tile", 1, 64)
+///     .categorical("par", vec!["seq", "par"])
+///     .known_constraint("tile >= 4")
+///     .build()?;
+/// let rebuilt = space_from_spec(&space_spec(&space)).map_err(baco::Error::InvalidSpace)?;
+/// assert_eq!(space_spec(&rebuilt), space_spec(&space));
+/// # Ok::<(), baco::Error>(())
+/// ```
+pub fn space_from_spec(j: &Json) -> std::result::Result<SearchSpace, String> {
+    let params = j
+        .get("params")
+        .and_then(Json::as_arr)
+        .ok_or("space spec missing `params` array")?;
+    let mut b = SearchSpace::builder();
+    for p in params {
+        let name = p
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or("parameter spec missing `name`")?;
+        let log = match p.get("scale") {
+            None => false,
+            Some(Json::Str(s)) if s == "log" => true,
+            Some(other) => return Err(format!("parameter `{name}`: bad scale {}", other.to_line())),
+        };
+        let kind = p
+            .get("kind")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("parameter `{name}` missing `kind`"))?;
+        let parse_i64 = |key: &str| -> std::result::Result<i64, String> {
+            match p.get(key) {
+                Some(Json::Str(s)) => {
+                    s.parse::<i64>().map_err(|_| format!("parameter `{name}`: bad i64 `{key}`"))
+                }
+                Some(Json::Num(v)) if v.fract() == 0.0 && v.abs() <= (1u64 << 53) as f64 => {
+                    Ok(*v as i64)
+                }
+                _ => Err(format!("parameter `{name}`: missing or bad `{key}`")),
+            }
+        };
+        b = match kind {
+            "real" => {
+                if log {
+                    return Err(format!("parameter `{name}`: log-scaled reals are unsupported"));
+                }
+                let lo = p
+                    .get("lo")
+                    .and_then(Json::as_f64)
+                    .ok_or_else(|| format!("parameter `{name}`: missing `lo`"))?;
+                let hi = p
+                    .get("hi")
+                    .and_then(Json::as_f64)
+                    .ok_or_else(|| format!("parameter `{name}`: missing `hi`"))?;
+                b.real(name, lo, hi)
+            }
+            "int" => {
+                let (lo, hi) = (parse_i64("lo")?, parse_i64("hi")?);
+                if log {
+                    b.integer_log(name, lo, hi)
+                } else {
+                    b.integer(name, lo, hi)
+                }
+            }
+            "ordinal" => {
+                let values = p
+                    .get("values")
+                    .and_then(Json::as_arr)
+                    .ok_or_else(|| format!("parameter `{name}`: missing `values`"))?
+                    .iter()
+                    .map(|v| v.as_f64().ok_or_else(|| format!("parameter `{name}`: bad ordinal value")))
+                    .collect::<std::result::Result<Vec<f64>, String>>()?;
+                if log {
+                    b.ordinal_log(name, values)
+                } else {
+                    b.ordinal(name, values)
+                }
+            }
+            "cat" => {
+                if log {
+                    return Err(format!("parameter `{name}`: categoricals cannot be log-scaled"));
+                }
+                let values = p
+                    .get("values")
+                    .and_then(Json::as_arr)
+                    .ok_or_else(|| format!("parameter `{name}`: missing `values`"))?
+                    .iter()
+                    .map(|v| v.as_str().ok_or_else(|| format!("parameter `{name}`: bad category")))
+                    .collect::<std::result::Result<Vec<&str>, String>>()?;
+                b.categorical(name, values)
+            }
+            "perm" => {
+                if log {
+                    return Err(format!("parameter `{name}`: permutations cannot be log-scaled"));
+                }
+                let len = p
+                    .get("len")
+                    .and_then(Json::as_f64)
+                    .filter(|v| v.fract() == 0.0 && (0.0..=64.0).contains(v))
+                    .ok_or_else(|| format!("parameter `{name}`: missing or bad `len`"))?;
+                b.permutation(name, len as usize)
+            }
+            other => return Err(format!("parameter `{name}`: unknown kind `{other}`")),
+        };
+    }
+    for c in j
+        .get("constraints")
+        .and_then(Json::as_arr)
+        .ok_or("space spec missing `constraints` array")?
+    {
+        let src = c.as_str().ok_or("constraint spec is not a string")?;
+        b = b.known_constraint(src);
+    }
+    b.build().map_err(|e| e.to_string())
 }
 
 /// The scalar trajectory-steering knobs recorded in the header. Structured

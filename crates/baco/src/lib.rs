@@ -83,6 +83,9 @@
 //! * [`eval`] — the concurrent black-box evaluation pool.
 //! * [`journal`] — crash-safe JSONL run journaling and bitwise-exact resume
 //!   (see `BacoOptions::journal_path` / `resume`).
+//! * [`server`] — the multi-tenant tuning daemon: a sharded registry of
+//!   named journaled sessions behind a JSONL wire protocol (in-process,
+//!   TCP, and `baco-cli serve`/`client` front ends).
 //! * [`baselines`] — ATF (OpenTuner-like), Ytopt-like, uniform and CoT
 //!   random-sampling baselines used in the paper's evaluation.
 //! * [`linalg`], [`opt`] — supporting numerics (Cholesky, L-BFGS).
@@ -103,6 +106,7 @@ pub mod linalg;
 pub mod opt;
 pub mod parallel;
 pub mod search;
+pub mod server;
 pub mod space;
 pub mod surrogate;
 pub mod tuner;

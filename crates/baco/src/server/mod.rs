@@ -1,0 +1,652 @@
+//! The multi-tenant tuning server: many named [`Session`]s behind one
+//! daemon, multiplexed over a line-delimited JSON protocol.
+//!
+//! # Why
+//!
+//! PR 2 and PR 3 built the two halves a tuning *service* needs — a
+//! non-blocking batched [`Session`] and crash-safe journal persistence with
+//! bitwise resume — but every run was still a single-process, single-client
+//! affair. This module adds the missing layer:
+//!
+//! * **Sharded registry** (`registry`) — sessions live in an N-way sharded
+//!   `RwLock<HashMap>` keyed by session id; requests against unrelated
+//!   sessions never contend on a shared lock, requests against the same
+//!   session serialize (so a concurrently-driven session stays
+//!   deterministic).
+//! * **Wire protocol** ([`proto`]) — `create_session` / `ask` /
+//!   `suggest_batch` / `report` / `best` / `status` / `close` as one JSON
+//!   object per line, reusing the journal's panic-free codec. Malformed
+//!   input of any shape yields a typed error reply, never a panic and never
+//!   a wedged session.
+//! * **Durability** — with [`ServerOptions::journal_dir`] set, each session
+//!   is backed by its own PR 3 journal (`<dir>/<session>.jsonl`). Kill the
+//!   daemon — even mid-round — and a restarted server resumes every session
+//!   via [`Session::resume`] semantics: `create_session` with
+//!   `"resume": true` reconstructs history, RNG stream and DoE queue, so a
+//!   sequential driver's continued trajectory is bit-for-bit identical to an
+//!   uninterrupted run.
+//!
+//! Three front ends share the dispatch path: the in-process [`ServerHandle`]
+//! (deterministic; what the test suites drive), the blocking TCP listener
+//! ([`ServerHandle::serve`], thread-per-connection with a connection limit),
+//! and the `baco-cli serve` / `baco-cli client` pair for end-to-end use
+//! against the `*-sim` substrates.
+//!
+//! ```
+//! use baco::server::{ServerHandle, ServerOptions};
+//!
+//! let srv = ServerHandle::new(ServerOptions::default());
+//! let created = srv.handle_line(concat!(
+//!     r#"{"op":"create_session","session":"t0","budget":3,"doe_samples":2,"seed":1,"#,
+//!     r#""space":{"params":[{"name":"x","kind":"int","lo":"0","hi":"15"}],"constraints":[]}}"#,
+//! ));
+//! assert!(created.contains(r#""ok":true"#), "{created}");
+//!
+//! // Drive the session: ask for a proposal, report its objective.
+//! let reply = srv.handle_line(r#"{"op":"ask","session":"t0"}"#);
+//! let cfg = baco::journal::json::parse(&reply).unwrap().get("config").cloned().unwrap();
+//! let report = baco::journal::json::Json::Obj(vec![
+//!     ("op".into(), baco::journal::json::Json::Str("report".into())),
+//!     ("session".into(), baco::journal::json::Json::Str("t0".into())),
+//!     ("config".into(), cfg),
+//!     ("value".into(), baco::journal::json::Json::Num(4.0)),
+//! ]);
+//! assert!(srv.handle_line(&report.to_line()).contains(r#""len":1"#));
+//!
+//! // Malformed input is a typed error, not a panic.
+//! let err = srv.handle_line("{{{");
+//! assert!(err.contains(r#""kind":"bad_request""#), "{err}");
+//! ```
+
+mod registry;
+pub mod proto;
+
+use crate::journal::json::Json;
+use crate::journal::{self, Journal};
+use crate::space::SearchSpace;
+use crate::tuner::{Baco, Evaluation, Session, SurrogateKind};
+use crate::{Error, Result};
+use proto::{Envelope, ErrorKind, Request, SessionSpec, WireError};
+use registry::{lock_slot, Registry};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Configuration of a [`ServerHandle`].
+#[derive(Debug, Clone)]
+pub struct ServerOptions {
+    /// Registry shards (default 16). More shards, less cross-session
+    /// contention on the id → session map.
+    pub shards: usize,
+    /// When set, every session is journaled to `<dir>/<session>.jsonl` and
+    /// can be resumed across server restarts. `None` (default) keeps
+    /// sessions in memory only.
+    pub journal_dir: Option<PathBuf>,
+    /// Maximum concurrently served TCP connections (default 64). Further
+    /// connections receive one `busy` error line and are closed.
+    pub max_connections: usize,
+}
+
+impl Default for ServerOptions {
+    fn default() -> Self {
+        ServerOptions { shards: 16, journal_dir: None, max_connections: 64 }
+    }
+}
+
+/// One registered session: the [`Session`] plus the space its wire
+/// configurations decode against.
+#[derive(Debug)]
+struct Tenant {
+    session: Session,
+    space: SearchSpace,
+}
+
+#[derive(Debug)]
+struct Inner {
+    registry: Registry<Tenant>,
+    opts: ServerOptions,
+}
+
+/// The in-process face of the tuning server: a cheaply cloneable handle
+/// whose [`ServerHandle::handle_line`] maps one request line to one reply
+/// line. All front ends (tests, TCP, CLI) share this dispatch path, so
+/// in-process tests exercise exactly what the daemon serves.
+#[derive(Debug, Clone)]
+pub struct ServerHandle {
+    inner: Arc<Inner>,
+}
+
+impl ServerHandle {
+    /// Creates an empty server.
+    pub fn new(opts: ServerOptions) -> ServerHandle {
+        ServerHandle {
+            inner: Arc::new(Inner { registry: Registry::new(opts.shards), opts }),
+        }
+    }
+
+    /// Number of registered sessions.
+    pub fn session_count(&self) -> usize {
+        self.inner.registry.len()
+    }
+
+    /// Handles one request line, returning one reply line (no trailing
+    /// newline). Never panics: malformed input of any shape yields a typed
+    /// error reply (see [`proto`]).
+    pub fn handle_line(&self, line: &str) -> String {
+        match proto::parse_request(line) {
+            Err(e) => proto::err_line(None, &e),
+            Ok(Envelope { id, req }) => match self.dispatch(req) {
+                Ok(fields) => proto::ok_line(id.as_ref(), fields),
+                Err(e) => proto::err_line(id.as_ref(), &e),
+            },
+        }
+    }
+
+    fn dispatch(&self, req: Request) -> std::result::Result<Vec<(String, Json)>, WireError> {
+        match req {
+            Request::Create { session, spec } => self.create(&session, spec),
+            Request::Ask { session } => self.with_tenant(&session, |t| {
+                let cfg = t.session.ask().map_err(|e| WireError::from_error(&e))?;
+                Ok(vec![(
+                    "config".into(),
+                    cfg.as_ref().map(journal::encode_config).unwrap_or(Json::Null),
+                )])
+            }),
+            Request::SuggestBatch { session, q } => self.with_tenant(&session, |t| {
+                let round = t.session.suggest_batch(q).map_err(|e| WireError::from_error(&e))?;
+                Ok(vec![(
+                    "configs".into(),
+                    Json::Arr(round.iter().map(journal::encode_config).collect()),
+                )])
+            }),
+            Request::Report { session, config, value, feasible } => {
+                self.with_tenant(&session, |t| {
+                    let cfg = journal::decode_config(&t.space, &config)
+                        .map_err(|e| WireError::bad_request(format!("`config`: {e}")))?;
+                    let eval = match (feasible, value) {
+                        (true, Some(v)) => Evaluation::feasible(v),
+                        _ => Evaluation::infeasible(),
+                    };
+                    t.session.report(cfg, eval);
+                    // `ok` acknowledges durability: a failed journal append
+                    // must surface *here*, not on the next ask — the result
+                    // is in the in-memory history but would not survive a
+                    // restart. (Clients should not re-report it: that would
+                    // duplicate the trial.)
+                    if let Some(e) = t.session.take_journal_error() {
+                        return Err(WireError::from_error(&e));
+                    }
+                    Ok(vec![("len".into(), Json::Num(t.session.history().len() as f64))])
+                })
+            }
+            Request::Best { session } => self.with_tenant(&session, |t| {
+                Ok(match t.session.history().best() {
+                    Some(tr) => vec![
+                        ("config".into(), journal::encode_config(&tr.config)),
+                        ("value".into(), journal::encode_value(tr.value)),
+                    ],
+                    None => vec![("config".into(), Json::Null), ("value".into(), Json::Null)],
+                })
+            }),
+            Request::Status { session: Some(session) } => self.with_tenant(&session, |t| {
+                Ok(vec![
+                    ("len".into(), Json::Num(t.session.history().len() as f64)),
+                    ("budget".into(), Json::Num(t.session.tuner().options().budget as f64)),
+                    ("remaining".into(), Json::Num(t.session.remaining_budget() as f64)),
+                    ("pending".into(), Json::Num(t.session.pending().len() as f64)),
+                    (
+                        "best_value".into(),
+                        journal::encode_value(t.session.history().best_value()),
+                    ),
+                ])
+            }),
+            Request::Status { session: None } => {
+                // One snapshot for both fields, so `sessions` always equals
+                // `names.len()` even while creates/closes race this reply.
+                let names = self.inner.registry.keys();
+                Ok(vec![
+                    ("sessions".into(), Json::Num(names.len() as f64)),
+                    ("names".into(), Json::Arr(names.into_iter().map(Json::Str).collect())),
+                ])
+            }
+            Request::Close { session } => {
+                let unknown = || WireError::from_error(&Error::UnknownSession(session.clone()));
+                let Some(slot) = self.inner.registry.get(&session) else {
+                    return Err(unknown());
+                };
+                // Take the tenant under its mutex *before* touching the map:
+                // an empty slot is a session mid-create (or already closed),
+                // and its registration must be left alone. Laggard requests
+                // still holding the Arc observe the emptied slot; the
+                // journal writer is dropped (every record is already durable
+                // — the writer has no buffered state).
+                let tenant = lock_slot(&slot).take();
+                let Some(tenant) = tenant else {
+                    return Err(unknown());
+                };
+                self.inner.registry.remove_if(&session, &slot);
+                Ok(vec![
+                    ("closed".into(), Json::Bool(true)),
+                    ("len".into(), Json::Num(tenant.session.history().len() as f64)),
+                ])
+            }
+        }
+    }
+
+    /// Runs `f` on the named tenant under its slot mutex. No registry lock
+    /// is held while `f` runs, so unrelated sessions proceed in parallel.
+    fn with_tenant<R>(
+        &self,
+        session: &str,
+        f: impl FnOnce(&mut Tenant) -> std::result::Result<R, WireError>,
+    ) -> std::result::Result<R, WireError> {
+        let unknown = || WireError::from_error(&Error::UnknownSession(session.to_string()));
+        let slot = self.inner.registry.get(session).ok_or_else(unknown)?;
+        let mut guard = lock_slot(&slot);
+        let tenant = guard.as_mut().ok_or_else(unknown)?;
+        f(tenant)
+    }
+
+    /// Validates a session id for registry and journal-file use: 1–64
+    /// characters from `[A-Za-z0-9._-]`, not starting with a dot (which also
+    /// rules out path tricks like `..`).
+    fn validate_name(name: &str) -> std::result::Result<(), WireError> {
+        let ok_char = |c: char| c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-');
+        if name.is_empty() || name.len() > 64 || name.starts_with('.') || !name.chars().all(ok_char)
+        {
+            return Err(WireError::bad_request(
+                "session ids are 1-64 chars of [A-Za-z0-9._-], not starting with `.`",
+            ));
+        }
+        Ok(())
+    }
+
+    fn create(
+        &self,
+        name: &str,
+        spec: SessionSpec,
+    ) -> std::result::Result<Vec<(String, Json)>, WireError> {
+        Self::validate_name(name)?;
+        let space = journal::space_from_spec(&spec.space)
+            .map_err(|msg| WireError { kind: ErrorKind::InvalidSpace, msg })?;
+
+        let mut builder = Baco::builder(space.clone())
+            .budget(spec.budget)
+            .doe_samples(spec.doe_samples)
+            .seed(spec.seed);
+        if let Some(s) = &spec.surrogate {
+            builder = builder.surrogate(match s.as_str() {
+                "rf" => SurrogateKind::RandomForest,
+                _ => SurrogateKind::GaussianProcess,
+            });
+        }
+        if let Some(b) = spec.hidden_constraints {
+            builder = builder.hidden_constraints(b);
+        }
+        if let Some(b) = spec.feasibility_limit {
+            builder = builder.feasibility_limit(b);
+        }
+        if let Some(b) = spec.local_search {
+            builder = builder.local_search(b);
+        }
+        if let Some(b) = spec.log_objective {
+            builder = builder.log_objective(b);
+        }
+        let mut resumed = false;
+        if let Some(dir) = &self.inner.opts.journal_dir {
+            let path = dir.join(format!("{name}.jsonl"));
+            resumed = spec.resume && Journal::exists(&path);
+            builder = builder.journal_path(path).resume(spec.resume);
+        } else if spec.resume {
+            // Honoring `resume` is impossible without journals; a silent
+            // fresh volatile session would discard the client's expensive
+            // prior evaluations while it believes it resumed durably.
+            return Err(WireError::bad_request(
+                "this server has no journal directory; sessions cannot be resumed",
+            ));
+        }
+
+        // Reserve the name first: a second create (or any op) under this id
+        // now fails fast instead of racing the construction below — two
+        // concurrent creates must not both truncate/replay the journal.
+        let slot = self
+            .inner
+            .registry
+            .reserve(name)
+            .ok_or_else(|| WireError::from_error(&Error::SessionExists(name.to_string())))?;
+        let mut guard = lock_slot(&slot);
+        let built = builder.build().and_then(Session::new);
+        let session = match built {
+            Ok(s) => s,
+            Err(e) => {
+                drop(guard);
+                // Remove only *this* create's reservation: a racing
+                // close-then-recreate may already have replaced it.
+                self.inner.registry.remove_if(name, &slot);
+                return Err(WireError::from_error(&e));
+            }
+        };
+        let len = session.history().len();
+        let remaining = session.remaining_budget();
+        *guard = Some(Tenant { session, space });
+        Ok(vec![
+            ("session".into(), Json::Str(name.to_string())),
+            ("resumed".into(), Json::Bool(resumed)),
+            ("len".into(), Json::Num(len as f64)),
+            ("remaining".into(), Json::Num(remaining as f64)),
+        ])
+    }
+
+    /// Starts the blocking TCP front end on `addr` in a background accept
+    /// thread (thread-per-connection, bounded by
+    /// [`ServerOptions::max_connections`]) and returns its controller.
+    /// Clients speak the [`proto`] protocol: one request line in, one reply
+    /// line out.
+    ///
+    /// # Errors
+    /// [`Error::Io`] when the listener cannot bind.
+    pub fn serve<A: ToSocketAddrs>(&self, addr: A) -> Result<TcpServer> {
+        let listener = TcpListener::bind(addr).map_err(|e| Error::Io(format!("bind: {e}")))?;
+        let local = listener
+            .local_addr()
+            .map_err(|e| Error::Io(format!("local_addr: {e}")))?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let active = Arc::new(AtomicUsize::new(0));
+        let handle = self.clone();
+        let stop2 = Arc::clone(&stop);
+        let accept = std::thread::spawn(move || {
+            for conn in listener.incoming() {
+                if stop2.load(Ordering::SeqCst) {
+                    break;
+                }
+                let stream = match conn {
+                    Ok(s) => s,
+                    Err(_) => {
+                        // Persistent accept errors (fd exhaustion) must not
+                        // busy-spin the core that connection teardown needs.
+                        std::thread::sleep(std::time::Duration::from_millis(50));
+                        continue;
+                    }
+                };
+                if active.fetch_add(1, Ordering::SeqCst) >= handle.inner.opts.max_connections {
+                    active.fetch_sub(1, Ordering::SeqCst);
+                    let busy = WireError {
+                        kind: ErrorKind::Busy,
+                        msg: "connection limit reached".into(),
+                    };
+                    let mut s = stream;
+                    let _ = writeln!(s, "{}", proto::err_line(None, &busy));
+                    continue; // dropped → closed
+                }
+                // The slot is released by a Drop guard so that even a panic
+                // inside a session operation cannot leak it — otherwise
+                // max_connections tenant panics would wedge the front end
+                // into answering only `busy`.
+                let guard = ConnGuard(Arc::clone(&active));
+                let handle = handle.clone();
+                std::thread::spawn(move || {
+                    let _guard = guard;
+                    serve_connection(&handle, stream);
+                });
+            }
+        });
+        Ok(TcpServer { addr: local, stop, accept: Some(accept) })
+    }
+}
+
+/// Releases one connection slot on drop — unwind-safe by construction.
+struct ConnGuard(Arc<AtomicUsize>);
+
+impl Drop for ConnGuard {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Longest request line the TCP front end accepts. An unbounded
+/// `read_line` would let one client grow the multi-tenant daemon's memory
+/// without limit by streaming bytes with no newline; past this cap the
+/// connection gets one `bad_request` reply and is closed (there is no way
+/// to resynchronize mid-line).
+const MAX_REQUEST_LINE: usize = 1 << 20;
+
+/// One connection: request line in, reply line out, until EOF, an I/O
+/// error, or an oversized line.
+fn serve_connection(handle: &ServerHandle, stream: TcpStream) {
+    use std::io::Read;
+    let Ok(mut writer) = stream.try_clone() else { return };
+    let mut reader = BufReader::new(stream);
+    let mut buf: Vec<u8> = Vec::new();
+    loop {
+        buf.clear();
+        match (&mut reader).take(MAX_REQUEST_LINE as u64 + 1).read_until(b'\n', &mut buf) {
+            Ok(0) => break, // EOF
+            Ok(_) => {}
+            Err(_) => break,
+        }
+        if buf.len() > MAX_REQUEST_LINE {
+            let e = proto::WireError::bad_request(format!(
+                "request line exceeds {MAX_REQUEST_LINE} bytes"
+            ));
+            let _ = writeln!(writer, "{}", proto::err_line(None, &e));
+            break;
+        }
+        let line = String::from_utf8_lossy(&buf);
+        let reply = handle.handle_line(line.trim_end_matches(['\n', '\r']));
+        if writeln!(writer, "{reply}").and_then(|()| writer.flush()).is_err() {
+            break;
+        }
+    }
+}
+
+/// Controller of a running TCP front end (returned by
+/// [`ServerHandle::serve`]). Dropping it stops the accept loop; sessions and
+/// their journals live in the [`ServerHandle`], not here.
+#[derive(Debug)]
+pub struct TcpServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl TcpServer {
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting new connections and joins the accept thread.
+    /// Connections already being served run until their client disconnects.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    /// Blocks until the accept loop exits (it only exits on [`TcpServer::stop`]
+    /// or drop from another thread — for a daemon, this parks forever).
+    pub fn join(mut self) {
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+    }
+
+    fn shutdown(&mut self) {
+        if let Some(h) = self.accept.take() {
+            self.stop.store(true, Ordering::SeqCst);
+            // Poke the listener so the blocking accept observes the flag.
+            let _ = TcpStream::connect(self.addr);
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for TcpServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn int_space_spec() -> &'static str {
+        r#"{"params":[{"name":"a","kind":"int","lo":"0","hi":"15"},{"name":"b","kind":"int","lo":"0","hi":"15"}],"constraints":[]}"#
+    }
+
+    fn create_line(name: &str, budget: usize, seed: u64) -> String {
+        format!(
+            r#"{{"op":"create_session","session":"{name}","budget":{budget},"doe_samples":3,"seed":{seed},"space":{}}}"#,
+            int_space_spec()
+        )
+    }
+
+    fn parse(reply: &str) -> Json {
+        crate::journal::json::parse(reply).expect("replies are valid JSON")
+    }
+
+    #[test]
+    fn full_session_lifecycle_over_the_wire() {
+        let srv = ServerHandle::new(ServerOptions::default());
+        assert!(parse(&srv.handle_line(&create_line("s1", 6, 3)))
+            .get("ok")
+            .is_some_and(|j| *j == Json::Bool(true)));
+        assert_eq!(srv.session_count(), 1);
+
+        let mut n = 0;
+        loop {
+            let reply = parse(&srv.handle_line(r#"{"op":"ask","session":"s1"}"#));
+            let cfg = reply.get("config").unwrap();
+            if *cfg == Json::Null {
+                break;
+            }
+            let a = cfg.get("a").and_then(Json::as_f64).unwrap();
+            let report = format!(
+                r#"{{"op":"report","session":"s1","config":{},"value":{}}}"#,
+                cfg.to_line(),
+                (a - 7.0).powi(2) + 1.0
+            );
+            assert!(srv.handle_line(&report).contains(r#""ok":true"#));
+            n += 1;
+        }
+        assert_eq!(n, 6);
+
+        let best = parse(&srv.handle_line(r#"{"op":"best","session":"s1"}"#));
+        assert!(best.get("value").and_then(Json::as_f64).unwrap() >= 1.0);
+        let status = parse(&srv.handle_line(r#"{"op":"status","session":"s1"}"#));
+        assert_eq!(status.get("len").and_then(Json::as_f64), Some(6.0));
+        assert_eq!(status.get("remaining").and_then(Json::as_f64), Some(0.0));
+
+        let closed = parse(&srv.handle_line(r#"{"op":"close","session":"s1"}"#));
+        assert_eq!(closed.get("closed"), Some(&Json::Bool(true)));
+        assert_eq!(srv.session_count(), 0);
+        // Ops on the closed session are typed errors.
+        let err = parse(&srv.handle_line(r#"{"op":"ask","session":"s1"}"#));
+        assert_eq!(
+            err.get("error").and_then(|e| e.get("kind")).and_then(Json::as_str),
+            Some("unknown_session")
+        );
+    }
+
+    #[test]
+    fn duplicate_create_and_bad_names_are_rejected() {
+        let srv = ServerHandle::new(ServerOptions::default());
+        assert!(srv.handle_line(&create_line("dup", 4, 0)).contains(r#""ok":true"#));
+        let again = parse(&srv.handle_line(&create_line("dup", 4, 0)));
+        assert_eq!(
+            again.get("error").and_then(|e| e.get("kind")).and_then(Json::as_str),
+            Some("session_exists")
+        );
+        for bad in ["", ".hidden", "..", "a/b", "x y", &"n".repeat(65)] {
+            let reply = parse(&srv.handle_line(&create_line(bad, 4, 0)));
+            assert_eq!(
+                reply.get("error").and_then(|e| e.get("kind")).and_then(Json::as_str),
+                Some("bad_request"),
+                "name {bad:?}"
+            );
+        }
+        // A failed create must not leak a reservation.
+        let bad_space = r#"{"op":"create_session","session":"broken","budget":4,"space":{"params":[{"name":"x","kind":"int","lo":"9","hi":"0"}],"constraints":[]}}"#;
+        assert!(srv.handle_line(bad_space).contains(r#""kind":"invalid_space""#));
+        assert_eq!(srv.session_count(), 1);
+        assert!(srv.handle_line(&create_line("broken", 4, 0)).contains(r#""ok":true"#));
+    }
+
+    #[test]
+    fn resume_without_a_journal_dir_is_refused() {
+        // This server keeps sessions in memory only; honoring `resume`
+        // is impossible, and a silent fresh session would discard what the
+        // client believes is durable history.
+        let srv = ServerHandle::new(ServerOptions::default());
+        let req = format!(
+            r#"{{"op":"create_session","session":"r","budget":4,"resume":true,"space":{}}}"#,
+            int_space_spec()
+        );
+        let reply = srv.handle_line(&req);
+        assert!(reply.contains(r#""kind":"bad_request""#), "{reply}");
+        assert_eq!(srv.session_count(), 0);
+    }
+
+    #[test]
+    fn tcp_front_end_serves_and_limits_connections() {
+        let srv = ServerHandle::new(ServerOptions {
+            max_connections: 2,
+            ..ServerOptions::default()
+        });
+        let tcp = srv.serve("127.0.0.1:0").unwrap();
+        let addr = tcp.addr();
+
+        let mut a = TcpStream::connect(addr).unwrap();
+        let mut b = TcpStream::connect(addr).unwrap();
+        let read_line = |s: &mut TcpStream| {
+            let mut r = BufReader::new(s.try_clone().unwrap());
+            let mut line = String::new();
+            r.read_line(&mut line).unwrap();
+            line
+        };
+        writeln!(a, "{}", create_line("tcp1", 4, 1)).unwrap();
+        assert!(read_line(&mut a).contains(r#""ok":true"#));
+        writeln!(b, r#"{{"op":"status"}}"#).unwrap();
+        assert!(read_line(&mut b).contains(r#""sessions":1"#));
+
+        // Third concurrent connection: one busy line, then closed.
+        let mut c = TcpStream::connect(addr).unwrap();
+        let busy = read_line(&mut c);
+        assert!(busy.contains(r#""kind":"busy""#), "{busy}");
+
+        drop(a);
+        drop(b);
+        drop(c);
+        tcp.stop();
+        assert_eq!(srv.session_count(), 1, "sessions outlive the TCP front end");
+    }
+
+    #[test]
+    fn tcp_front_end_caps_request_line_length() {
+        let srv = ServerHandle::new(ServerOptions::default());
+        let tcp = srv.serve("127.0.0.1:0").unwrap();
+        let mut s = TcpStream::connect(tcp.addr()).unwrap();
+        // Stream more than the cap without ever sending a newline: the
+        // server must answer with one typed error line and close, not
+        // buffer without bound.
+        let chunk = vec![b'x'; 64 * 1024];
+        let mut sent = 0usize;
+        while sent <= MAX_REQUEST_LINE + chunk.len() {
+            if s.write_all(&chunk).is_err() {
+                break; // server already closed on us — also acceptable
+            }
+            sent += chunk.len();
+        }
+        let mut reply = String::new();
+        let mut r = BufReader::new(s.try_clone().unwrap());
+        if r.read_line(&mut reply).unwrap_or(0) > 0 {
+            assert!(reply.contains(r#""kind":"bad_request""#), "{reply}");
+        }
+        // Either way the connection is closed afterwards.
+        let mut rest = String::new();
+        assert_eq!(r.read_line(&mut rest).unwrap_or(0), 0, "connection must be closed");
+        tcp.stop();
+    }
+}

@@ -232,6 +232,29 @@ impl Session {
         &self.report
     }
 
+    /// The tuner this session drives (space, options, sampler).
+    pub fn tuner(&self) -> &Baco {
+        &self.tuner
+    }
+
+    /// Configurations handed out by [`Session::ask`] /
+    /// [`Session::suggest_batch`] whose results have not been reported yet,
+    /// in proposal order.
+    pub fn pending(&self) -> &[Configuration] {
+        &self.pending
+    }
+
+    /// Takes the journal failure deferred by an earlier (infallible)
+    /// [`Session::report`], if any. Callers that must acknowledge
+    /// durability per report — the tuning server's `report` op does — check
+    /// this right after reporting instead of waiting for the next
+    /// [`Session::ask`] / [`Session::suggest_batch`] to surface it. The
+    /// reported trial itself is still in [`Session::history`]; only its
+    /// durable append failed.
+    pub fn take_journal_error(&mut self) -> Option<Error> {
+        self.journal_error.take()
+    }
+
     /// Evaluations still allowed by the budget (told + pending count
     /// against it).
     pub fn remaining_budget(&self) -> usize {

@@ -1,0 +1,43 @@
+//! Helpers shared by the tuning-server test suites (`server_concurrency`,
+//! `server_proto_fuzz`, `server_recovery`). Each suite compiles this module
+//! into its own binary, so the reference-driving protocol lives in exactly
+//! one place.
+#![allow(dead_code)] // each test binary uses a different subset
+
+use baco::journal::json::{self, Json};
+use baco::server::ServerHandle;
+use baco::SearchSpace;
+
+/// The two-integer space every server suite tunes over.
+pub fn int_space() -> SearchSpace {
+    SearchSpace::builder()
+        .integer("a", 0, 15)
+        .integer("b", 0, 15)
+        .build()
+        .unwrap()
+}
+
+/// [`int_space`] as a one-line wire/journal spec.
+pub fn int_space_spec_line() -> String {
+    baco::journal::space_spec(&int_space()).to_line()
+}
+
+/// Splitmix-style LCG: cheap, seeded, good enough to scramble a schedule or
+/// mutate bytes reproducibly.
+pub fn next_rand(state: &mut u64) -> u64 {
+    *state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+    *state >> 33
+}
+
+/// Parses a reply line, panicking with the offending line on bad JSON.
+pub fn parse_reply(reply: &str) -> Json {
+    json::parse(reply).unwrap_or_else(|e| panic!("unparseable reply `{reply}`: {e}"))
+}
+
+/// Sends one request line and asserts the reply is `ok: true`.
+pub fn expect_ok(srv: &ServerHandle, line: &str) -> Json {
+    let reply = srv.handle_line(line);
+    let j = parse_reply(&reply);
+    assert_eq!(j.get("ok"), Some(&Json::Bool(true)), "request failed: {reply}\n  for: {line}");
+    j
+}

@@ -22,11 +22,28 @@
 //! baco-cli tune --bench BFS --journal run.jsonl --budget 20 --resume
 //! baco-cli best --bench BFS --journal run.jsonl
 //! ```
+//!
+//! `serve` / `client` are the end-to-end face of the multi-tenant tuning
+//! server (`baco::server`): `serve` hosts journaled sessions behind the JSONL
+//! TCP protocol, `client` drives one named session against a local `*-sim`
+//! black box — evaluations run client-side, proposals and bookkeeping
+//! server-side. Kill the server (even `kill -9`) and a restarted one resumes
+//! every session from its journal:
+//!
+//! ```text
+//! baco-cli serve --addr 127.0.0.1:7777 --journal-dir runs/
+//! baco-cli client --addr 127.0.0.1:7777 --bench BFS --session bfs0 \
+//!          --budget 20 [--batch Q] [--evals K] [--resume]
+//! ```
 
 use baco::benchmark::Benchmark;
+use baco::journal::json::{self, Json};
 use baco::journal::Journal;
+use baco::server::{ServerHandle, ServerOptions};
 use baco::tuner::{Baco, BlackBox, Evaluation};
 use baco::Configuration;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use taco_sim::benchmarks::TacoScale;
@@ -42,11 +59,17 @@ struct Opts {
     threads: usize,
     scale: TacoScale,
     crash_after: Option<usize>,
+    addr: Option<String>,
+    session: Option<String>,
+    journal_dir: Option<PathBuf>,
+    max_conn: usize,
+    shards: usize,
+    evals: Option<usize>,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  baco-cli list [--scale test|small|large]\n  baco-cli tune --bench NAME --journal PATH [--resume] [--budget N] [--doe N]\n           [--seed S] [--batch Q] [--threads T] [--scale test|small|large]\n           [--crash-after K]\n  baco-cli best --bench NAME --journal PATH [--scale test|small|large]"
+        "usage:\n  baco-cli list [--scale test|small|large]\n  baco-cli tune --bench NAME --journal PATH [--resume] [--budget N] [--doe N]\n           [--seed S] [--batch Q] [--threads T] [--scale test|small|large]\n           [--crash-after K]\n  baco-cli best --bench NAME --journal PATH [--scale test|small|large]\n  baco-cli serve --addr HOST:PORT [--journal-dir DIR] [--max-conn N] [--shards N]\n  baco-cli client --addr HOST:PORT --bench NAME --session ID [--budget N]\n           [--doe N] [--seed S] [--batch Q] [--evals K] [--resume]\n           [--scale test|small|large]"
     );
     std::process::exit(2);
 }
@@ -64,6 +87,12 @@ fn parse(mut args: std::env::Args) -> (String, Opts) {
         threads: 1,
         scale: TacoScale::Test,
         crash_after: None,
+        addr: None,
+        session: None,
+        journal_dir: None,
+        max_conn: 64,
+        shards: 16,
+        evals: None,
     };
     let mut args = args.peekable();
     while let Some(a) = args.next() {
@@ -89,6 +118,12 @@ fn parse(mut args: std::env::Args) -> (String, Opts) {
             "--batch" => o.batch = parse_num("--batch", need("--batch")).max(1),
             "--threads" => o.threads = parse_num("--threads", need("--threads")),
             "--crash-after" => o.crash_after = Some(parse_num("--crash-after", need("--crash-after"))),
+            "--addr" => o.addr = Some(need("--addr")),
+            "--session" => o.session = Some(need("--session")),
+            "--journal-dir" => o.journal_dir = Some(PathBuf::from(need("--journal-dir"))),
+            "--max-conn" => o.max_conn = parse_num("--max-conn", need("--max-conn")).max(1),
+            "--shards" => o.shards = parse_num("--shards", need("--shards")).max(1),
+            "--evals" => o.evals = Some(parse_num("--evals", need("--evals"))),
             "--scale" => {
                 o.scale = match need("--scale").as_str() {
                     "test" => TacoScale::Test,
@@ -184,11 +219,181 @@ fn print_best(report: &baco::TuningReport) {
     }
 }
 
+/// One line-oriented protocol connection to a tuning server.
+struct Conn {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Conn {
+    /// Connects with retries, so a client started alongside `serve` waits
+    /// for the listener instead of flaking.
+    fn connect(addr: &str) -> Conn {
+        let mut last = None;
+        for _ in 0..40 {
+            match TcpStream::connect(addr) {
+                Ok(s) => {
+                    let reader = BufReader::new(s.try_clone().unwrap_or_else(|e| {
+                        eprintln!("cannot clone stream: {e}");
+                        std::process::exit(1);
+                    }));
+                    return Conn { reader, writer: s };
+                }
+                Err(e) => last = Some(e),
+            }
+            std::thread::sleep(std::time::Duration::from_millis(250));
+        }
+        eprintln!("cannot connect to {addr}: {}", last.expect("at least one attempt"));
+        std::process::exit(1);
+    }
+
+    /// One request line out, one reply line in; exits on transport errors
+    /// and on `ok: false` replies.
+    fn request(&mut self, req: &Json) -> Json {
+        if writeln!(self.writer, "{}", req.to_line()).and_then(|()| self.writer.flush()).is_err() {
+            eprintln!("server connection lost (is the server still running?)");
+            std::process::exit(1);
+        }
+        let mut line = String::new();
+        match self.reader.read_line(&mut line) {
+            Ok(n) if n > 0 => {}
+            _ => {
+                eprintln!("server closed the connection");
+                std::process::exit(1);
+            }
+        }
+        let reply = json::parse(line.trim_end()).unwrap_or_else(|e| {
+            eprintln!("malformed server reply: {e}");
+            std::process::exit(1);
+        });
+        if reply.get("ok") != Some(&Json::Bool(true)) {
+            eprintln!("server error: {line}");
+            std::process::exit(1);
+        }
+        reply
+    }
+}
+
+fn obj(members: Vec<(&str, Json)>) -> Json {
+    Json::Obj(members.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+}
+
+fn run_serve(o: &Opts) {
+    let Some(addr) = o.addr.as_deref() else {
+        eprintln!("--addr is required");
+        usage();
+    };
+    if let Some(dir) = &o.journal_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("cannot create --journal-dir {}: {e}", dir.display());
+            std::process::exit(1);
+        }
+    }
+    let handle = ServerHandle::new(ServerOptions {
+        shards: o.shards,
+        journal_dir: o.journal_dir.clone(),
+        max_connections: o.max_conn,
+    });
+    let tcp = handle.serve(addr).unwrap_or_else(|e| {
+        eprintln!("cannot serve on {addr}: {e}");
+        std::process::exit(1);
+    });
+    println!("baco-server listening on {}", tcp.addr());
+    let _ = std::io::stdout().flush();
+    tcp.join(); // serve until killed
+}
+
+fn run_client(o: &Opts) {
+    let Some(addr) = o.addr.as_deref() else {
+        eprintln!("--addr is required");
+        usage();
+    };
+    let Some(session) = o.session.as_deref() else {
+        eprintln!("--session is required");
+        usage();
+    };
+    let bench = lookup(o);
+    let mut conn = Conn::connect(addr);
+
+    let created = conn.request(&obj(vec![
+        ("op", Json::Str("create_session".into())),
+        ("session", Json::Str(session.into())),
+        ("space", baco::journal::space_spec(&bench.space)),
+        ("budget", Json::Num(o.budget.unwrap_or(bench.budget) as f64)),
+        ("doe_samples", Json::Num(o.doe.unwrap_or(10) as f64)),
+        ("seed", Json::Str(o.seed.to_string())),
+        ("resume", Json::Bool(o.resume)),
+    ]));
+    let mut len = created.get("len").and_then(Json::as_f64).unwrap_or(0.0) as usize;
+    if created.get("resumed") == Some(&Json::Bool(true)) {
+        println!("resumed session {session} with {len} evaluations on record");
+    } else if o.resume {
+        // The server refuses --resume outright when it has no journal dir;
+        // reaching here means there was simply no journal yet.
+        eprintln!("note: no journal for session {session} on the server — starting fresh");
+    }
+
+    'drive: loop {
+        if o.evals.is_some_and(|k| len >= k) {
+            println!("pausing session {session} after {len} evaluations");
+            break;
+        }
+        let round = conn.request(&obj(vec![
+            ("op", Json::Str("suggest_batch".into())),
+            ("session", Json::Str(session.into())),
+            ("q", Json::Num(o.batch as f64)),
+        ]));
+        let configs = round.get("configs").and_then(Json::as_arr).unwrap_or(&[]).to_vec();
+        if configs.is_empty() {
+            break;
+        }
+        for cfg_json in configs {
+            let cfg = baco::journal::decode_config(&bench.space, &cfg_json).unwrap_or_else(|e| {
+                eprintln!("server proposed an undecodable configuration: {e}");
+                std::process::exit(1);
+            });
+            let eval = bench.blackbox.evaluate(&cfg);
+            let mut fields = vec![
+                ("op", Json::Str("report".into())),
+                ("session", Json::Str(session.into())),
+                ("config", cfg_json),
+            ];
+            // encode_value keeps non-finite objectives tagged instead of
+            // collapsing them to null; the server records anything
+            // non-finite as a failed evaluation.
+            match eval.value() {
+                Some(v) => fields.push(("value", baco::journal::encode_value(Some(v)))),
+                None => fields.push(("feasible", Json::Bool(false))),
+            }
+            let reply = conn.request(&obj(fields));
+            len = reply.get("len").and_then(Json::as_f64).unwrap_or(len as f64) as usize;
+            if o.evals.is_some_and(|k| len >= k) {
+                println!("pausing session {session} after {len} evaluations");
+                break 'drive;
+            }
+        }
+    }
+
+    let best = conn.request(&obj(vec![
+        ("op", Json::Str("best".into())),
+        ("session", Json::Str(session.into())),
+    ]));
+    let value = best.get("value").and_then(|v| baco::journal::decode_value(v).ok()).flatten();
+    match (value, best.get("config")) {
+        (Some(v), Some(cfg)) if *cfg != Json::Null => {
+            println!("best {v} after {len} evaluations at {}", cfg.to_line());
+        }
+        _ => println!("no feasible evaluation in {len} trials"),
+    }
+}
+
 fn main() {
     let mut args = std::env::args();
     args.next(); // argv[0]
     let (cmd, o) = parse(args);
     match cmd.as_str() {
+        "serve" => run_serve(&o),
+        "client" => run_client(&o),
         "list" => {
             for b in baco_bench::all_benchmarks(o.scale) {
                 println!(

@@ -23,7 +23,7 @@
 //! | `calibrate`  | regenerates the hard-coded expert configurations |
 //! | `gp_hotpath` | GP hot-path microbenchmark → `BENCH_gp_hotpath.json` |
 //! | `batch_scaling` | batched-engine scaling (q ∈ {1,2,4,8}) → `BENCH_batch_scaling.json` |
-//! | `baco-cli`   | journaled tuning driver: `tune --journal run.jsonl [--resume]`, `best`, `list`; also the golden-fixture generator |
+//! | `baco-cli`   | journaled tuning driver: `tune --journal run.jsonl [--resume]`, `best`, `list`; also the golden-fixture generator and, via `serve`/`client`, the end-to-end face of the multi-tenant tuning server |
 //!
 //! Shared flags: `--reps N` (default 5; the paper uses 30), `--scale
 //! test|small|large` (TACO tensor scale), `--seed S`, `--out PATH`.
