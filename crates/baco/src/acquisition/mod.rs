@@ -102,6 +102,109 @@ pub fn feasibility_weighted_ei(ei: f64, p_feasible: f64, epsilon_f: f64) -> f64 
     }
 }
 
+/// ParEGO-style random-weight scalarization of a multi-objective posterior.
+///
+/// Each acquisition round of a multi-objective run draws one weight vector λ
+/// from the unit simplex and collapses the per-objective posteriors into a
+/// scalar problem via the **augmented Chebyshev** function over objectives
+/// normalized to the observed range:
+///
+/// ```text
+/// f_λ(x) = max_i λ_i z_i(x) + ρ · Σ_i λ_i z_i(x),      z_i = (f_i − min_i) / (max_i − min_i)
+/// ```
+///
+/// Minimizing `f_λ` for all λ sweeps the (possibly non-convex) Pareto front;
+/// re-drawing λ every round is what spreads consecutive proposals across the
+/// front. The draw comes from the tuner's seeded RNG stream, whose state is
+/// journaled per round, so a resumed run replays the exact same weights.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scalarization {
+    /// Simplex weights, one per objective (Σ = 1).
+    pub weights: Vec<f64>,
+    /// Per-objective observed minimum (of the transformed values).
+    pub mins: Vec<f64>,
+    /// Per-objective observed maximum.
+    pub maxs: Vec<f64>,
+    /// Augmentation coefficient ρ (ParEGO's 0.05).
+    pub rho: f64,
+}
+
+impl Scalarization {
+    /// Draws a uniform simplex weight vector for `m` objectives and captures
+    /// the normalization ranges from `values` (one slice per objective, the
+    /// observed transformed history).
+    pub fn sample<R: Rng + ?Sized>(rng: &mut R, values: &[Vec<f64>]) -> Scalarization {
+        let m = values.len();
+        // Uniform on the simplex: sorted U(0,1) spacings.
+        let mut cuts: Vec<f64> = (0..m.saturating_sub(1)).map(|_| rng.gen_range(0.0..1.0)).collect();
+        cuts.sort_by(f64::total_cmp);
+        cuts.push(1.0);
+        let mut weights = Vec::with_capacity(m);
+        let mut prev = 0.0;
+        for c in cuts {
+            weights.push(c - prev);
+            prev = c;
+        }
+        let mins = values
+            .iter()
+            .map(|v| v.iter().copied().fold(f64::INFINITY, f64::min))
+            .collect();
+        let maxs = values
+            .iter()
+            .map(|v| v.iter().copied().fold(f64::NEG_INFINITY, f64::max))
+            .collect();
+        Scalarization { weights, mins, maxs, rho: 0.05 }
+    }
+
+    /// Normalizes one objective value to the observed range (degenerate
+    /// ranges normalize to 0).
+    fn norm(&self, i: usize, v: f64) -> f64 {
+        let range = self.maxs[i] - self.mins[i];
+        if range > 0.0 {
+            (v - self.mins[i]) / range
+        } else {
+            0.0
+        }
+    }
+
+    /// The augmented-Chebyshev scalarization of one objective vector
+    /// (already transformed like the training targets).
+    pub fn scalarize(&self, objectives: &[f64]) -> f64 {
+        let mut cheby = f64::NEG_INFINITY;
+        let mut sum = 0.0;
+        for (i, (&v, &w)) in objectives.iter().zip(&self.weights).enumerate() {
+            let t = w * self.norm(i, v);
+            cheby = cheby.max(t);
+            sum += t;
+        }
+        cheby + self.rho * sum
+    }
+
+    /// Propagates per-objective posterior variances through (a linearization
+    /// of) the scalarization: each objective's standard deviation is scaled
+    /// by its normalization range and by the effective weight `λ_i (1 + ρ)`,
+    /// and the contributions are summed in quadrature. A pragmatic
+    /// upper-bound-flavored proxy — exact for the augmented sum term,
+    /// conservative for the max term — that keeps the scalarized posterior
+    /// in the same units as [`Scalarization::scalarize`].
+    pub fn scalarize_variance(&self, variances: &[f64]) -> f64 {
+        variances
+            .iter()
+            .zip(&self.weights)
+            .enumerate()
+            .map(|(i, (&var, &w))| {
+                let range = self.maxs[i] - self.mins[i];
+                let scale = if range > 0.0 {
+                    w * (1.0 + self.rho) / range
+                } else {
+                    0.0
+                };
+                var.max(0.0) * scale * scale
+            })
+            .sum()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -162,5 +265,58 @@ mod tests {
         assert_eq!(feasibility_weighted_ei(1.0, 0.1, 0.2), f64::NEG_INFINITY);
         assert!((feasibility_weighted_ei(2.0, 0.5, 0.2) - 1.0).abs() < 1e-12);
         assert_eq!(feasibility_weighted_ei(2.0, 1.0, 0.0), 2.0);
+    }
+
+    #[test]
+    fn scalarization_weights_are_a_simplex_draw() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let history = vec![vec![1.0, 2.0, 4.0], vec![10.0, 20.0, 5.0]];
+        for _ in 0..200 {
+            let s = Scalarization::sample(&mut rng, &history);
+            assert_eq!(s.weights.len(), 2);
+            assert!((s.weights.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+            assert!(s.weights.iter().all(|&w| (0.0..=1.0).contains(&w)));
+        }
+        let s = Scalarization::sample(&mut rng, &history);
+        assert_eq!(s.mins, vec![1.0, 5.0]);
+        assert_eq!(s.maxs, vec![4.0, 20.0]);
+    }
+
+    #[test]
+    fn scalarize_prefers_dominating_points() {
+        let s = Scalarization {
+            weights: vec![0.5, 0.5],
+            mins: vec![0.0, 0.0],
+            maxs: vec![1.0, 1.0],
+            rho: 0.05,
+        };
+        // A point dominating another always scalarizes lower, whatever λ.
+        assert!(s.scalarize(&[0.2, 0.3]) < s.scalarize(&[0.4, 0.5]));
+        // Extreme weights select the matching axis.
+        let sx = Scalarization { weights: vec![1.0, 0.0], ..s.clone() };
+        assert!(sx.scalarize(&[0.1, 0.9]) < sx.scalarize(&[0.5, 0.1]));
+        // Degenerate range normalizes to 0 instead of dividing by zero.
+        let sd = Scalarization {
+            weights: vec![0.5, 0.5],
+            mins: vec![2.0, 0.0],
+            maxs: vec![2.0, 1.0],
+            rho: 0.05,
+        };
+        assert!(sd.scalarize(&[2.0, 0.5]).is_finite());
+    }
+
+    #[test]
+    fn scalarized_variance_is_nonnegative_and_scales() {
+        let s = Scalarization {
+            weights: vec![0.5, 0.5],
+            mins: vec![0.0, 0.0],
+            maxs: vec![1.0, 2.0],
+            rho: 0.05,
+        };
+        let v = s.scalarize_variance(&[0.4, 0.4]);
+        assert!(v > 0.0);
+        assert!(s.scalarize_variance(&[0.0, 0.0]).abs() < 1e-15);
+        // More per-objective variance → more scalarized variance.
+        assert!(s.scalarize_variance(&[0.8, 0.8]) > v);
     }
 }

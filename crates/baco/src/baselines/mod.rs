@@ -65,6 +65,7 @@ pub(crate) fn timed_trial(bb: &dyn BlackBox, cfg: Configuration, tuner_time: Dur
     Trial {
         config: cfg,
         value: eval.value(),
+        extra: eval.extra_objectives(),
         feasible: eval.is_feasible(),
         eval_time: t0.elapsed(),
         tuner_time,

@@ -22,10 +22,13 @@
 //!     space,
 //!     budget: 60,
 //!     has_hidden_constraints: false,
+//!     objective_names: vec!["runtime_ms".into()],
+//!     reference_point: None,
 //! };
 //! assert_eq!(bench.param_kinds(), "I/P");
 //! assert_eq!(bench.tiny_budget(), 20);
 //! assert_eq!(bench.default_value(), Some(1.0));
+//! assert_eq!(bench.n_objectives(), 1);
 //! # Ok::<(), baco::Error>(())
 //! ```
 
@@ -73,9 +76,23 @@ pub struct Benchmark {
     pub budget: usize,
     /// Whether the black box can fail (hidden constraints present).
     pub has_hidden_constraints: bool,
+    /// Name of each objective the black box measures, in the order the
+    /// [`Evaluation`](crate::Evaluation) vector reports them (all
+    /// minimized). A single entry — the paper's benchmarks measure one
+    /// runtime — keeps the classic scalar loop; multi-metric variants (e.g.
+    /// fpga-sim latency/area) list one name per metric.
+    pub objective_names: Vec<String>,
+    /// Hypervolume reference point for multi-objective variants (raw
+    /// objective units, one entry per objective); `None` for scalar
+    /// benchmarks.
+    pub reference_point: Option<Vec<f64>>,
 }
 
 impl Benchmark {
+    /// Number of objectives the black box measures.
+    pub fn n_objectives(&self) -> usize {
+        self.objective_names.len().max(1)
+    }
     /// Evaluates the default configuration, returning its objective.
     pub fn default_value(&self) -> Option<f64> {
         self.blackbox.evaluate(&self.default_config).value()
@@ -177,6 +194,8 @@ mod tests {
             expert_config: Some(default_config),
             budget: 60,
             has_hidden_constraints: false,
+            objective_names: vec!["runtime_ms".into()],
+            reference_point: None,
         }
     }
 

@@ -27,6 +27,21 @@ pub enum Error {
     InvalidConfig(String),
     /// A configuration refers to a parameter value outside its domain.
     InvalidValue(String),
+    /// A reported evaluation claimed feasibility while carrying a NaN/±inf
+    /// objective. Non-finite "measurements" are rejected at every ingestion
+    /// path — they would survive the log transform as impossibly good
+    /// observations and poison the surrogate.
+    NonFiniteObjective(String),
+    /// A reported evaluation carried a different number of objectives than
+    /// the tuner was configured for — a mixed-width history would corrupt
+    /// Pareto-front bookkeeping (mismatched vectors are incomparable) while
+    /// being silently invisible to the per-objective models.
+    ObjectiveCountMismatch {
+        /// Objectives the evaluation carried.
+        got: usize,
+        /// Objectives the tuner tunes ([`BacoOptions::objectives`](crate::tuner::BacoOptions)).
+        expected: usize,
+    },
     /// A run-journal I/O operation failed (open, append, fsync, …).
     Io(String),
     /// A run journal could not be decoded: truncated mid-stream, a corrupt
@@ -59,6 +74,11 @@ impl fmt::Display for Error {
             Error::Numerical(m) => write!(f, "numerical error: {m}"),
             Error::InvalidConfig(m) => write!(f, "invalid tuner configuration: {m}"),
             Error::InvalidValue(m) => write!(f, "invalid parameter value: {m}"),
+            Error::NonFiniteObjective(m) => write!(f, "non-finite objective: {m}"),
+            Error::ObjectiveCountMismatch { got, expected } => write!(
+                f,
+                "objective count mismatch: evaluation carries {got} objective(s), tuner expects {expected}"
+            ),
             Error::Io(m) => write!(f, "journal I/O error: {m}"),
             Error::JournalCorrupt { line, msg } => {
                 write!(f, "corrupt run journal (line {line}): {msg}")
@@ -90,6 +110,8 @@ mod tests {
             Error::Numerical("cholesky".into()),
             Error::InvalidConfig("budget".into()),
             Error::InvalidValue("7".into()),
+            Error::NonFiniteObjective("NaN".into()),
+            Error::ObjectiveCountMismatch { got: 1, expected: 2 },
             Error::Io("open failed".into()),
             Error::JournalCorrupt { line: 3, msg: "bad record".into() },
             Error::UnknownSession("s1".into()),

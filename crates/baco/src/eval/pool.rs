@@ -13,7 +13,13 @@
 //! With one worker (or one configuration) both entry points degenerate to
 //! plain in-line evaluation in submission order — this is what keeps
 //! batch-size-1 runs of the batched engine bit-identical to the sequential
-//! loop. Run journaling ([`crate::journal`]) records trials in the order
+//! loop.
+//!
+//! A **panicking** black box is contained: the panic is caught on the worker
+//! (or inline) path and surfaced as a hidden-constraint infeasible outcome —
+//! every submitted configuration still produces exactly one result, the
+//! collector never deadlocks, and the run continues (see BaCO's failed-run
+//! semantics, Sec. 4.2). Run journaling ([`crate::journal`]) records trials in the order
 //! this pool *completes* them, so a resumed journal replays the round as it
 //! actually unfolded; with `threads <= 1` completion order is submission
 //! order, which extends the resume-anywhere bitwise guarantee to any batch
@@ -42,9 +48,27 @@
 use crate::parallel::effective_threads;
 use crate::space::Configuration;
 use crate::tuner::{BlackBox, Evaluation};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Mutex};
 use std::time::{Duration, Instant};
+
+/// Evaluates one configuration with panic containment: a black box that
+/// panics is treated as a *hidden-constraint* failure (BaCO's semantics for
+/// failed runs — a crashed compiler and a panicking model function are the
+/// same observation), so one bad evaluation can neither deadlock the
+/// completion-order collector, lose its round slot, nor tear down the whole
+/// tuning run via the scope join.
+///
+/// `AssertUnwindSafe` is sound here: on a caught panic the black box's
+/// partial state is never touched again by this crate — we only return the
+/// infeasibility verdict. A black box with interior mutability must tolerate
+/// its own panics, exactly as it must under any catch-and-continue driver.
+fn evaluate_contained(bb: &(dyn BlackBox + Sync), cfg: &Configuration) -> Evaluation {
+    catch_unwind(AssertUnwindSafe(|| bb.evaluate(cfg))).unwrap_or_else(|_| {
+        Evaluation::infeasible()
+    })
+}
 
 /// One completed evaluation delivered by [`evaluate_stream`].
 #[derive(Debug)]
@@ -87,7 +111,7 @@ pub fn evaluate_stream<F>(
     if threads <= 1 || n == 1 {
         for (index, config) in cfgs.into_iter().enumerate() {
             let t0 = Instant::now();
-            let evaluation = bb.evaluate(&config);
+            let evaluation = evaluate_contained(bb, &config);
             on_result(BatchOutcome {
                 index,
                 config,
@@ -117,7 +141,7 @@ pub fn evaluate_stream<F>(
                 }
                 let config = work[i].lock().unwrap().take().expect("config taken once");
                 let t0 = Instant::now();
-                let evaluation = bb.evaluate(&config);
+                let evaluation = evaluate_contained(bb, &config);
                 // The receiver outlives the scope body; a send can only fail
                 // if the main thread panicked, which propagates anyway.
                 let _ = tx.send(BatchOutcome {
@@ -223,6 +247,60 @@ mod tests {
         evaluate_stream(&bb, Vec::new(), 4, |_| called = true);
         assert!(!called);
         assert!(evaluate_batch(&bb, Vec::new(), 4).is_empty());
+    }
+
+    /// Regression for the black-box panic audit: a panicking evaluation
+    /// must not deadlock the mpsc collector or lose its slot — it becomes a
+    /// hidden-constraint infeasible outcome, and every other slot still
+    /// completes normally, on both the threaded and the inline path.
+    #[test]
+    fn panicking_blackbox_becomes_infeasible_without_losing_slots() {
+        let s = space();
+        // Silence the default panic printout so the test log stays readable;
+        // the drop guard restores it even if an assertion below fails, so a
+        // failure here cannot swallow later panics' diagnostics.
+        type PanicHook = Box<dyn Fn(&std::panic::PanicHookInfo<'_>) + Sync + Send>;
+        struct HookGuard(Option<PanicHook>);
+        impl Drop for HookGuard {
+            fn drop(&mut self) {
+                if let Some(h) = self.0.take() {
+                    std::panic::set_hook(h);
+                }
+            }
+        }
+        let _restore = HookGuard(Some(std::panic::take_hook()));
+        std::panic::set_hook(Box::new(|_| {}));
+        let bb = FnBlackBox::new(|c: &Configuration| {
+            let x = c.value("x").as_i64();
+            if x % 3 == 0 {
+                panic!("deliberate black-box crash at x={x}");
+            }
+            Evaluation::feasible(x as f64)
+        });
+        for threads in [1usize, 4] {
+            let cfgs: Vec<_> = (0..12).map(|i| cfg(&s, i)).collect();
+            let mut seen = vec![0usize; 12];
+            evaluate_stream(&bb, cfgs.clone(), threads, |out| {
+                seen[out.index] += 1;
+                let x = out.config.value("x").as_i64();
+                if x % 3 == 0 {
+                    assert!(
+                        !out.evaluation.is_feasible(),
+                        "panic must surface as infeasible (threads={threads})"
+                    );
+                } else {
+                    assert_eq!(out.evaluation.value(), Some(x as f64));
+                }
+            });
+            assert!(
+                seen.iter().all(|&c| c == 1),
+                "every slot exactly once despite panics (threads={threads}): {seen:?}"
+            );
+            // Order-preserving entry point survives too.
+            let out = evaluate_batch(&bb, cfgs, threads);
+            assert_eq!(out.len(), 12);
+            assert_eq!(out.iter().filter(|(_, e)| !e.is_feasible()).count(), 4);
+        }
     }
 
     #[test]

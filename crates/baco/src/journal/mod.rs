@@ -14,15 +14,20 @@
 //! journal reconstructs the run to a state whose continued trajectory is
 //! **bit-for-bit identical** to the uninterrupted run.
 //!
-//! # Format (version 1)
+//! # Format (version 2)
 //!
 //! Line 1 is a [`Header`]; every further line is a [`Record`]:
 //!
 //! | record | written when | payload |
 //! |---|---|---|
 //! | `propose` | a round of configurations is chosen | trial count, DoE share, RNG state before/after proposing, per-proposal think time, the configurations |
-//! | `trial` | one evaluation completes | trial index, configuration, objective, feasibility, timings |
+//! | `trial` | one evaluation completes | trial index, configuration, objective(s), feasibility, timings |
 //! | `resume` | a resumed writer reopens the journal | trial count at resume |
+//!
+//! Version 2 differs from version 1 only on multi-objective trials, whose
+//! records carry the full objective vector in a `values` array (head equal to
+//! the v1 `value` field). Single-objective v2 records are shaped exactly like
+//! v1 records, and v1 journals load and resume bit for bit.
 //!
 //! Integers that must survive exactly (`u64` RNG state words, nanosecond
 //! timings, 64-bit seeds and bounds) are encoded as decimal strings — JSON
@@ -81,8 +86,15 @@ use std::path::Path;
 use std::time::Duration;
 
 /// Journal format version written by this crate. Readers reject newer
-/// versions; older versions (none yet) are migrated on load.
-pub const FORMAT_VERSION: u64 = 1;
+/// versions; older versions load unchanged.
+///
+/// **v2** (this version) adds multi-objective value vectors: trial records of
+/// runs with more than one objective carry a `values` array alongside the v1
+/// `value` field (which stays the primary objective). Single-objective v2
+/// records are byte-identical in shape to v1 records, and v1 journals load
+/// and resume bit for bit — the options envelope only mentions `objectives`
+/// when it differs from the v1-implicit single objective.
+pub const FORMAT_VERSION: u64 = 2;
 
 /// The format magic in every header.
 pub const FORMAT_NAME: &str = "baco-journal";
@@ -281,9 +293,12 @@ pub struct TrialRec {
     pub index: usize,
     /// The evaluated configuration.
     pub config: Configuration,
-    /// Measured objective (`None` for hidden-constraint failures; non-finite
-    /// values survive the round trip).
+    /// Measured primary objective (`None` for hidden-constraint failures;
+    /// non-finite values survive the round trip).
     pub value: Option<f64>,
+    /// Objectives beyond the first (format v2; empty for single-objective
+    /// records, which keeps them wire-compatible with v1).
+    pub extra: Vec<f64>,
     /// Whether the evaluation succeeded.
     pub feasible: bool,
     /// Black-box wall time, nanoseconds.
@@ -299,6 +314,7 @@ impl TrialRec {
             index,
             config: t.config.clone(),
             value: t.value,
+            extra: t.extra.clone(),
             feasible: t.feasible,
             eval_ns: t.eval_time.as_nanos().min(u64::MAX as u128) as u64,
             tuner_ns: t.tuner_time.as_nanos().min(u64::MAX as u128) as u64,
@@ -310,6 +326,7 @@ impl TrialRec {
         Trial {
             config: self.config.clone(),
             value: self.value,
+            extra: self.extra.clone(),
             feasible: self.feasible,
             eval_time: Duration::from_nanos(self.eval_ns),
             tuner_time: Duration::from_nanos(self.tuner_ns),
@@ -351,15 +368,26 @@ impl Record {
                     Json::Arr(p.configs.iter().map(encode_config).collect()),
                 ),
             ]),
-            Record::Trial(tr) => Json::Obj(vec![
-                ("t".into(), Json::Str("trial".into())),
-                ("i".into(), Json::Num(tr.index as f64)),
-                ("config".into(), encode_config(&tr.config)),
-                ("value".into(), encode_value(tr.value)),
-                ("feasible".into(), Json::Bool(tr.feasible)),
-                ("eval_ns".into(), u64_str(tr.eval_ns)),
-                ("tuner_ns".into(), u64_str(tr.tuner_ns)),
-            ]),
+            Record::Trial(tr) => {
+                let mut members = vec![
+                    ("t".into(), Json::Str("trial".into())),
+                    ("i".into(), Json::Num(tr.index as f64)),
+                    ("config".into(), encode_config(&tr.config)),
+                    ("value".into(), encode_value(tr.value)),
+                    ("feasible".into(), Json::Bool(tr.feasible)),
+                    ("eval_ns".into(), u64_str(tr.eval_ns)),
+                    ("tuner_ns".into(), u64_str(tr.tuner_ns)),
+                ];
+                // Format v2: the full value vector rides along only when
+                // there *is* one, so single-objective records stay
+                // byte-compatible with format v1.
+                if !tr.extra.is_empty() {
+                    let mut values = vec![encode_value(tr.value)];
+                    values.extend(tr.extra.iter().map(|&v| encode_value(Some(v))));
+                    members.push(("values".into(), Json::Arr(values)));
+                }
+                Json::Obj(members)
+            }
             Record::Resume { len } => Json::Obj(vec![
                 ("t".into(), Json::Str("resume".into())),
                 ("len".into(), Json::Num(*len as f64)),
@@ -400,17 +428,48 @@ impl Record {
                 }
                 Ok(Record::Propose(rec))
             }
-            Some("trial") => Ok(Record::Trial(TrialRec {
-                index: get_usize(j, "i")?,
-                config: decode_config(space, j.get("config").ok_or("trial missing `config`")?)?,
-                value: decode_value(j.get("value").ok_or("trial missing `value`")?)?,
-                feasible: match j.get("feasible") {
-                    Some(Json::Bool(b)) => *b,
-                    _ => return Err("trial missing boolean `feasible`".into()),
-                },
-                eval_ns: get_u64(j, "eval_ns")?,
-                tuner_ns: get_u64(j, "tuner_ns")?,
-            })),
+            Some("trial") => {
+                let value = decode_value(j.get("value").ok_or("trial missing `value`")?)?;
+                // Format v2 vector records: `values` holds the full
+                // objective vector, whose head must agree with `value`.
+                let extra = match j.get("values") {
+                    None => Vec::new(),
+                    Some(Json::Arr(items)) => {
+                        if items.len() < 2 {
+                            return Err("trial `values` must hold at least two objectives".into());
+                        }
+                        let mut decoded = Vec::with_capacity(items.len());
+                        for it in items {
+                            let v = decode_value(it)?
+                                .ok_or("trial `values` entries must be measurements")?;
+                            decoded.push(v);
+                        }
+                        let head_matches = match (value, decoded.first()) {
+                            (Some(a), Some(&b)) => a.to_bits() == b.to_bits(),
+                            _ => false,
+                        };
+                        if !head_matches {
+                            return Err("trial `values[0]` disagrees with `value`".into());
+                        }
+                        decoded.split_off(1)
+                    }
+                    Some(other) => {
+                        return Err(format!("bad trial `values` {}", other.to_line()))
+                    }
+                };
+                Ok(Record::Trial(TrialRec {
+                    index: get_usize(j, "i")?,
+                    config: decode_config(space, j.get("config").ok_or("trial missing `config`")?)?,
+                    value,
+                    extra,
+                    feasible: match j.get("feasible") {
+                        Some(Json::Bool(b)) => *b,
+                        _ => return Err("trial missing boolean `feasible`".into()),
+                    },
+                    eval_ns: get_u64(j, "eval_ns")?,
+                    tuner_ns: get_u64(j, "tuner_ns")?,
+                }))
+            }
             Some("resume") => Ok(Record::Resume { len: get_usize(j, "len")? }),
             Some("header") => Err("unexpected second header".into()),
             Some(other) => Err(format!("unknown record type `{other}`")),
@@ -766,8 +825,13 @@ pub fn space_from_spec(j: &Json) -> std::result::Result<SearchSpace, String> {
 /// The scalar trajectory-steering knobs recorded in the header. Structured
 /// sub-options (GP priors, local-search shape, …) are *not* captured —
 /// resuming with different ones is undetectable here and on the caller.
+///
+/// Multi-objective knobs (`objectives`, the hypervolume `reference_point`)
+/// are appended **only when they differ from the v1-implicit single
+/// objective**, so format-v1 journals — which never mention them — still
+/// validate against a single-objective tuner.
 fn options_spec(opts: &BacoOptions) -> Json {
-    Json::Obj(vec![
+    let mut members = vec![
         (
             "surrogate".into(),
             Json::Str(
@@ -784,7 +848,17 @@ fn options_spec(opts: &BacoOptions) -> Json {
         ("log_objective".into(), Json::Bool(opts.log_objective)),
         ("optimum_prior".into(), Json::Bool(opts.optimum_prior.is_some())),
         ("warm_start".into(), Json::Bool(opts.gp.warm_start.is_some())),
-    ])
+    ];
+    if opts.objectives > 1 {
+        members.push(("objectives".into(), Json::Num(opts.objectives as f64)));
+    }
+    if let Some(r) = &opts.reference_point {
+        members.push((
+            "reference_point".into(),
+            Json::Arr(r.iter().map(|&v| Json::Num(v)).collect()),
+        ));
+    }
+    Json::Obj(members)
 }
 
 // ── writer ──────────────────────────────────────────────────────────────────
@@ -1199,6 +1273,7 @@ mod tests {
             index: 0,
             config: demo_cfg(&s),
             value: Some(f64::NAN),
+            extra: Vec::new(),
             feasible: false,
             eval_ns: 123,
             tuner_ns: 456,

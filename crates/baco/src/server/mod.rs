@@ -162,15 +162,28 @@ impl ServerHandle {
                     Json::Arr(round.iter().map(journal::encode_config).collect()),
                 )])
             }),
-            Request::Report { session, config, value, feasible } => {
+            Request::Report { session, config, values, feasible } => {
                 self.with_tenant(&session, |t| {
                     let cfg = journal::decode_config(&t.space, &config)
                         .map_err(|e| WireError::bad_request(format!("`config`: {e}")))?;
-                    let eval = match (feasible, value) {
-                        (true, Some(v)) => Evaluation::feasible(v),
+                    let m = t.session.tuner().options().objectives;
+                    let eval = match (feasible, values) {
+                        (true, Some(v)) => {
+                            if v.len() != m {
+                                return Err(WireError::bad_request(format!(
+                                    "report carries {} objective(s), session tunes {m}",
+                                    v.len()
+                                )));
+                            }
+                            Evaluation::feasible_multi(v)
+                        }
                         _ => Evaluation::infeasible(),
                     };
-                    t.session.report(cfg, eval);
+                    // The fallible entry point: the core's own non-finite
+                    // guard (`Error::NonFiniteObjective`) surfaces as a
+                    // typed reply even for requests that slipped past the
+                    // protocol-boundary check.
+                    t.session.try_report(cfg, eval).map_err(|e| WireError::from_error(&e))?;
                     // `ok` acknowledges durability: a failed journal append
                     // must surface *here*, not on the next ask — the result
                     // is in the in-memory history but would not survive a
@@ -183,7 +196,35 @@ impl ServerHandle {
                 })
             }
             Request::Best { session } => self.with_tenant(&session, |t| {
-                Ok(match t.session.history().best() {
+                let history = t.session.history();
+                if t.session.tuner().options().objectives > 1 {
+                    // Multi-objective sessions have no single incumbent:
+                    // `best` is the Pareto front, in evaluation order.
+                    let front: Vec<Json> = history
+                        .pareto_front()
+                        .iter()
+                        .map(|tr| {
+                            let objs = tr.objectives().unwrap_or_default();
+                            Json::Obj(vec![
+                                ("config".into(), journal::encode_config(&tr.config)),
+                                (
+                                    "values".into(),
+                                    Json::Arr(
+                                        objs.iter()
+                                            .map(|&v| journal::encode_value(Some(v)))
+                                            .collect(),
+                                    ),
+                                ),
+                            ])
+                        })
+                        .collect();
+                    let mut fields = vec![("front".into(), Json::Arr(front))];
+                    if let Some(hv) = history.hypervolume_vs_ref() {
+                        fields.push(("hypervolume".into(), Json::Num(hv)));
+                    }
+                    return Ok(fields);
+                }
+                Ok(match history.best() {
                     Some(tr) => vec![
                         ("config".into(), journal::encode_config(&tr.config)),
                         ("value".into(), journal::encode_value(tr.value)),
@@ -294,6 +335,10 @@ impl ServerHandle {
         }
         if let Some(b) = spec.log_objective {
             builder = builder.log_objective(b);
+        }
+        builder = builder.objectives(spec.objectives);
+        if let Some(r) = spec.reference_point.clone() {
+            builder = builder.reference_point(r);
         }
         let mut resumed = false;
         if let Some(dir) = &self.inner.opts.journal_dir {
@@ -548,6 +593,60 @@ mod tests {
             err.get("error").and_then(|e| e.get("kind")).and_then(Json::as_str),
             Some("unknown_session")
         );
+    }
+
+    #[test]
+    fn multi_objective_session_over_the_wire() {
+        let srv = ServerHandle::new(ServerOptions::default());
+        let create = format!(
+            r#"{{"op":"create_session","session":"mo","budget":8,"doe_samples":4,"seed":2,"objectives":2,"reference_point":[200.0,40.0],"space":{}}}"#,
+            int_space_spec()
+        );
+        assert!(parse(&srv.handle_line(&create))
+            .get("ok")
+            .is_some_and(|j| *j == Json::Bool(true)));
+
+        loop {
+            let reply = parse(&srv.handle_line(r#"{"op":"ask","session":"mo"}"#));
+            let cfg = reply.get("config").unwrap();
+            if *cfg == Json::Null {
+                break;
+            }
+            let a = cfg.get("a").and_then(Json::as_f64).unwrap();
+            let b = cfg.get("b").and_then(Json::as_f64).unwrap();
+            // Latency falls with a, "area" rises with it: a real trade-off.
+            let report = format!(
+                r#"{{"op":"report","session":"mo","config":{},"values":[{},{}]}}"#,
+                cfg.to_line(),
+                1.0 + (15.0 - a) + b * 0.2,
+                1.0 + 2.0 * a
+            );
+            assert!(srv.handle_line(&report).contains(r#""ok":true"#));
+        }
+
+        // A width-mismatched report is a typed refusal.
+        let cfg = r#"{"a":1,"b":1}"#;
+        let bad = format!(
+            r#"{{"op":"report","session":"mo","config":{cfg},"values":[1.0]}}"#
+        );
+        assert!(srv.handle_line(&bad).contains(r#""kind":"bad_request""#));
+
+        // `best` is the Pareto front plus the journaled-reference
+        // hypervolume.
+        let best = parse(&srv.handle_line(r#"{"op":"best","session":"mo"}"#));
+        let front = best.get("front").and_then(Json::as_arr).unwrap();
+        assert!(!front.is_empty());
+        for point in front {
+            assert!(point.get("config").is_some());
+            assert_eq!(point.get("values").and_then(Json::as_arr).unwrap().len(), 2);
+        }
+        assert!(best.get("hypervolume").and_then(Json::as_f64).unwrap() > 0.0);
+        // Mismatched reference point at create time is refused.
+        let bad_create = format!(
+            r#"{{"op":"create_session","session":"mo2","budget":4,"objectives":2,"reference_point":[1.0],"space":{}}}"#,
+            int_space_spec()
+        );
+        assert!(srv.handle_line(&bad_create).contains(r#""kind":"bad_request""#));
     }
 
     #[test]

@@ -11,11 +11,11 @@
 //!
 //! | op | request fields | reply fields |
 //! |---|---|---|
-//! | `create_session` | `session`, `space` ([`space_spec`](crate::journal::space_spec) object), `budget`; optional `doe_samples`, `seed`, `resume`, `surrogate` (`"gp"`/`"rf"`), `hidden_constraints`, `feasibility_limit`, `local_search`, `log_objective` | `resumed`, `len`, `remaining` |
+//! | `create_session` | `session`, `space` ([`space_spec`](crate::journal::space_spec) object), `budget`; optional `doe_samples`, `seed`, `resume`, `surrogate` (`"gp"`/`"rf"`), `hidden_constraints`, `feasibility_limit`, `local_search`, `log_objective`, `objectives` (≥ 1), `reference_point` (array, one finite entry per objective) | `resumed`, `len`, `remaining` |
 //! | `ask` | `session` | `config` (object or `null` when exhausted) |
 //! | `suggest_batch` | `session`, `q` | `configs` (array, possibly empty) |
-//! | `report` | `session`, `config`; `value` (number, `null`, `"NaN"`, `"inf"`, `"-inf"`) and/or `feasible` — only *finite* values count as feasible measurements, anything else is recorded as a failed evaluation | `len` |
-//! | `best` | `session` | `config`+`value`, or both `null` |
+//! | `report` | `session`, `config`; `value` (number, `null`, `"NaN"`, `"inf"`, `"-inf"`) **or** `values` (array, one entry per objective of a multi-objective session), and/or `feasible` — only *all-finite* measurements count as feasible, anything else is recorded as a failed evaluation | `len` |
+//! | `best` | `session` | single-objective: `config`+`value` (or both `null`); multi-objective: `front` (array of `{config, values}` in evaluation order) plus `hypervolume` when the session has a reference point |
 //! | `status` | optional `session` | per-session: `len`, `budget`, `remaining`, `pending`, `best_value`; server-wide: `sessions`, `names` |
 //! | `close` | `session` | `closed`, `len` |
 //!
@@ -133,6 +133,10 @@ pub struct SessionSpec {
     pub local_search: Option<bool>,
     /// Log-transform the objective (default true).
     pub log_objective: Option<bool>,
+    /// Number of objectives the session tunes (default 1).
+    pub objectives: usize,
+    /// Hypervolume reference point (one finite entry per objective).
+    pub reference_point: Option<Vec<f64>>,
 }
 
 /// One parsed request.
@@ -164,8 +168,9 @@ pub enum Request {
         /// The evaluated configuration (raw; decoded against the session's
         /// space).
         config: Json,
-        /// Measured objective (`None` = hidden-constraint failure).
-        value: Option<f64>,
+        /// Measured objective vector (`None` = hidden-constraint failure; a
+        /// 1-vector for the classic scalar `value` field).
+        values: Option<Vec<f64>>,
         /// Whether the evaluation succeeded.
         feasible: bool,
     },
@@ -265,7 +270,43 @@ pub fn parse_request(line: &str) -> Result<Envelope, WireError> {
                 feasibility_limit: opt_bool(&j, "feasibility_limit")?,
                 local_search: opt_bool(&j, "local_search")?,
                 log_objective: opt_bool(&j, "log_objective")?,
+                objectives: match opt_usize(&j, "objectives")? {
+                    None => 1,
+                    Some(0) => {
+                        return Err(WireError::bad_request("`objectives` must be at least 1"))
+                    }
+                    Some(m) => m,
+                },
+                reference_point: match j.get("reference_point") {
+                    None | Some(Json::Null) => None,
+                    Some(Json::Arr(items)) => {
+                        let mut r = Vec::with_capacity(items.len());
+                        for it in items {
+                            match it.as_f64() {
+                                Some(v) if v.is_finite() => r.push(v),
+                                _ => {
+                                    return Err(WireError::bad_request(
+                                        "`reference_point` entries must be finite numbers",
+                                    ))
+                                }
+                            }
+                        }
+                        Some(r)
+                    }
+                    Some(_) => {
+                        return Err(WireError::bad_request("`reference_point` must be an array"))
+                    }
+                },
             };
+            if let Some(r) = &spec.reference_point {
+                if r.len() != spec.objectives {
+                    return Err(WireError::bad_request(format!(
+                        "`reference_point` has {} entries for {} objectives",
+                        r.len(),
+                        spec.objectives
+                    )));
+                }
+            }
             Request::Create { session, spec }
         }
         "ask" => Request::Ask { session: need_str(&j, "session")? },
@@ -279,28 +320,53 @@ pub fn parse_request(line: &str) -> Result<Envelope, WireError> {
                 .get("config")
                 .cloned()
                 .ok_or_else(|| WireError::bad_request("missing `config`"))?;
-            let value = match j.get("value") {
-                None => None,
-                Some(v) => crate::journal::decode_value(v)
-                    .map_err(|e| WireError::bad_request(format!("`value`: {e}")))?,
+            if j.get("value").is_some() && j.get("values").is_some() {
+                return Err(WireError::bad_request("`value` and `values` are exclusive"));
+            }
+            let values: Option<Vec<f64>> = match j.get("values") {
+                Some(Json::Arr(items)) => {
+                    if items.is_empty() {
+                        return Err(WireError::bad_request("`values` must not be empty"));
+                    }
+                    let mut out = Vec::with_capacity(items.len());
+                    for it in items {
+                        let v = crate::journal::decode_value(it)
+                            .map_err(|e| WireError::bad_request(format!("`values`: {e}")))?
+                            .ok_or_else(|| {
+                                WireError::bad_request("`values` entries must be measurements")
+                            })?;
+                        out.push(v);
+                    }
+                    Some(out)
+                }
+                Some(_) => return Err(WireError::bad_request("`values` must be an array")),
+                None => match j.get("value") {
+                    None => None,
+                    Some(v) => crate::journal::decode_value(v)
+                        .map_err(|e| WireError::bad_request(format!("`value`: {e}")))?
+                        .map(|v| vec![v]),
+                },
             };
             // Non-finite objectives would poison the surrogate (a NaN
             // survives the log transform as an impossibly good observation),
-            // so only finite values count as feasible measurements; a
-            // non-finite value without an explicit `feasible` is recorded as
-            // an infeasible (failed) evaluation, and claiming it feasible is
-            // a malformed request.
-            let finite = value.is_some_and(f64::is_finite);
+            // so only all-finite measurements count as feasible; anything
+            // non-finite without an explicit `feasible` is recorded as an
+            // infeasible (failed) evaluation, and claiming it feasible is a
+            // malformed request. The same guard also lives in the core
+            // ingestion path (`Session::try_report`) for in-process callers.
+            let finite = values
+                .as_ref()
+                .is_some_and(|v| v.iter().all(|x| x.is_finite()));
             let feasible = match opt_bool(&j, "feasible")? {
                 Some(true) if !finite => {
                     return Err(WireError::bad_request(
-                        "`feasible: true` requires a finite `value`",
+                        "`feasible: true` requires finite measurement(s)",
                     ))
                 }
                 Some(f) => f,
                 None => finite,
             };
-            Request::Report { session, config, value, feasible }
+            Request::Report { session, config, values, feasible }
         }
         "best" => Request::Best { session: need_str(&j, "session")? },
         "status" => Request::Status {
@@ -372,24 +438,24 @@ mod tests {
             ))
         };
         // Omitted value → infeasible.
-        let Ok(Envelope { req: Request::Report { value, feasible, .. }, .. }) = parse("") else {
+        let Ok(Envelope { req: Request::Report { values, feasible, .. }, .. }) = parse("") else {
             panic!("omitted value must parse");
         };
-        assert_eq!((value, feasible), (None, false));
+        assert_eq!((values, feasible), (None, false));
         // Tagged non-finite values parse but never count as feasible
         // measurements — they would poison the surrogate.
-        let Ok(Envelope { req: Request::Report { value, feasible, .. }, .. }) =
+        let Ok(Envelope { req: Request::Report { values, feasible, .. }, .. }) =
             parse(r#","value":"inf""#)
         else {
             panic!("inf must parse");
         };
-        assert_eq!((value, feasible), (Some(f64::INFINITY), false));
-        let Ok(Envelope { req: Request::Report { value, feasible, .. }, .. }) =
+        assert_eq!((values, feasible), (Some(vec![f64::INFINITY]), false));
+        let Ok(Envelope { req: Request::Report { values, feasible, .. }, .. }) =
             parse(r#","value":"NaN""#)
         else {
             panic!("NaN must parse");
         };
-        assert!(value.unwrap().is_nan());
+        assert!(values.unwrap()[0].is_nan());
         assert!(!feasible);
         assert_eq!(
             parse(r#","value":"NaN","feasible":true"#).unwrap_err().kind,
@@ -405,6 +471,40 @@ mod tests {
         assert!(!feasible);
         // feasible:true without a value is contradictory.
         assert_eq!(parse(r#","feasible":true"#).unwrap_err().kind, ErrorKind::BadRequest);
+    }
+
+    #[test]
+    fn report_values_vector_interplay() {
+        let parse = |extra: &str| {
+            parse_request(&format!(
+                r#"{{"op":"report","session":"s","config":{{}}{extra}}}"#
+            ))
+        };
+        // A clean vector is a feasible multi-objective measurement.
+        let Ok(Envelope { req: Request::Report { values, feasible, .. }, .. }) =
+            parse(r#","values":[1.5,2.5]"#)
+        else {
+            panic!("vector must parse");
+        };
+        assert_eq!(values, Some(vec![1.5, 2.5]));
+        assert!(feasible);
+        // Any non-finite component demotes the whole measurement …
+        let Ok(Envelope { req: Request::Report { feasible, .. }, .. }) =
+            parse(r#","values":[1.5,"NaN"]"#)
+        else {
+            panic!("NaN component must parse");
+        };
+        assert!(!feasible);
+        // … and claiming it feasible is malformed, as are empty/mixed forms.
+        for bad in [
+            r#","values":[1.5,"inf"],"feasible":true"#,
+            r#","values":[]"#,
+            r#","values":[null]"#,
+            r#","values":3"#,
+            r#","value":1,"values":[1]"#,
+        ] {
+            assert_eq!(parse(bad).unwrap_err().kind, ErrorKind::BadRequest, "{bad}");
+        }
     }
 
     #[test]

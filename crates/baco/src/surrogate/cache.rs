@@ -79,6 +79,10 @@ pub struct GpCache {
     nll_per_point: f64,
     /// Warm fits accepted since the last full refit.
     fits_since_full: usize,
+    /// Sub-caches for the value models of objectives 1… of a multi-objective
+    /// run (this cache itself serves objective 0), created on demand by
+    /// [`GpCache::for_objective`]. Always empty for single-objective runs.
+    extra: Vec<GpCache>,
 }
 
 impl Default for GpCache {
@@ -98,7 +102,22 @@ impl GpCache {
             chol: None,
             nll_per_point: f64::INFINITY,
             fits_since_full: 0,
+            extra: Vec::new(),
         }
+    }
+
+    /// The sub-cache serving objective `k` of a multi-objective run: `0` is
+    /// this cache itself; higher indices are created (empty) on first use.
+    /// Lets the per-iteration loops keep holding **one** `GpCache` while the
+    /// tuner maintains one incrementally-refitted GP per objective.
+    pub fn for_objective(&mut self, k: usize) -> &mut GpCache {
+        if k == 0 {
+            return self;
+        }
+        while self.extra.len() < k {
+            self.extra.push(GpCache::new());
+        }
+        &mut self.extra[k - 1]
     }
 
     /// Drops all cached state.

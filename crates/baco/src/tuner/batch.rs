@@ -100,22 +100,29 @@ impl AcquisitionContext {
     /// append) this is a no-op and batch diversity rests on the seen-set
     /// de-duplication alone.
     fn fantasize(&mut self, cfg: &Configuration, strategy: FantasyStrategy) {
-        let FittedModel::Gp(gp) = &self.model else {
-            return;
-        };
-        let lie = match strategy {
-            FantasyStrategy::KrigingBeliever => gp.predict(cfg).0,
-            FantasyStrategy::ConstantLiar(which) => {
-                let n = self.y.len() as f64;
-                match which {
-                    LiarValue::Min => self.y.iter().copied().fold(f64::INFINITY, f64::min),
-                    LiarValue::Max => self.y.iter().copied().fold(f64::NEG_INFINITY, f64::max),
-                    LiarValue::Mean => self.y.iter().sum::<f64>() / n.max(1.0),
+        // Each objective's model is conditioned independently: the kriging
+        // believer lies with that model's own posterior mean, the constant
+        // liar with a statistic of that objective's observed values — so a
+        // multi-objective round collapses uncertainty around the pick in
+        // every objective at once.
+        for (model, y) in self.models.iter_mut().zip(&self.ys) {
+            let FittedModel::Gp(gp) = model else {
+                continue;
+            };
+            let lie = match strategy {
+                FantasyStrategy::KrigingBeliever => gp.predict(cfg).0,
+                FantasyStrategy::ConstantLiar(which) => {
+                    let n = y.len() as f64;
+                    match which {
+                        LiarValue::Min => y.iter().copied().fold(f64::INFINITY, f64::min),
+                        LiarValue::Max => y.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+                        LiarValue::Mean => y.iter().sum::<f64>() / n.max(1.0),
+                    }
                 }
+            };
+            if let Ok(conditioned) = gp.condition_on(cfg, lie) {
+                *model = FittedModel::Gp(Box::new(conditioned));
             }
-        };
-        if let Ok(conditioned) = gp.condition_on(cfg, lie) {
-            self.model = FittedModel::Gp(Box::new(conditioned));
         }
     }
 }
@@ -238,6 +245,7 @@ impl Baco {
         let threads = self.opts.eval_threads;
         let mut rng = StdRng::seed_from_u64(self.opts.seed);
         let mut report = TuningReport::new("BaCO");
+        report.set_reference_point(self.opts.reference_point.clone());
         let mut seen: HashSet<Configuration> = HashSet::new();
         let mut cache = GpCache::new();
         let ClosedLoopStart {
@@ -258,10 +266,16 @@ impl Baco {
             let mut journal_err: Option<crate::Error> = None;
             evaluate_stream(bb, round, threads, |out| {
                 let index = report.len();
+                // `push` demotes non-finite "measurements" to infeasible
+                // observations before they can reach the surrogate; a
+                // wrong-width vector is demoted here the same way.
+                let feasible = out.evaluation.is_feasible()
+                    && out.evaluation.n_objectives() == self.opts.objectives;
                 report.push(Trial {
                     config: out.config,
                     value: out.evaluation.value(),
-                    feasible: out.evaluation.is_feasible(),
+                    extra: out.evaluation.extra_objectives(),
+                    feasible,
                     eval_time: out.eval_time,
                     tuner_time,
                 });
@@ -431,6 +445,7 @@ mod tests {
             report.push(Trial {
                 config: cfg,
                 value: eval.value(),
+                extra: Vec::new(),
                 feasible: eval.is_feasible(),
                 eval_time: Default::default(),
                 tuner_time: Default::default(),

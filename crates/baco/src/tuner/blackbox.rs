@@ -2,9 +2,18 @@ use crate::space::Configuration;
 use std::fmt;
 
 /// The outcome of evaluating one configuration on the target system.
+///
+/// An evaluation carries a small fixed vector of objectives — one entry per
+/// tuned metric, all minimized. The overwhelmingly common single-objective
+/// case is the 1-vector: [`Evaluation::feasible`] builds it and
+/// [`Evaluation::value`] reads it back, so single-objective callers never
+/// see the vector. Multi-objective black boxes (latency *and* area, runtime
+/// *and* energy, …) use [`Evaluation::feasible_multi`] /
+/// [`Evaluation::values`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct Evaluation {
-    value: Option<f64>,
+    /// Objective vector; empty for infeasible evaluations.
+    values: Vec<f64>,
     feasible: bool,
 }
 
@@ -13,9 +22,18 @@ impl Evaluation {
     /// typically a runtime).
     pub fn feasible(value: f64) -> Self {
         Evaluation {
-            value: Some(value),
+            values: vec![value],
             feasible: true,
         }
+    }
+
+    /// A successful evaluation with several measured objectives, all
+    /// minimized (e.g. `[latency_ms, area_alms]`). A 1-vector is exactly
+    /// [`Evaluation::feasible`]; an empty vector is treated as a failed
+    /// evaluation.
+    pub fn feasible_multi(values: Vec<f64>) -> Self {
+        let feasible = !values.is_empty();
+        Evaluation { values, feasible }
     }
 
     /// A failed evaluation — a *hidden constraint* violation: the compiler
@@ -25,27 +43,71 @@ impl Evaluation {
     /// these to the feasibility classifier (Sec. 4.2).
     pub fn infeasible() -> Self {
         Evaluation {
-            value: None,
+            values: Vec::new(),
             feasible: false,
         }
     }
 
-    /// The measured objective, if the evaluation succeeded.
+    /// The measured primary objective (the first entry of the objective
+    /// vector), if the evaluation succeeded.
     pub fn value(&self) -> Option<f64> {
-        self.value
+        self.values.first().copied()
+    }
+
+    /// The full objective vector, if the evaluation succeeded.
+    pub fn values(&self) -> Option<&[f64]> {
+        if self.values.is_empty() {
+            None
+        } else {
+            Some(&self.values)
+        }
+    }
+
+    /// Number of measured objectives (0 for a failed evaluation).
+    pub fn n_objectives(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The objectives beyond the first, cloned — exactly what
+    /// [`Trial::extra`](crate::tuner::Trial) records. Empty for failed and
+    /// single-objective evaluations.
+    pub fn extra_objectives(&self) -> Vec<f64> {
+        if self.values.len() > 1 {
+            self.values[1..].to_vec()
+        } else {
+            Vec::new()
+        }
     }
 
     /// Whether the evaluation succeeded.
     pub fn is_feasible(&self) -> bool {
         self.feasible
     }
+
+    /// Whether every measured objective is finite. A "feasible" evaluation
+    /// carrying NaN/±inf is a measurement failure — the core ingestion paths
+    /// (`TuningReport::push`, `Session::report`, the closed loops) demote or
+    /// reject it so it can never reach the surrogate.
+    pub fn is_finite(&self) -> bool {
+        self.values.iter().all(|v| v.is_finite())
+    }
 }
 
 impl fmt::Display for Evaluation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self.value {
-            Some(v) => write!(f, "{v}"),
-            None => write!(f, "infeasible"),
+        match self.values.as_slice() {
+            [] => write!(f, "infeasible"),
+            [v] => write!(f, "{v}"),
+            many => {
+                write!(f, "[")?;
+                for (i, v) in many.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "]")
+            }
         }
     }
 }
@@ -54,7 +116,7 @@ impl fmt::Display for Evaluation {
 /// (Sec. 1: "it is vital for an autoscheduler to treat each compiler as a
 /// black-box system").
 pub trait BlackBox {
-    /// Compiles and runs `cfg`, returning the measured objective or an
+    /// Compiles and runs `cfg`, returning the measured objective(s) or an
     /// infeasibility signal.
     fn evaluate(&self, cfg: &Configuration) -> Evaluation;
 
@@ -146,12 +208,38 @@ mod tests {
     fn evaluation_constructors() {
         let ok = Evaluation::feasible(1.5);
         assert_eq!(ok.value(), Some(1.5));
+        assert_eq!(ok.values(), Some([1.5].as_slice()));
+        assert_eq!(ok.n_objectives(), 1);
         assert!(ok.is_feasible());
         assert_eq!(ok.to_string(), "1.5");
         let bad = Evaluation::infeasible();
         assert_eq!(bad.value(), None);
+        assert_eq!(bad.values(), None);
+        assert_eq!(bad.n_objectives(), 0);
         assert!(!bad.is_feasible());
         assert_eq!(bad.to_string(), "infeasible");
+    }
+
+    #[test]
+    fn multi_objective_constructor() {
+        let e = Evaluation::feasible_multi(vec![2.0, 3.5]);
+        assert!(e.is_feasible());
+        assert_eq!(e.value(), Some(2.0));
+        assert_eq!(e.values(), Some([2.0, 3.5].as_slice()));
+        assert_eq!(e.n_objectives(), 2);
+        assert_eq!(e.to_string(), "[2, 3.5]");
+        // The 1-vector case is exactly the single-objective constructor.
+        assert_eq!(Evaluation::feasible_multi(vec![1.5]), Evaluation::feasible(1.5));
+        // An empty vector is a failed evaluation.
+        assert_eq!(Evaluation::feasible_multi(Vec::new()), Evaluation::infeasible());
+    }
+
+    #[test]
+    fn finiteness_check() {
+        assert!(Evaluation::feasible(1.0).is_finite());
+        assert!(Evaluation::infeasible().is_finite());
+        assert!(!Evaluation::feasible(f64::NAN).is_finite());
+        assert!(!Evaluation::feasible_multi(vec![1.0, f64::INFINITY]).is_finite());
     }
 
     #[test]

@@ -41,7 +41,9 @@ pub use blackbox::{BlackBox, Evaluation, FnBlackBox};
 pub use report::{Trial, TuningReport};
 pub use session::Session;
 
-use crate::acquisition::{expected_improvement, feasibility_weighted_ei, EpsilonSchedule, OptimumPrior};
+use crate::acquisition::{
+    expected_improvement, feasibility_weighted_ei, EpsilonSchedule, OptimumPrior, Scalarization,
+};
 use crate::search::{doe_sample, local_search, random_search, FeasibleSampler, LocalSearchOptions};
 use crate::space::{Configuration, SearchSpace};
 use crate::surrogate::{
@@ -92,8 +94,23 @@ pub struct BacoOptions {
     /// Local-search parameters.
     pub ls: LocalSearchOptions,
     /// Log-transform the objective before modelling (Sec. 4.2: runtimes are
-    /// positive and heavy-tailed).
+    /// positive and heavy-tailed). Applied to every objective of a
+    /// multi-objective run (areas, energies and traffic counts share the
+    /// positive-heavy-tailed shape).
     pub log_objective: bool,
+    /// Number of objectives the black box measures (default 1). With `m > 1`
+    /// the tuner fits one GP per objective and collapses their posteriors
+    /// each round via a freshly drawn ParEGO augmented-Chebyshev
+    /// scalarization ([`Scalarization`]); the run's result is the Pareto
+    /// front ([`TuningReport::pareto_front`]). `1` keeps the classic
+    /// single-objective loop, bit for bit.
+    pub objectives: usize,
+    /// Hypervolume reference point for multi-objective runs (one entry per
+    /// objective, in raw objective units). Recorded in the run journal's
+    /// determinism envelope and stamped onto the report
+    /// ([`TuningReport::hypervolume_vs_ref`]). `None` skips hypervolume
+    /// bookkeeping.
+    pub reference_point: Option<Vec<f64>>,
     /// Optional user prior over the optimum's location (Sec. 6), applied as
     /// a decaying multiplicative weight on the acquisition.
     pub optimum_prior: Option<OptimumPrior>,
@@ -140,6 +157,8 @@ impl Default for BacoOptions {
             local_search: true,
             ls: LocalSearchOptions::default(),
             log_objective: true,
+            objectives: 1,
+            reference_point: None,
             optimum_prior: None,
             batch_size: 1,
             batch_strategy: FantasyStrategy::default(),
@@ -225,6 +244,20 @@ impl BacoBuilder {
         self
     }
 
+    /// Declares how many objectives the black box measures (see
+    /// [`BacoOptions::objectives`]). `1` keeps the single-objective loop.
+    pub fn objectives(mut self, m: usize) -> Self {
+        self.opts.objectives = m.max(1);
+        self
+    }
+
+    /// Sets the hypervolume reference point for a multi-objective run (see
+    /// [`BacoOptions::reference_point`]).
+    pub fn reference_point(mut self, r: Vec<f64>) -> Self {
+        self.opts.reference_point = Some(r);
+        self
+    }
+
     /// Installs a user prior over the optimum's location (Sec. 6).
     pub fn optimum_prior(mut self, p: OptimumPrior) -> Self {
         self.opts.optimum_prior = Some(p);
@@ -282,6 +315,23 @@ impl BacoBuilder {
         }
         if self.space.is_empty() {
             return Err(Error::InvalidConfig("search space has no parameters".into()));
+        }
+        if self.opts.objectives == 0 {
+            return Err(Error::InvalidConfig("objectives must be positive".into()));
+        }
+        if let Some(r) = &self.opts.reference_point {
+            if r.len() != self.opts.objectives {
+                return Err(Error::InvalidConfig(format!(
+                    "reference point has {} entries for {} objectives",
+                    r.len(),
+                    self.opts.objectives
+                )));
+            }
+            if r.iter().any(|v| !v.is_finite()) {
+                return Err(Error::InvalidConfig(
+                    "reference point entries must be finite".into(),
+                ));
+            }
         }
         let sampler = FeasibleSampler::new(&self.space)?;
         Ok(Baco {
@@ -424,6 +474,7 @@ impl Baco {
 
         let mut rng = StdRng::seed_from_u64(self.opts.seed);
         let mut report = TuningReport::new("BaCO");
+        report.set_reference_point(self.opts.reference_point.clone());
         let mut seen: HashSet<Configuration> = HashSet::new();
         let mut cache = GpCache::new();
         let ClosedLoopStart {
@@ -551,10 +602,13 @@ impl Baco {
         report: &TuningReport,
         cache: &mut GpCache,
     ) -> Result<Option<AcquisitionContext>> {
+        if self.opts.objectives > 1 {
+            return self.fit_acquisition_multi(rng, report, cache);
+        }
         let (feas_cfgs, feas_vals): (Vec<Configuration>, Vec<f64>) = report
             .trials()
             .iter()
-            .filter(|t| t.feasible && t.value.is_some())
+            .filter(|t| t.feasible && t.value.is_some_and(f64::is_finite))
             .map(|t| (t.config.clone(), t.value.unwrap()))
             .unzip();
 
@@ -562,59 +616,14 @@ impl Baco {
             return Ok(None);
         }
 
-        let transform = |v: f64| {
-            if self.opts.log_objective {
-                v.max(1e-12).ln()
-            } else {
-                v
-            }
-        };
-        let y: Vec<f64> = feas_vals.iter().map(|&v| transform(v)).collect();
+        let y: Vec<f64> = feas_vals.iter().map(|&v| self.transform(v)).collect();
 
         // Value model.
-        let model = match self.opts.surrogate {
-            SurrogateKind::GaussianProcess => FittedModel::Gp(Box::new(
-                GaussianProcess::fit_with_cache(
-                    &self.space,
-                    &feas_cfgs,
-                    &y,
-                    &self.opts.gp,
-                    rng,
-                    cache,
-                )?,
-            )),
-            SurrogateKind::RandomForest => FittedModel::Rf(RandomForestRegressor::fit(
-                &self.space,
-                &feas_cfgs,
-                &y,
-                &self.opts.rf,
-                rng,
-            )?),
-        };
+        let model = self.fit_value_model(rng, &feas_cfgs, &y, cache)?;
 
         // Feasibility model, once at least one failure has been observed.
-        let classifier = if self.opts.hidden_constraints
-            && report.trials().iter().any(|t| !t.feasible)
-        {
-            let cfgs: Vec<Configuration> =
-                report.trials().iter().map(|t| t.config.clone()).collect();
-            let labels: Vec<bool> = report.trials().iter().map(|t| t.feasible).collect();
-            Some(RandomForestClassifier::fit(
-                &self.space,
-                &cfgs,
-                &labels,
-                &self.opts.rf,
-                rng,
-            )?)
-        } else {
-            None
-        };
-
-        let epsilon_f = if self.opts.feasibility_limit && classifier.is_some() {
-            self.opts.epsilon_schedule.sample(rng)
-        } else {
-            0.0
-        };
+        let classifier = self.fit_classifier(rng, report)?;
+        let epsilon_f = self.draw_epsilon(rng, classifier.is_some());
 
         // Noise-free incumbent (Sec. 3.3): the best *posterior mean* over
         // the evaluated points, not the best raw observation — a noise-lucky
@@ -629,13 +638,155 @@ impl Baco {
 
         let guided_iter = report.len().saturating_sub(self.opts.doe_samples);
         Ok(Some(AcquisitionContext {
-            model,
+            models: vec![model],
+            scalarization: None,
             classifier,
             epsilon_f,
             incumbent,
             guided_iter,
-            y,
+            ys: vec![y],
         }))
+    }
+
+    /// The multi-objective analogue of [`Baco::fit_acquisition`]: one value
+    /// model per objective over the feasible history, plus this round's
+    /// ParEGO weight draw. The weights come from the same seeded RNG stream
+    /// the journal brackets per round, so resumed runs replay them exactly.
+    fn fit_acquisition_multi(
+        &self,
+        rng: &mut StdRng,
+        report: &TuningReport,
+        cache: &mut GpCache,
+    ) -> Result<Option<AcquisitionContext>> {
+        let m = self.opts.objectives;
+        let feas: Vec<(&Configuration, Vec<f64>)> = report
+            .trials()
+            .iter()
+            .filter_map(|t| {
+                if !t.feasible {
+                    return None;
+                }
+                let objs = t.objectives()?;
+                // Width-mismatched or non-finite vectors never reach the
+                // models (push already demotes non-finite ones).
+                (objs.len() == m && objs.iter().all(|v| v.is_finite()))
+                    .then_some((&t.config, objs))
+            })
+            .collect();
+        if feas.len() < 2 {
+            return Ok(None);
+        }
+        let feas_cfgs: Vec<Configuration> = feas.iter().map(|(c, _)| (*c).clone()).collect();
+        // Objective-major transformed targets.
+        let ys: Vec<Vec<f64>> = (0..m)
+            .map(|k| feas.iter().map(|(_, o)| self.transform(o[k])).collect())
+            .collect();
+
+        // This round's journaled weight draw, then one model per objective —
+        // a fixed RNG consumption order, so resume replays it bitwise.
+        let scal = Scalarization::sample(rng, &ys);
+        let models = ys
+            .iter()
+            .enumerate()
+            .map(|(k, y)| self.fit_value_model(rng, &feas_cfgs, y, cache.for_objective(k)))
+            .collect::<Result<Vec<FittedModel>>>()?;
+
+        let classifier = self.fit_classifier(rng, report)?;
+        let epsilon_f = self.draw_epsilon(rng, classifier.is_some());
+
+        // Scalarized noise-free incumbent: the best scalarized posterior
+        // mean over the evaluated points (capped by the best scalarized
+        // observation, as in the single-objective path).
+        let preds: Vec<Vec<(f64, f64)>> = models
+            .iter()
+            .map(|mo| mo.as_value_model().predict_batch(&self.space, &feas_cfgs))
+            .collect();
+        let mut means = vec![0.0; m];
+        let mut best_posterior = f64::INFINITY;
+        for j in 0..feas_cfgs.len() {
+            for (k, p) in preds.iter().enumerate() {
+                means[k] = p[j].0;
+            }
+            best_posterior = best_posterior.min(scal.scalarize(&means));
+        }
+        let best_observed = (0..feas_cfgs.len())
+            .map(|j| {
+                let obs: Vec<f64> = ys.iter().map(|y| y[j]).collect();
+                scal.scalarize(&obs)
+            })
+            .fold(f64::INFINITY, f64::min);
+        let incumbent = best_posterior.min(best_observed + 1.0);
+
+        let guided_iter = report.len().saturating_sub(self.opts.doe_samples);
+        Ok(Some(AcquisitionContext {
+            models,
+            scalarization: Some(scal),
+            classifier,
+            epsilon_f,
+            incumbent,
+            guided_iter,
+            ys,
+        }))
+    }
+
+    /// The per-objective modelling transform (log for positive heavy-tailed
+    /// metrics, identity otherwise).
+    fn transform(&self, v: f64) -> f64 {
+        if self.opts.log_objective {
+            v.max(1e-12).ln()
+        } else {
+            v
+        }
+    }
+
+    fn fit_value_model(
+        &self,
+        rng: &mut StdRng,
+        cfgs: &[Configuration],
+        y: &[f64],
+        cache: &mut GpCache,
+    ) -> Result<FittedModel> {
+        Ok(match self.opts.surrogate {
+            SurrogateKind::GaussianProcess => FittedModel::Gp(Box::new(
+                GaussianProcess::fit_with_cache(&self.space, cfgs, y, &self.opts.gp, rng, cache)?,
+            )),
+            SurrogateKind::RandomForest => FittedModel::Rf(RandomForestRegressor::fit(
+                &self.space,
+                cfgs,
+                y,
+                &self.opts.rf,
+                rng,
+            )?),
+        })
+    }
+
+    fn fit_classifier(
+        &self,
+        rng: &mut StdRng,
+        report: &TuningReport,
+    ) -> Result<Option<RandomForestClassifier>> {
+        if self.opts.hidden_constraints && report.trials().iter().any(|t| !t.feasible) {
+            let cfgs: Vec<Configuration> =
+                report.trials().iter().map(|t| t.config.clone()).collect();
+            let labels: Vec<bool> = report.trials().iter().map(|t| t.feasible).collect();
+            Ok(Some(RandomForestClassifier::fit(
+                &self.space,
+                &cfgs,
+                &labels,
+                &self.opts.rf,
+                rng,
+            )?))
+        } else {
+            Ok(None)
+        }
+    }
+
+    fn draw_epsilon(&self, rng: &mut StdRng, have_classifier: bool) -> f64 {
+        if self.opts.feasibility_limit && have_classifier {
+            self.opts.epsilon_schedule.sample(rng)
+        } else {
+            0.0
+        }
     }
 
     fn random_unseen<R: Rng + ?Sized>(
@@ -686,10 +837,16 @@ impl Baco {
         let eval = bb.evaluate(&cfg);
         let eval_time = t0.elapsed();
         seen.insert(cfg.clone());
+        // `push` demotes a feasible-but-non-finite measurement to an
+        // infeasible (hidden-constraint) observation, so a black box
+        // returning NaN/±inf can never poison the surrogate. A vector of
+        // the wrong width is demoted here for the same reason — it would
+        // corrupt Pareto bookkeeping while being invisible to the models.
         report.push(Trial {
             config: cfg,
             value: eval.value(),
-            feasible: eval.is_feasible(),
+            extra: eval.extra_objectives(),
+            feasible: eval.is_feasible() && eval.n_objectives() == self.opts.objectives,
             eval_time,
             tuner_time,
         });
@@ -752,38 +909,65 @@ impl FittedModel {
 }
 
 /// Everything one acquisition round needs to score candidates: the fitted
-/// value model, the optional feasibility classifier with its ε_f draw, the
+/// value model **per objective**, this round's scalarization (multi-objective
+/// runs only), the optional feasibility classifier with its ε_f draw, the
 /// noise-free incumbent and the (transformed) observed objective values.
 ///
 /// Produced by [`Baco::fit_acquisition`]; consumed by the sequential
 /// recommender and, with fantasy conditioning between picks, by the batched
 /// proposer in [`batch`].
 pub(crate) struct AcquisitionContext {
-    pub(crate) model: FittedModel,
+    /// One fitted value model per objective (a singleton for the classic
+    /// single-objective loop).
+    pub(crate) models: Vec<FittedModel>,
+    /// This round's ParEGO weight draw; `None` on single-objective runs,
+    /// whose acquisition arithmetic stays exactly the historical scalar path.
+    pub(crate) scalarization: Option<Scalarization>,
     classifier: Option<RandomForestClassifier>,
     epsilon_f: f64,
+    /// Noise-free incumbent — in scalarized units when `scalarization` is
+    /// set, in transformed objective units otherwise.
     incumbent: f64,
     guided_iter: usize,
-    /// Transformed objective values of the feasible history (liar values for
-    /// constant-liar fantasies are statistics of these).
-    pub(crate) y: Vec<f64>,
+    /// Transformed objective values of the feasible history, objective-major
+    /// (liar values for constant-liar fantasies are statistics of these).
+    pub(crate) ys: Vec<Vec<f64>>,
 }
 
 impl AcquisitionContext {
     /// The acquisition scorer over whole candidate slices. Candidate batches
-    /// flow through the model's bulk posterior (one blocked triangular solve
-    /// for the whole slice) and only then through the cheap per-candidate
-    /// acquisition arithmetic.
+    /// flow through each model's bulk posterior (one blocked triangular solve
+    /// for the whole slice per objective) and only then through the cheap
+    /// per-candidate acquisition arithmetic. Multi-objective posteriors are
+    /// collapsed per candidate by this round's augmented-Chebyshev
+    /// scalarization before the same EI machinery runs.
     pub(crate) fn score_batch<'a>(
         &'a self,
         space: &'a SearchSpace,
         prior: Option<&'a OptimumPrior>,
     ) -> impl FnMut(&[Configuration]) -> Vec<f64> + 'a {
         move |cfgs: &[Configuration]| -> Vec<f64> {
-            let preds = self.model.as_value_model().predict_batch(space, cfgs);
+            let preds: Vec<Vec<(f64, f64)>> = self
+                .models
+                .iter()
+                .map(|mo| mo.as_value_model().predict_batch(space, cfgs))
+                .collect();
+            let m = self.models.len();
+            let mut means = vec![0.0; m];
+            let mut vars = vec![0.0; m];
             cfgs.iter()
-                .zip(preds)
-                .map(|(cfg, (mean, var))| {
+                .enumerate()
+                .map(|(j, cfg)| {
+                    let (mean, var) = match &self.scalarization {
+                        None => preds[0][j],
+                        Some(s) => {
+                            for (k, p) in preds.iter().enumerate() {
+                                means[k] = p[j].0;
+                                vars[k] = p[j].1;
+                            }
+                            (s.scalarize(&means), s.scalarize_variance(&vars))
+                        }
+                    };
                     let ei = expected_improvement(mean, var, self.incumbent);
                     let acq = match &self.classifier {
                         Some(c) => {
@@ -1077,6 +1261,53 @@ mod tests {
         assert_eq!(report.feasible_fraction(), 0.0);
     }
 
+    /// Regression for the objective-ingestion bugfix at the closed-loop
+    /// entry point: a black box returning NaN/±inf "feasible" measurements
+    /// can no longer poison the GP — the values are demoted to
+    /// hidden-constraint failures and the run completes normally.
+    #[test]
+    fn closed_loops_demote_non_finite_measurements() {
+        let bb = FnBlackBox::new(|cfg: &Configuration| {
+            let a = cfg.value("a").as_f64();
+            let b = cfg.value("b").as_f64();
+            if a > 11.0 {
+                // A NaN would survive the log transform as an impossibly
+                // good observation if it ever reached the surrogate.
+                Evaluation::feasible(f64::NAN)
+            } else if b > 13.0 {
+                Evaluation::feasible(f64::INFINITY)
+            } else {
+                Evaluation::feasible(1.0 + (a - 6.0).powi(2) + (b - 6.0).powi(2))
+            }
+        });
+        for batched in [false, true] {
+            let tuner = Baco::builder(quadratic_space())
+                .budget(24)
+                .doe_samples(6)
+                .batch_size(if batched { 4 } else { 1 })
+                .seed(8)
+                .build()
+                .unwrap();
+            let report = if batched {
+                tuner.run_batched(&bb).unwrap()
+            } else {
+                tuner.run(&bb).unwrap()
+            };
+            assert_eq!(report.len(), 24, "batched={batched}");
+            for t in report.trials() {
+                if t.feasible {
+                    assert!(t.value.unwrap().is_finite(), "batched={batched}");
+                }
+            }
+            assert!(
+                report.trials().iter().any(|t| !t.feasible),
+                "the non-finite region must be recorded as infeasible"
+            );
+            let best = report.best_value().unwrap();
+            assert!(best.is_finite() && best >= 1.0, "batched={batched}: {best}");
+        }
+    }
+
     #[test]
     fn rf_surrogate_mode_works() {
         let report = Baco::builder(quadratic_space())
@@ -1156,6 +1387,62 @@ mod tests {
             without += run(None, seed);
         }
         assert!(with <= without, "prior {with} vs blind {without}");
+    }
+
+    /// A benchmark with a clean latency-vs-cost trade-off: the tuner must
+    /// populate a multi-point Pareto front, deterministically per seed, and
+    /// the 1-vector black box must reproduce the scalar black box bit for
+    /// bit (the single-objective API preserved as the 1-vector case).
+    #[test]
+    fn multi_objective_run_builds_a_pareto_front() {
+        let bb = FnBlackBox::new(|cfg: &Configuration| {
+            let a = cfg.value("a").as_f64();
+            let b = cfg.value("b").as_f64();
+            // Objective 0 falls with a; objective 1 rises with a: every a is
+            // Pareto-optimal at its best b.
+            let t = 1.0 + (15.0 - a) + (b - 7.0).powi(2) * 0.2;
+            let area = 1.0 + a * 2.0 + (b - 7.0).abs() * 0.1;
+            Evaluation::feasible_multi(vec![t, area])
+        });
+        let run = || {
+            Baco::builder(quadratic_space())
+                .budget(30)
+                .doe_samples(8)
+                .seed(5)
+                .objectives(2)
+                .reference_point(vec![25.0, 40.0])
+                .build()
+                .unwrap()
+                .run(&bb)
+                .unwrap()
+        };
+        let report = run();
+        assert_eq!(report.len(), 30);
+        assert_eq!(report.n_objectives(), 2);
+        let front = report.pareto_front();
+        assert!(front.len() >= 3, "front of {} points", front.len());
+        // Front points are mutually non-dominated.
+        for x in &front {
+            for y in &front {
+                let (xo, yo) = (x.objectives().unwrap(), y.objectives().unwrap());
+                assert!(
+                    std::ptr::eq(*x, *y)
+                        || xo.iter().zip(&yo).any(|(a, b)| a > b),
+                    "dominated point on the front"
+                );
+            }
+        }
+        let hv = report.hypervolume_vs_ref().unwrap();
+        assert!(hv > 0.0);
+        // Deterministic under the seed, including the journaled weight draws.
+        let again = run();
+        let sig = |r: &TuningReport| {
+            r.trials()
+                .iter()
+                .map(|t| (t.config.to_string(), t.objectives().map(|o| o.iter().map(|v| v.to_bits()).collect::<Vec<_>>())))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(sig(&report), sig(&again));
     }
 
     #[test]

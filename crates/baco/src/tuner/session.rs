@@ -85,8 +85,9 @@ pub struct Session {
     last_report: Option<Instant>,
     /// Crash-safe run journal, when configured.
     journal: Option<JournalWriter>,
-    /// A journal failure raised inside the infallible [`Session::report`];
-    /// surfaced by the next fallible call.
+    /// A failure raised inside the infallible [`Session::report`] — a journal
+    /// append error, or a rejected non-finite measurement; surfaced by the
+    /// next fallible call.
     journal_error: Option<Error>,
 }
 
@@ -121,10 +122,12 @@ impl Session {
             }
             None => None,
         };
+        let mut report = TuningReport::new("BaCO");
+        report.set_reference_point(tuner.options().reference_point.clone());
         Ok(Session {
             tuner,
             rng,
-            report: TuningReport::new("BaCO"),
+            report,
             seen: HashSet::new(),
             pending: Vec::new(),
             doe_queue,
@@ -164,6 +167,7 @@ impl Session {
         journal.header.validate(Mode::Session, tuner.options(), tuner.space())?;
 
         let mut report = TuningReport::new("BaCO");
+        report.set_reference_point(tuner.options().reference_point.clone());
         let mut seen: HashSet<Configuration> = HashSet::new();
         for tr in &journal.trials {
             seen.insert(tr.config.clone());
@@ -244,13 +248,14 @@ impl Session {
         &self.pending
     }
 
-    /// Takes the journal failure deferred by an earlier (infallible)
-    /// [`Session::report`], if any. Callers that must acknowledge
-    /// durability per report — the tuning server's `report` op does — check
-    /// this right after reporting instead of waiting for the next
-    /// [`Session::ask`] / [`Session::suggest_batch`] to surface it. The
-    /// reported trial itself is still in [`Session::history`]; only its
-    /// durable append failed.
+    /// Takes the failure deferred by an earlier (infallible)
+    /// [`Session::report`], if any: a journal append error (the reported
+    /// trial is still in [`Session::history`]; only its durable append
+    /// failed) or a rejected non-finite measurement (nothing was recorded).
+    /// Callers that must acknowledge each report — the tuning server's
+    /// `report` op does — check this right after reporting instead of
+    /// waiting for the next [`Session::ask`] / [`Session::suggest_batch`]
+    /// to surface it.
     pub fn take_journal_error(&mut self) -> Option<Error> {
         self.journal_error.take()
     }
@@ -378,6 +383,40 @@ impl Session {
         Ok(round)
     }
 
+    /// [`Session::report`] with the objective-ingestion guard surfaced as a
+    /// typed error: a feasible evaluation is **rejected** — nothing is
+    /// recorded, the configuration stays pending — when it carries a
+    /// NaN/±inf objective ([`Error::NonFiniteObjective`]; it would survive
+    /// the log transform as an impossibly good observation and poison the
+    /// surrogate) or the wrong number of objectives
+    /// ([`Error::ObjectiveCountMismatch`]; a mixed-width history corrupts
+    /// Pareto-front bookkeeping while staying invisible to the
+    /// per-objective models). Callers that measured a failure should report
+    /// [`Evaluation::infeasible`].
+    ///
+    /// # Errors
+    /// [`Error::NonFiniteObjective`] / [`Error::ObjectiveCountMismatch`] as
+    /// above; everything else is the infallible [`Session::report`] path.
+    pub fn try_report(&mut self, cfg: Configuration, eval: Evaluation) -> Result<()> {
+        if eval.is_feasible() {
+            let expected = self.tuner.options().objectives;
+            if eval.n_objectives() != expected {
+                return Err(Error::ObjectiveCountMismatch {
+                    got: eval.n_objectives(),
+                    expected,
+                });
+            }
+            if !eval.is_finite() {
+                return Err(Error::NonFiniteObjective(format!(
+                    "reported value {eval} for {cfg}; report Evaluation::infeasible() for failed \
+                     measurements"
+                )));
+            }
+        }
+        self.report_unchecked(cfg, eval);
+        Ok(())
+    }
+
     /// Reports the outcome of evaluating `cfg` (which should have come from
     /// [`Session::ask`] or [`Session::suggest_batch`]; foreign
     /// configurations are accepted and simply added to the history).
@@ -388,9 +427,18 @@ impl Session {
     ///
     /// When journaling is enabled the outcome is durably appended before
     /// this returns. Because `report` is infallible by design, a journal
-    /// write failure is deferred and raised by the next [`Session::ask`] /
-    /// [`Session::suggest_batch`] call instead.
+    /// write failure — or a rejected non-finite measurement (see
+    /// [`Session::try_report`]) — is deferred and raised by the next
+    /// [`Session::ask`] / [`Session::suggest_batch`] call instead.
     pub fn report(&mut self, cfg: Configuration, eval: Evaluation) {
+        if let Err(e) = self.try_report(cfg, eval) {
+            if self.journal_error.is_none() {
+                self.journal_error = Some(e);
+            }
+        }
+    }
+
+    fn report_unchecked(&mut self, cfg: Configuration, eval: Evaluation) {
         self.pending.retain(|c| c != &cfg);
         self.seen.insert(cfg.clone());
         // Each trial's eval_time spans from the later of "thinking finished"
@@ -409,6 +457,7 @@ impl Session {
         self.report.push(Trial {
             config: cfg,
             value: eval.value(),
+            extra: eval.extra_objectives(),
             feasible: eval.is_feasible(),
             eval_time: now.saturating_duration_since(eval_start),
             tuner_time: self.last_think,
@@ -523,6 +572,87 @@ mod tests {
         s.tell(cfg, Evaluation::feasible(2.5));
         assert_eq!(s.history().len(), 1);
         assert_eq!(s.history().best_value(), Some(2.5));
+    }
+
+    /// Regression for the objective-ingestion bugfix: a NaN/±inf "feasible"
+    /// measurement injected through the in-process session must be rejected
+    /// with a typed error instead of entering the surrogate.
+    #[test]
+    fn non_finite_reports_are_rejected_with_a_typed_error() {
+        let tuner = Baco::builder(space()).budget(10).doe_samples(3).seed(6).build().unwrap();
+        let mut s = Session::new(tuner).unwrap();
+        let cfg = s.ask().unwrap().unwrap();
+
+        // try_report: immediate typed rejection, nothing recorded, the
+        // proposal stays pending for a corrected report.
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let err = s.try_report(cfg.clone(), Evaluation::feasible(bad)).unwrap_err();
+            assert!(matches!(err, crate::Error::NonFiniteObjective(_)), "{bad}: {err}");
+        }
+        // A 2-vector on this single-objective session trips the width guard
+        // (checked before finiteness).
+        let err = s
+            .try_report(cfg.clone(), Evaluation::feasible_multi(vec![1.0, f64::NAN]))
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            crate::Error::ObjectiveCountMismatch { got: 2, expected: 1 }
+        ));
+        assert!(s.history().is_empty(), "rejected reports must not enter the history");
+        assert_eq!(s.pending(), std::slice::from_ref(&cfg));
+
+        // The infallible report() defers the same typed error to the next
+        // fallible call.
+        s.report(cfg.clone(), Evaluation::feasible(f64::NAN));
+        assert!(s.history().is_empty());
+        let err = s.ask().unwrap_err();
+        assert!(matches!(err, crate::Error::NonFiniteObjective(_)), "{err}");
+
+        // An explicitly infeasible NaN-free report is the sanctioned way to
+        // record the failure, and the loop continues.
+        s.report(cfg, Evaluation::infeasible());
+        assert_eq!(s.history().len(), 1);
+        assert!(s.ask().unwrap().is_some());
+    }
+
+    /// The width guard lives in the core too: reporting the wrong number of
+    /// objectives through the in-process session is a typed rejection, not a
+    /// silent Pareto-front squatter.
+    #[test]
+    fn wrong_objective_count_reports_are_rejected() {
+        let tuner = Baco::builder(space())
+            .budget(8)
+            .doe_samples(3)
+            .seed(4)
+            .objectives(2)
+            .build()
+            .unwrap();
+        let mut s = Session::new(tuner).unwrap();
+        let cfg = s.ask().unwrap().unwrap();
+        for bad in [
+            Evaluation::feasible(1.0),
+            Evaluation::feasible_multi(vec![1.0, 2.0, 3.0]),
+        ] {
+            let err = s.try_report(cfg.clone(), bad).unwrap_err();
+            assert!(
+                matches!(err, crate::Error::ObjectiveCountMismatch { expected: 2, .. }),
+                "{err}"
+            );
+        }
+        // A right-width vector with a NaN component trips the finiteness
+        // guard instead.
+        let err = s
+            .try_report(cfg.clone(), Evaluation::feasible_multi(vec![1.0, f64::NAN]))
+            .unwrap_err();
+        assert!(matches!(err, crate::Error::NonFiniteObjective(_)), "{err}");
+        assert!(s.history().is_empty());
+        assert_eq!(s.pending(), std::slice::from_ref(&cfg));
+        // The right width goes through; infeasible reports carry no vector
+        // and are always accepted.
+        s.try_report(cfg, Evaluation::feasible_multi(vec![1.0, 2.0])).unwrap();
+        let cfg2 = s.ask().unwrap().unwrap();
+        s.try_report(cfg2, Evaluation::infeasible()).unwrap();
+        assert_eq!(s.history().len(), 2);
     }
 
     #[test]

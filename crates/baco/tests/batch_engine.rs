@@ -33,6 +33,54 @@ fn objective(cfg: &Configuration) -> f64 {
 }
 
 proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The multi-objective API preserves the single-objective trajectory as
+    /// the 1-vector case: a black box reporting `feasible_multi(vec![v])`
+    /// (with a hidden-constraint region mixed in) produces a bitwise
+    /// identical run to one reporting `feasible(v)`, for the sequential loop
+    /// and the q=4 batched engine alike.
+    #[test]
+    fn one_vector_blackbox_reproduces_scalar_run_bitwise(
+        seed in 0u64..1_000,
+        q_pick in 0usize..2,
+    ) {
+        let q = [1usize, 4][q_pick];
+        let scalar = FnBlackBox::new(|cfg: &Configuration| {
+            if cfg.value("a").as_i64() == 13 {
+                Evaluation::infeasible()
+            } else {
+                Evaluation::feasible(objective(cfg))
+            }
+        });
+        let one_vector = FnBlackBox::new(|cfg: &Configuration| {
+            if cfg.value("a").as_i64() == 13 {
+                Evaluation::infeasible()
+            } else {
+                Evaluation::feasible_multi(vec![objective(cfg)])
+            }
+        });
+        let run = |bb: &(dyn baco::tuner::BlackBox + Sync)| {
+            let tuner = Baco::builder(constrained_space())
+                .budget(16)
+                .doe_samples(5)
+                .batch_size(q)
+                .eval_threads(1)
+                .seed(seed)
+                .build()
+                .unwrap();
+            let report = if q == 1 { tuner.run(bb).unwrap() } else { tuner.run_batched(bb).unwrap() };
+            report
+                .trials()
+                .iter()
+                .map(|t| (t.config.to_string(), t.value.map(f64::to_bits), t.extra.clone(), t.feasible))
+                .collect::<Vec<_>>()
+        };
+        prop_assert_eq!(run(&scalar), run(&one_vector));
+    }
+}
+
+proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 
     /// A round of q batch proposals consists of q distinct configurations,
@@ -68,6 +116,7 @@ proptest! {
             report.push(Trial {
                 config: cfg,
                 value: Some(v),
+                extra: Vec::new(),
                 feasible: true,
                 eval_time: Duration::ZERO,
                 tuner_time: Duration::ZERO,

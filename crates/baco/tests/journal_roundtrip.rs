@@ -71,10 +71,16 @@ fn tuner(seed: u64, q: usize, journal: Option<&Path>, resume: bool) -> Baco {
     b.build().unwrap()
 }
 
-fn signature(r: &TuningReport) -> Vec<(String, Option<u64>, bool)> {
+fn signature(r: &TuningReport) -> Vec<(String, Option<Vec<u64>>, bool)> {
     r.trials()
         .iter()
-        .map(|t| (t.config.to_string(), t.value.map(f64::to_bits), t.feasible))
+        .map(|t| {
+            (
+                t.config.to_string(),
+                t.objectives().map(|o| o.iter().map(|v| v.to_bits()).collect()),
+                t.feasible,
+            )
+        })
         .collect()
 }
 
@@ -100,10 +106,16 @@ fn line_boundaries(bytes: &[u8]) -> Vec<usize> {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(96))]
 
-    /// Any sampled configuration and any objective value (finite or not)
-    /// survive the JSONL line round trip exactly.
+    /// Any sampled configuration and any objective *vector* — any width,
+    /// finite or not in any component — survives the JSONL line round trip
+    /// exactly, bit for bit.
     #[test]
-    fn trial_record_roundtrip_is_exact(seed in 0u64..1_000_000, kind in 0u8..5) {
+    fn trial_record_roundtrip_is_exact(
+        seed in 0u64..1_000_000,
+        kind in 0u8..5,
+        extra_width in 0usize..4,
+        weird_component in 0u8..4,
+    ) {
         let space = mixed_space();
         let mut rng = StdRng::seed_from_u64(seed);
         let cfg = space.sample_dense(&mut rng);
@@ -114,10 +126,30 @@ proptest! {
             3 => Some(f64::NEG_INFINITY),
             _ => Some((seed as f64 / 3.0 - 1234.5).powi(3) * 1e-7),
         };
+        // Format-v2 vectors require a measured primary objective.
+        let extra: Vec<f64> = match value {
+            None => Vec::new(),
+            Some(_) => (0..extra_width)
+                .map(|i| {
+                    if i == 1 {
+                        // A non-finite interior component must round-trip too.
+                        match weird_component {
+                            0 => f64::NAN,
+                            1 => f64::INFINITY,
+                            2 => f64::NEG_INFINITY,
+                            _ => -0.0,
+                        }
+                    } else {
+                        (seed as f64 * 0.37 + i as f64).sin() * 1e9
+                    }
+                })
+                .collect(),
+        };
         let rec = TrialRec {
             index: (seed % 7) as usize,
             config: cfg.clone(),
             value,
+            extra,
             feasible: kind != 0,
             eval_ns: seed.wrapping_mul(0x9E37_79B9_7F4A_7C15),
             tuner_ns: u64::MAX - seed,
@@ -136,6 +168,12 @@ proptest! {
         match (rec.value, back.value) {
             (Some(a), Some(b)) if a.is_nan() => prop_assert!(b.is_nan()),
             (a, b) => prop_assert_eq!(a.map(f64::to_bits), b.map(f64::to_bits)),
+        }
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<u64>>();
+        prop_assert_eq!(bits(&back.extra), bits(&rec.extra));
+        // Single-objective records must keep the exact v1 wire shape.
+        if rec.extra.is_empty() {
+            prop_assert!(!line.contains("\"values\""), "v1 shape regressed: {}", line);
         }
         // The standalone config codec agrees.
         let cfg2 = decode_config(&space, &encode_config(&cfg))
@@ -447,6 +485,118 @@ fn resume_after_losing_only_the_final_newline_keeps_journal_valid() {
         let again = run(&tuner(5, 1, Some(&path), true), 1);
         assert_eq!(signature(&reference), signature(&again));
     }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Backward compatibility: a format-v1 journal (written before value
+/// vectors existed) still loads, and a run resumed from a mid-run v1 cut
+/// reproduces the uninterrupted trajectory bit for bit. The committed
+/// golden fixtures exercise real v1 files; this test covers the version
+/// boundary explicitly by downgrading a fresh journal's header to v1 (a v1
+/// single-objective journal is byte-identical to a v2 one apart from the
+/// version field).
+#[test]
+fn v1_journal_loads_and_resumes_bitwise() {
+    let dir = temp_dir("v1-compat");
+    let path = dir.join("run.jsonl");
+    let reference = run(&tuner(4, 1, None, false), 1);
+    run(&tuner(4, 1, Some(&path), false), 1);
+
+    let bytes = std::fs::read(&path).unwrap();
+    let text = String::from_utf8(bytes).unwrap();
+    assert!(text.starts_with(r#"{"t":"header","format":"baco-journal","version":2"#));
+    let v1 = text.replacen(r#""version":2"#, r#""version":1"#, 1);
+
+    // Loads with every trial intact …
+    let journal = Journal::from_bytes(v1.as_bytes(), &mixed_space()).unwrap();
+    assert_eq!(journal.header.version, 1);
+    assert_eq!(journal.trials.len(), reference.len());
+    assert!(journal.trials.iter().all(|t| t.extra.is_empty()));
+
+    // … and resumes bitwise from a mid-run cut (the resumed writer appends
+    // v2-shaped records behind the v1 header — identical in shape for
+    // single-objective runs, so the file stays consistent).
+    let boundaries = line_boundaries(v1.as_bytes());
+    let crash = dir.join("crash.jsonl");
+    for cut in [boundaries[boundaries.len() / 2], *boundaries.last().unwrap()] {
+        std::fs::write(&crash, &v1.as_bytes()[..cut]).unwrap();
+        let resumed = run(&tuner(4, 1, Some(&crash), true), 1);
+        assert_eq!(
+            signature(&reference),
+            signature(&resumed),
+            "v1 resume mismatch at byte {cut}"
+        );
+        Journal::load(&crash, &mixed_space()).expect("journal stays loadable after v1 resume");
+    }
+
+    // A future version is refused, not misread.
+    let v9 = text.replacen(r#""version":2"#, r#""version":9"#, 1);
+    assert!(matches!(
+        Journal::from_bytes(v9.as_bytes(), &mixed_space()),
+        Err(Error::JournalCorrupt { line: 1, .. })
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A journaled multi-objective run writes format-v2 vector records that
+/// resume bitwise from any record boundary, like the scalar loops.
+#[test]
+fn multi_objective_journal_resumes_bitwise() {
+    let dir = temp_dir("mo-resume");
+    let path = dir.join("mo.jsonl");
+    struct MoObj;
+    impl baco::tuner::BlackBox for MoObj {
+        fn evaluate(&self, cfg: &Configuration) -> Evaluation {
+            let a = cfg.value("a").as_f64();
+            let b = cfg.value("b").as_f64();
+            if a > 13.0 {
+                return Evaluation::infeasible();
+            }
+            Evaluation::feasible_multi(vec![1.0 + (15.0 - a) + b * 0.1, 1.0 + a * 2.0])
+        }
+    }
+    let mk = |journal: Option<&Path>, resume: bool| {
+        let mut b = Baco::builder(mixed_space())
+            .budget(12)
+            .doe_samples(4)
+            .seed(9)
+            .objectives(2)
+            .reference_point(vec![50.0, 50.0])
+            .resume(resume);
+        if let Some(p) = journal {
+            b = b.journal_path(p);
+        }
+        b.build().unwrap()
+    };
+    let reference = mk(None, false).run(&MoObj).unwrap();
+    mk(Some(&path), false).run(&MoObj).unwrap();
+
+    let bytes = std::fs::read(&path).unwrap();
+    assert!(
+        String::from_utf8_lossy(&bytes).contains(r#""values":["#),
+        "multi-objective journals must carry vector records"
+    );
+    let crash = dir.join("crash.jsonl");
+    for cut in line_boundaries(&bytes) {
+        std::fs::write(&crash, &bytes[..cut]).unwrap();
+        let resumed = mk(Some(&crash), true).run(&MoObj).unwrap();
+        assert_eq!(
+            signature(&reference),
+            signature(&resumed),
+            "multi-objective resume mismatch at byte {cut}"
+        );
+    }
+    // The replayed report rebuilds the same Pareto front and hypervolume.
+    let journal = Journal::load(&path, &mixed_space()).unwrap();
+    let mut replayed = TuningReport::new("replay");
+    replayed.set_reference_point(Some(vec![50.0, 50.0]));
+    for tr in &journal.trials {
+        replayed.push(tr.to_trial());
+    }
+    assert_eq!(
+        replayed.hypervolume_vs_ref().map(f64::to_bits),
+        reference.hypervolume_vs_ref().map(f64::to_bits)
+    );
     std::fs::remove_dir_all(&dir).ok();
 }
 

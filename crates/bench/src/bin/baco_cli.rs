@@ -171,13 +171,13 @@ fn lookup(o: &Opts) -> Benchmark {
         eprintln!("--bench is required");
         usage();
     };
-    let mut found = baco_bench::all_benchmarks(o.scale)
+    let mut found = baco_bench::all_benchmarks_with_pareto(o.scale)
         .into_iter()
         .find(|b| b.name == name);
     if found.is_none() {
         // Convenience: case-insensitive and underscore/space tolerant.
         let canon = |s: &str| s.to_lowercase().replace([' ', '_', '-'], "");
-        found = baco_bench::all_benchmarks(o.scale)
+        found = baco_bench::all_benchmarks_with_pareto(o.scale)
             .into_iter()
             .find(|b| canon(&b.name) == canon(name));
     }
@@ -192,14 +192,19 @@ fn build_tuner(bench: &Benchmark, o: &Opts) -> Baco {
         eprintln!("--journal is required");
         usage();
     };
-    Baco::builder(bench.space.clone())
+    let mut builder = Baco::builder(bench.space.clone())
         .budget(o.budget.unwrap_or(bench.budget))
         .doe_samples(o.doe.unwrap_or(10))
         .seed(o.seed)
         .batch_size(o.batch)
         .eval_threads(o.threads)
+        .objectives(bench.n_objectives())
         .journal_path(journal)
-        .resume(o.resume)
+        .resume(o.resume);
+    if let Some(r) = bench.reference_point.clone() {
+        builder = builder.reference_point(r);
+    }
+    builder
         .build()
         .unwrap_or_else(|e| {
             eprintln!("tuner construction failed: {e}");
@@ -208,6 +213,26 @@ fn build_tuner(bench: &Benchmark, o: &Opts) -> Baco {
 }
 
 fn print_best(report: &baco::TuningReport) {
+    if report.n_objectives() > 1 {
+        // Multi-objective runs have no single incumbent: `best` is the
+        // Pareto front (plus its hypervolume when a reference point is
+        // journaled with the run).
+        let front = report.pareto_front();
+        if front.is_empty() {
+            println!("no feasible evaluation in {} trials", report.len());
+            return;
+        }
+        println!("pareto front of {} points after {} evaluations", front.len(), report.len());
+        for t in front {
+            let objs = t.objectives().expect("front trials are measured");
+            let rendered: Vec<String> = objs.iter().map(|v| v.to_string()).collect();
+            println!("pareto [{}] at {}", rendered.join(", "), t.config);
+        }
+        if let Some(hv) = report.hypervolume_vs_ref() {
+            println!("hypervolume {hv}");
+        }
+        return;
+    }
     match report.best() {
         Some(t) => println!(
             "best {} after {} evaluations at {}",
@@ -315,7 +340,7 @@ fn run_client(o: &Opts) {
     let bench = lookup(o);
     let mut conn = Conn::connect(addr);
 
-    let created = conn.request(&obj(vec![
+    let mut create_fields = vec![
         ("op", Json::Str("create_session".into())),
         ("session", Json::Str(session.into())),
         ("space", baco::journal::space_spec(&bench.space)),
@@ -323,7 +348,17 @@ fn run_client(o: &Opts) {
         ("doe_samples", Json::Num(o.doe.unwrap_or(10) as f64)),
         ("seed", Json::Str(o.seed.to_string())),
         ("resume", Json::Bool(o.resume)),
-    ]));
+    ];
+    if bench.n_objectives() > 1 {
+        create_fields.push(("objectives", Json::Num(bench.n_objectives() as f64)));
+        if let Some(r) = &bench.reference_point {
+            create_fields.push((
+                "reference_point",
+                Json::Arr(r.iter().map(|&v| Json::Num(v)).collect()),
+            ));
+        }
+    }
+    let created = conn.request(&obj(create_fields));
     let mut len = created.get("len").and_then(Json::as_f64).unwrap_or(0.0) as usize;
     if created.get("resumed") == Some(&Json::Bool(true)) {
         println!("resumed session {session} with {len} evaluations on record");
@@ -360,9 +395,14 @@ fn run_client(o: &Opts) {
             ];
             // encode_value keeps non-finite objectives tagged instead of
             // collapsing them to null; the server records anything
-            // non-finite as a failed evaluation.
-            match eval.value() {
-                Some(v) => fields.push(("value", baco::journal::encode_value(Some(v)))),
+            // non-finite as a failed evaluation. Multi-objective
+            // measurements travel as a `values` vector.
+            match eval.values() {
+                Some([v]) => fields.push(("value", baco::journal::encode_value(Some(*v)))),
+                Some(vs) => fields.push((
+                    "values",
+                    Json::Arr(vs.iter().map(|&v| baco::journal::encode_value(Some(v))).collect()),
+                )),
                 None => fields.push(("feasible", Json::Bool(false))),
             }
             let reply = conn.request(&obj(fields));
@@ -378,6 +418,18 @@ fn run_client(o: &Opts) {
         ("op", Json::Str("best".into())),
         ("session", Json::Str(session.into())),
     ]));
+    if let Some(front) = best.get("front").and_then(Json::as_arr) {
+        println!("pareto front of {} points after {len} evaluations", front.len());
+        for point in front {
+            let values = point.get("values").map(Json::to_line).unwrap_or_default();
+            let config = point.get("config").map(Json::to_line).unwrap_or_default();
+            println!("pareto {values} at {config}");
+        }
+        if let Some(hv) = best.get("hypervolume").and_then(Json::as_f64) {
+            println!("hypervolume {hv}");
+        }
+        return;
+    }
     let value = best.get("value").and_then(|v| baco::journal::decode_value(v).ok()).flatten();
     match (value, best.get("config")) {
         (Some(v), Some(cfg)) if *cfg != Json::Null => {
@@ -395,14 +447,15 @@ fn main() {
         "serve" => run_serve(&o),
         "client" => run_client(&o),
         "list" => {
-            for b in baco_bench::all_benchmarks(o.scale) {
+            for b in baco_bench::all_benchmarks_with_pareto(o.scale) {
                 println!(
-                    "{:18} {:14} dims={:2} budget={:3} kinds={}",
+                    "{:22} {:14} dims={:2} budget={:3} kinds={:5} objectives={}",
                     b.name,
                     b.group.to_string(),
                     b.space.len(),
                     b.budget,
-                    b.param_kinds()
+                    b.param_kinds(),
+                    b.objective_names.join("+")
                 );
             }
         }
@@ -443,6 +496,7 @@ fn main() {
                 std::process::exit(1);
             });
             let mut report = baco::TuningReport::new("BaCO");
+            report.set_reference_point(bench.reference_point.clone());
             for tr in &journal.trials {
                 report.push(tr.to_trial());
             }

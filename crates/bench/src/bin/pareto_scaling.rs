@@ -1,0 +1,160 @@
+//! Multi-objective (Pareto) tuning benchmark: hypervolume of the front BaCO
+//! reaches versus pure random search at **equal evaluation budget**, on the
+//! fpga-sim PreEuler latency-vs-area workload (`PreEuler-pareto`: ~1.5e4
+//! configurations with hidden constraints, deterministic per configuration,
+//! so the comparison is exact and reproducible).
+//!
+//! Each seed runs two arms over the same budget:
+//!
+//! * **BaCO** — one GP per objective, per-round ParEGO random-weight
+//!   augmented-Chebyshev scalarization, the standard EI/CoT machinery;
+//! * **random** — uniform dense sampling, same number of evaluations.
+//!
+//! Both fronts are scored as dominated hypervolume against the benchmark's
+//! reference point (`TuningReport::hypervolume`). The process exits non-zero
+//! unless BaCO's mean hypervolume is at least the random baseline's — this is
+//! the CI smoke criterion.
+//!
+//! Writes a machine-readable summary to `BENCH_pareto.json` (override with
+//! `--out PATH`; `--budget N` and `--seeds N` shrink or grow the experiment,
+//! `--bench NAME` swaps the workload).
+//!
+//! Run with: `cargo run --release -p baco-bench --bin pareto_scaling`
+
+use baco::tuner::Trial;
+use baco::{Baco, TuningReport};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+struct SeedOutcome {
+    seed: u64,
+    baco_hv: f64,
+    random_hv: f64,
+    baco_front: usize,
+    random_front: usize,
+    wall_s: f64,
+}
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let out_path = flag(&args, "--out").unwrap_or_else(|| "BENCH_pareto.json".to_string());
+    let budget: usize = flag(&args, "--budget").map_or(30, |v| v.parse().expect("--budget N"));
+    let seeds: u64 = flag(&args, "--seeds").map_or(3, |v| v.parse().expect("--seeds N"));
+    let bench_name = flag(&args, "--bench").unwrap_or_else(|| "PreEuler-pareto".to_string());
+
+    let bench =
+        baco_bench::benchmark_by_name(&bench_name, taco_sim::benchmarks::TacoScale::Test);
+    assert!(
+        bench.n_objectives() > 1,
+        "{bench_name} is single-objective; pick a *-pareto benchmark"
+    );
+    let reference = bench
+        .reference_point
+        .clone()
+        .expect("pareto benchmarks declare a reference point");
+    println!(
+        "pareto-scaling benchmark: {} | objectives {} | budget {budget} | {seeds} seed(s) | reference {reference:?}\n",
+        bench.name,
+        bench.objective_names.join("+"),
+    );
+
+    let mut outcomes: Vec<SeedOutcome> = Vec::new();
+    for seed in 0..seeds {
+        let t0 = Instant::now();
+        let tuner = Baco::builder(bench.space.clone())
+            .budget(budget)
+            .doe_samples((budget / 4).max(4))
+            .seed(seed)
+            .objectives(bench.n_objectives())
+            .reference_point(reference.clone())
+            .build()
+            .expect("valid tuner");
+        let report = tuner.run(&*bench.blackbox).expect("tuning run");
+        let wall_s = t0.elapsed().as_secs_f64();
+        assert_eq!(report.len(), budget, "BaCO must spend the whole budget");
+        let baco_hv = report.hypervolume(&reference);
+
+        // Random-search baseline at the identical budget.
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_add(0x5eed_0000));
+        let mut random = TuningReport::new("random");
+        for _ in 0..budget {
+            let cfg = bench.space.sample_dense(&mut rng);
+            let eval = bench.blackbox.evaluate(&cfg);
+            random.push(Trial {
+                config: cfg,
+                value: eval.value(),
+                extra: eval.extra_objectives(),
+                feasible: eval.is_feasible(),
+                eval_time: Default::default(),
+                tuner_time: Default::default(),
+            });
+        }
+        let random_hv = random.hypervolume(&reference);
+
+        let o = SeedOutcome {
+            seed,
+            baco_hv,
+            random_hv,
+            baco_front: report.pareto_front().len(),
+            random_front: random.pareto_front().len(),
+            wall_s,
+        };
+        println!(
+            "seed {seed}: BaCO hv {:>10.1} (front {:>2})   random hv {:>10.1} (front {:>2})   {:.2} s",
+            o.baco_hv, o.baco_front, o.random_hv, o.random_front, o.wall_s
+        );
+        outcomes.push(o);
+    }
+
+    let mean = |f: fn(&SeedOutcome) -> f64| {
+        outcomes.iter().map(f).sum::<f64>() / outcomes.len() as f64
+    };
+    let baco_mean = mean(|o| o.baco_hv);
+    let random_mean = mean(|o| o.random_hv);
+    let ratio = baco_mean / random_mean.max(f64::MIN_POSITIVE);
+
+    let mut json = String::from("{\n");
+    json.push_str("  \"benchmark\": \"pareto_scaling\",\n");
+    json.push_str(&format!(
+        "  \"workload\": \"{}\",\n  \"objectives\": [{}],\n  \"budget\": {budget},\n  \"seeds\": {seeds},\n",
+        bench.name,
+        bench
+            .objective_names
+            .iter()
+            .map(|n| format!("\"{n}\""))
+            .collect::<Vec<_>>()
+            .join(", "),
+    ));
+    json.push_str(&format!(
+        "  \"reference_point\": {reference:?},\n  \"arms\": [\n"
+    ));
+    for (i, o) in outcomes.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"seed\": {}, \"baco_hv\": {:.3}, \"random_hv\": {:.3}, \"baco_front\": {}, \"random_front\": {}, \"wall_s\": {:.3}}}{}\n",
+            o.seed,
+            o.baco_hv,
+            o.random_hv,
+            o.baco_front,
+            o.random_front,
+            o.wall_s,
+            if i + 1 < outcomes.len() { "," } else { "" }
+        ));
+    }
+    json.push_str(&format!(
+        "  ],\n  \"criteria\": {{\n    \"baco_hv_mean\": {baco_mean:.3},\n    \"random_hv_mean\": {random_mean:.3},\n    \"hv_ratio\": {ratio:.3},\n    \"target\": \"baco_hv_mean >= random_hv_mean\"\n  }}\n}}\n",
+    ));
+    std::fs::write(&out_path, &json).unwrap();
+    println!("\nwrote {out_path}");
+    println!(
+        "criteria: BaCO mean hypervolume {baco_mean:.1} vs random {random_mean:.1} ({ratio:.2}x) at equal budget"
+    );
+    assert!(
+        baco_mean >= random_mean,
+        "BaCO hypervolume ({baco_mean:.1}) fell below the random-search baseline ({random_mean:.1})"
+    );
+}

@@ -23,6 +23,7 @@
 //! | `calibrate`  | regenerates the hard-coded expert configurations |
 //! | `gp_hotpath` | GP hot-path microbenchmark → `BENCH_gp_hotpath.json` |
 //! | `batch_scaling` | batched-engine scaling (q ∈ {1,2,4,8}) → `BENCH_batch_scaling.json` |
+//! | `pareto_scaling` | multi-objective hypervolume vs random search → `BENCH_pareto.json` |
 //! | `baco-cli`   | journaled tuning driver: `tune --journal run.jsonl [--resume]`, `best`, `list`; also the golden-fixture generator and, via `serve`/`client`, the end-to-end face of the multi-tenant tuning server |
 //!
 //! Shared flags: `--reps N` (default 5; the paper uses 30), `--scale
@@ -48,12 +49,32 @@ pub fn all_benchmarks(scale: TacoScale) -> Vec<Benchmark> {
     v
 }
 
-/// Looks up one benchmark by display name.
+/// The multi-objective (Pareto) benchmark variants: the Table-3 spaces with
+/// a second minimized metric (fpga-sim latency/area, gpu-sim
+/// runtime/energy, taco-sim runtime/traffic). Kept out of
+/// [`all_benchmarks`] so the 25-instance paper sweep stays exactly the
+/// paper's.
+pub fn pareto_benchmarks(scale: TacoScale) -> Vec<Benchmark> {
+    let mut v = fpga_sim::benchmarks::hpvm_pareto_benchmarks();
+    v.push(gpu_sim::benchmarks::mm_gpu_pareto());
+    v.push(taco_sim::benchmarks::spmm_pareto_benchmark("scircuit", scale));
+    v
+}
+
+/// [`all_benchmarks`] plus the multi-objective variants — what name-based
+/// lookup (the CLI) searches.
+pub fn all_benchmarks_with_pareto(scale: TacoScale) -> Vec<Benchmark> {
+    let mut v = all_benchmarks(scale);
+    v.extend(pareto_benchmarks(scale));
+    v
+}
+
+/// Looks up one benchmark by display name (including the Pareto variants).
 ///
 /// # Panics
 /// Panics if the name is unknown.
 pub fn benchmark_by_name(name: &str, scale: TacoScale) -> Benchmark {
-    all_benchmarks(scale)
+    all_benchmarks_with_pareto(scale)
         .into_iter()
         .find(|b| b.name == name)
         .unwrap_or_else(|| panic!("unknown benchmark `{name}`"))

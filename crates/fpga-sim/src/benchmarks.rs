@@ -31,9 +31,10 @@ fn unroll_of(cfg: &Configuration, name: &str) -> f64 {
 }
 
 /// Shared evaluation core: given per-loop unroll/banking decisions and
-/// global flags, estimate time or fail on resource overflow.
+/// global flags, estimate time (and the design's resource bill) or fail on
+/// resource overflow.
 #[allow(clippy::too_many_arguments)]
-fn estimate(
+fn estimate_design(
     cfg: &Configuration,
     loops: &[Loop],
     unrolls: &[f64],
@@ -42,7 +43,7 @@ fn estimate(
     privatization: usize,
     base: Resources,
     bram_per_priv: f64,
-) -> Option<f64> {
+) -> Option<(f64, Resources)> {
     let dev = arria10();
     let mut res = base;
     let mut cycles = 0.0;
@@ -76,7 +77,24 @@ fn estimate(
         return None; // router gives up: the paper's mysterious failed builds
     }
     let t = dev.time(&res, cycles);
-    Some(t * 1e3 * config_jitter(cfg, 0.04))
+    Some((t * 1e3 * config_jitter(cfg, 0.04), res))
+}
+
+/// [`estimate_design`] projected onto runtime — the classic single-metric
+/// face the Table-3 benchmarks keep.
+#[allow(clippy::too_many_arguments)]
+fn estimate(
+    cfg: &Configuration,
+    loops: &[Loop],
+    unrolls: &[f64],
+    banking: f64,
+    fusion_level: usize,
+    privatization: usize,
+    base: Resources,
+    bram_per_priv: f64,
+) -> Option<f64> {
+    estimate_design(cfg, loops, unrolls, banking, fusion_level, privatization, base, bram_per_priv)
+        .map(|(ms, _)| ms)
 }
 
 // ───────────────────────────── BFS ─────────────────────────────
@@ -92,7 +110,7 @@ pub fn bfs_space() -> SearchSpace {
         .expect("valid BFS space")
 }
 
-fn bfs_eval(cfg: &Configuration) -> Option<f64> {
+fn bfs_design(cfg: &Configuration) -> Option<(f64, Resources)> {
     let loops = [
         Loop { trips: 1.0e6, base_ii: 2.2, alms: 5_000.0, dsps: 4.0, mem_bound: 0.85 },
         Loop { trips: 6.0e5, base_ii: 1.4, alms: 3_200.0, dsps: 2.0, mem_bound: 0.55 },
@@ -108,7 +126,17 @@ fn bfs_eval(cfg: &Configuration) -> Option<f64> {
         .position(|s| *s == cfg.value("privatize").as_str())
         .expect("valid category");
     let base = Resources { alms: 30_000.0, dsps: 16.0, bram_bytes: 4.0e5 };
-    estimate(cfg, &loops, &[u, u], b, fusion, privatize, base, 9e5)
+    estimate_design(cfg, &loops, &[u, u], b, fusion, privatize, base, 9e5)
+}
+
+fn bfs_eval(cfg: &Configuration) -> Option<f64> {
+    bfs_design(cfg).map(|(ms, _)| ms)
+}
+
+/// Runtime (ms) and logic area (kALMs) of a BFS design — the C2HLSC-style
+/// latency-vs-area trade-off the multi-objective tuner explores.
+fn bfs_eval_pareto(cfg: &Configuration) -> Option<(f64, f64)> {
+    bfs_design(cfg).map(|(ms, res)| (ms, res.alms / 1e3))
 }
 
 // ──────────────────────────── Audio ────────────────────────────
@@ -202,7 +230,7 @@ pub fn preeuler_space() -> SearchSpace {
         .expect("valid PreEuler space")
 }
 
-fn preeuler_eval(cfg: &Configuration) -> Option<f64> {
+fn preeuler_design(cfg: &Configuration) -> Option<(f64, Resources)> {
     let loops = [
         Loop { trips: 1.6e6, base_ii: 2.0, alms: 9_000.0, dsps: 80.0, mem_bound: 0.5 },
         Loop { trips: 1.6e6, base_ii: 1.6, alms: 6_000.0, dsps: 55.0, mem_bound: 0.6 },
@@ -221,14 +249,25 @@ fn preeuler_eval(cfg: &Configuration) -> Option<f64> {
     }
     let privatize = cfg.value("priv_fluxes").as_bool() as usize * 2;
     let base = Resources { alms: 45_000.0, dsps: 60.0, bram_bytes: 9.0e5 };
-    let t = estimate(cfg, &loops, &[u1, u1, u2], b, fusion, privatize, base, 1.1e6)?;
+    let (t, res) =
+        estimate_design(cfg, &loops, &[u1, u1, u2], b, fusion, privatize, base, 1.1e6)?;
     let coal_gain = if cfg.value("coalesce").as_bool() { 0.9 } else { 1.0 };
-    Some(t * coal_gain)
+    Some((t * coal_gain, res))
+}
+
+fn preeuler_eval(cfg: &Configuration) -> Option<f64> {
+    preeuler_design(cfg).map(|(ms, _)| ms)
+}
+
+/// Runtime (ms) and logic area (kALMs) of a PreEuler design.
+fn preeuler_eval_pareto(cfg: &Configuration) -> Option<(f64, f64)> {
+    preeuler_design(cfg).map(|(ms, res)| (ms, res.alms / 1e3))
 }
 
 // ───────────────────── benchmark packaging ─────────────────────
 
 type EvalFn = fn(&Configuration) -> Option<f64>;
+type ParetoEvalFn = fn(&Configuration) -> Option<(f64, f64)>;
 
 struct FpgaBench {
     name: String,
@@ -239,6 +278,23 @@ impl BlackBox for FpgaBench {
     fn evaluate(&self, cfg: &Configuration) -> Evaluation {
         match (self.eval)(cfg) {
             Some(ms) => Evaluation::feasible(ms),
+            None => Evaluation::infeasible(),
+        }
+    }
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+struct FpgaParetoBench {
+    name: String,
+    eval: ParetoEvalFn,
+}
+
+impl BlackBox for FpgaParetoBench {
+    fn evaluate(&self, cfg: &Configuration) -> Evaluation {
+        match (self.eval)(cfg) {
+            Some((ms, kalms)) => Evaluation::feasible_multi(vec![ms, kalms]),
             None => Evaluation::infeasible(),
         }
     }
@@ -260,6 +316,32 @@ fn build(name: &str, space: SearchSpace, eval: EvalFn, budget: usize) -> Benchma
         space,
         budget,
         has_hidden_constraints: true,
+        objective_names: vec!["runtime_ms".into()],
+        reference_point: None,
+    }
+}
+
+fn build_pareto(
+    name: &str,
+    space: SearchSpace,
+    eval: ParetoEvalFn,
+    budget: usize,
+    reference: [f64; 2],
+) -> Benchmark {
+    Benchmark {
+        name: name.to_string(),
+        group: Group::Hpvm,
+        default_config: space.default_configuration(),
+        expert_config: None,
+        blackbox: Box::new(FpgaParetoBench {
+            name: name.to_string(),
+            eval,
+        }),
+        space,
+        budget,
+        has_hidden_constraints: true,
+        objective_names: vec!["runtime_ms".into(), "area_kalms".into()],
+        reference_point: Some(reference.to_vec()),
     }
 }
 
@@ -281,6 +363,26 @@ pub fn preeuler() -> Benchmark {
 /// The full HPVM2FPGA suite.
 pub fn hpvm_benchmarks() -> Vec<Benchmark> {
     vec![bfs(), audio(), preeuler()]
+}
+
+/// The BFS **latency-vs-area** variant: the same design space and hidden
+/// constraints as [`bfs`], but the black box reports `[runtime_ms,
+/// area_kalms]` — unrolling/banking buys time with logic, so the Pareto
+/// front is genuinely multi-point. The reference point bounds every
+/// feasible design (the device holds ~427 kALMs; BFS runtimes stay well
+/// under 40 ms).
+pub fn bfs_pareto() -> Benchmark {
+    build_pareto("BFS-pareto", bfs_space(), bfs_eval_pareto, 30, [40.0, 450.0])
+}
+
+/// The PreEuler latency-vs-area variant (see [`bfs_pareto`]).
+pub fn preeuler_pareto() -> Benchmark {
+    build_pareto("PreEuler-pareto", preeuler_space(), preeuler_eval_pareto, 60, [60.0, 450.0])
+}
+
+/// The multi-objective HPVM2FPGA variants.
+pub fn hpvm_pareto_benchmarks() -> Vec<Benchmark> {
+    vec![bfs_pareto(), preeuler_pareto()]
 }
 
 #[cfg(test)]
@@ -340,6 +442,48 @@ mod tests {
         // A good fraction evaluates; unrolling helps BFS up to banking.
         let ok = all.iter().filter(|c| bfs_eval(c).is_some()).count();
         assert!(ok > 128, "only {ok}/256 feasible");
+    }
+
+    #[test]
+    fn pareto_variants_trade_latency_for_area() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        for b in hpvm_pareto_benchmarks() {
+            assert_eq!(b.n_objectives(), 2, "{}", b.name);
+            assert_eq!(b.objective_names, vec!["runtime_ms", "area_kalms"]);
+            let reference = b.reference_point.clone().unwrap();
+            let mut feasible = 0;
+            for _ in 0..300 {
+                let cfg = b.space.sample_dense(&mut rng);
+                let e = b.blackbox.evaluate(&cfg);
+                if let Some(v) = e.values() {
+                    feasible += 1;
+                    assert_eq!(v.len(), 2, "{}", b.name);
+                    assert!(v.iter().all(|x| x.is_finite() && *x > 0.0));
+                    // Every feasible design sits inside the reference box,
+                    // so hypervolume accounting never clips real points.
+                    assert!(
+                        v.iter().zip(&reference).all(|(x, r)| x < r),
+                        "{}: {v:?} outside reference {reference:?}",
+                        b.name
+                    );
+                }
+            }
+            assert!(feasible > 100, "{}: {feasible}/300 feasible", b.name);
+        }
+        // The trade-off is real: max unroll+banking is faster but larger
+        // than the default design.
+        let s = bfs_space();
+        let tuned = s
+            .configuration(&[
+                ("unroll_exp", ParamValue::Int(3)),
+                ("banking_exp", ParamValue::Int(3)),
+                ("fusion", ParamValue::Categorical("most".into())),
+                ("privatize", ParamValue::Categorical("all".into())),
+            ])
+            .unwrap();
+        let (t_def, a_def) = bfs_eval_pareto(&s.default_configuration()).unwrap();
+        let (t_tuned, a_tuned) = bfs_eval_pareto(&tuned).unwrap();
+        assert!(t_tuned < t_def && a_tuned > a_def, "no latency/area trade-off");
     }
 
     #[test]

@@ -48,6 +48,54 @@ fn build(
         space,
         budget,
         has_hidden_constraints: hidden,
+        objective_names: vec!["runtime_ms".into()],
+        reference_point: None,
+    }
+}
+
+/// Board-power proxy (W) of an MM_GPU configuration: wider workgroups,
+/// vector loads and deeper unrolling all raise switching activity. Coarse
+/// but monotone — exactly what a runtime-vs-energy trade-off needs.
+fn mm_gpu_power_w(cfg: &Configuration) -> f64 {
+    let threads = cfg.value("ls_x").as_f64() * cfg.value("ls_y").as_f64();
+    55.0 + 0.09 * threads + 4.0 * cfg.value("vec").as_f64()
+        + 1.5 * cfg.value("unroll").as_f64()
+}
+
+struct MmGpuParetoBench;
+
+impl BlackBox for MmGpuParetoBench {
+    fn evaluate(&self, cfg: &Configuration) -> Evaluation {
+        match kernels::mm_gpu::evaluate(cfg) {
+            Some(ms) => Evaluation::feasible_multi(vec![ms, ms * mm_gpu_power_w(cfg)]),
+            None => Evaluation::infeasible(),
+        }
+    }
+    fn name(&self) -> &str {
+        "MM_GPU-pareto"
+    }
+}
+
+/// The MM_GPU **runtime-vs-energy** variant: the same space, constraints and
+/// performance model as [`mm_gpu`], with a second objective `energy_mj =
+/// runtime × power-proxy` — the fastest configurations burn the widest
+/// workgroups, so minimum-time and minimum-energy designs differ.
+pub fn mm_gpu_pareto() -> Benchmark {
+    use kernels::mm_gpu as k;
+    let space = k::space();
+    Benchmark {
+        name: "MM_GPU-pareto".to_string(),
+        group: Group::Rise,
+        default_config: k::default_config(&space),
+        expert_config: Some(k::expert_config(&space)),
+        blackbox: Box::new(MmGpuParetoBench),
+        space,
+        budget: 120,
+        has_hidden_constraints: true,
+        objective_names: vec!["runtime_ms".into(), "energy_mj".into()],
+        // Generous upper bounds: MM_GPU runtimes sit far under 2 s and the
+        // power proxy under ~210 W, so every feasible point counts.
+        reference_point: Some(vec![2_000.0, 400_000.0]),
     }
 }
 

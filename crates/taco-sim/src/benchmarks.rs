@@ -391,6 +391,8 @@ pub fn spmv_benchmark(tensor: &str, scale: TacoScale) -> Benchmark {
         space,
         budget: 70,
         has_hidden_constraints: false,
+        objective_names: vec!["runtime_ms".into()],
+        reference_point: None,
     }
 }
 
@@ -412,6 +414,81 @@ pub fn spmm_benchmark(tensor: &str, scale: TacoScale) -> Benchmark {
         space,
         budget: 60,
         has_hidden_constraints: false,
+        objective_names: vec!["runtime_ms".into()],
+        reference_point: None,
+    }
+}
+
+/// Analytic DRAM-traffic model (MB) of one SpMM execution under `sched`:
+/// the CSR operand is streamed once per `j`-tile pass (`⌈rank/j_tile⌉`
+/// passes), the dense operand is gathered per nonzero, and a tiled output
+/// pays read-modify-write. Deterministic in the schedule and matrix shape —
+/// the second objective of [`spmm_pareto_benchmark`], trading locality
+/// (small tiles) against re-streaming (many passes).
+fn spmm_traffic_mb(b: &CsrMatrix, sched: &SpmmSchedule) -> f64 {
+    let passes = SPMM_RANK.div_ceil(sched.j_tile.max(1)) as f64;
+    let nnz = b.nnz() as f64;
+    // 12 bytes per CSR nonzero (index + value), re-streamed every pass.
+    let stream_b = nnz * 12.0 * passes;
+    // Dense rows gathered per nonzero: j_tile values per visit, every pass.
+    let gather_c = nnz * (sched.j_tile.min(SPMM_RANK) as f64) * 8.0 * passes;
+    // Output strip: written once, read-modify-written when tiled.
+    let out_a = (b.nrows * SPMM_RANK * 8) as f64 * if passes > 1.0 { 2.0 } else { 1.0 };
+    (stream_b + gather_c + out_a) / 1e6
+}
+
+struct SpmmParetoBench {
+    b: Arc<CsrMatrix>,
+    c: DenseMatrix,
+    name: String,
+}
+
+impl BlackBox for SpmmParetoBench {
+    fn evaluate(&self, cfg: &Configuration) -> Evaluation {
+        let sched = SpmmSchedule::from_config(cfg);
+        let (_, secs) = spmm(&self.b, &self.c, &sched);
+        Evaluation::feasible_multi(vec![secs * 1e3, spmm_traffic_mb(&self.b, &sched)])
+    }
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// The SpMM **runtime-vs-traffic** variant: wall-clock milliseconds plus the
+/// schedule's analytic DRAM traffic (`spmm_traffic_mb`) as a second
+/// minimized objective.
+pub fn spmm_pareto_benchmark(tensor: &str, scale: TacoScale) -> Benchmark {
+    let b = Arc::new(matrix(&spec(tensor), scale.factor()));
+    let c = DenseMatrix::random(b.ncols, SPMM_RANK, 11);
+    // Traffic is bounded by the all-passes worst case; runtime by a loose
+    // wall-clock ceiling for the scaled tensor.
+    let worst_traffic = {
+        let worst = SpmmSchedule {
+            order: [0, 1, 2],
+            j_tile: 1,
+            chunk: 1,
+            threads: 1,
+            scheme: crate::parallel::Scheme::Static,
+            unroll: 1,
+        };
+        spmm_traffic_mb(&b, &worst) * 1.5
+    };
+    let space = spmm_space();
+    Benchmark {
+        name: format!("SpMM-pareto {tensor}"),
+        group: Group::Taco,
+        default_config: spmm_default(&space),
+        expert_config: Some(spmm_expert(&space)),
+        blackbox: Box::new(SpmmParetoBench {
+            b,
+            c,
+            name: format!("SpMM-pareto {tensor}"),
+        }),
+        space,
+        budget: 60,
+        has_hidden_constraints: false,
+        objective_names: vec!["runtime_ms".into(), "traffic_mb".into()],
+        reference_point: Some(vec![10_000.0, worst_traffic]),
     }
 }
 
@@ -435,6 +512,8 @@ pub fn sddmm_benchmark(tensor: &str, scale: TacoScale) -> Benchmark {
         space,
         budget: 60,
         has_hidden_constraints: false,
+        objective_names: vec!["runtime_ms".into()],
+        reference_point: None,
     }
 }
 
@@ -456,6 +535,8 @@ pub fn ttv_benchmark(tensor: &str, scale: TacoScale) -> Benchmark {
         space,
         budget: 70,
         has_hidden_constraints: true,
+        objective_names: vec!["runtime_ms".into()],
+        reference_point: None,
     }
 }
 
@@ -481,6 +562,8 @@ pub fn mttkrp_benchmark(tensor: &str, scale: TacoScale) -> Benchmark {
         space,
         budget: 60,
         has_hidden_constraints: false,
+        objective_names: vec!["runtime_ms".into()],
+        reference_point: None,
     }
 }
 

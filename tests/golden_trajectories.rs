@@ -35,16 +35,17 @@ use baco::{Configuration, TuningReport};
 use std::collections::HashMap;
 use std::path::Path;
 
-/// Serves the fixture's recorded evaluations; panics on any configuration
-/// the fixture never saw (= the trajectory already diverged).
+/// Serves the fixture's recorded evaluations (scalar or objective-vector);
+/// panics on any configuration the fixture never saw (= the trajectory
+/// already diverged).
 struct ReplayBox {
     name: &'static str,
-    recorded: HashMap<Configuration, (Option<f64>, bool)>,
+    recorded: HashMap<Configuration, (Option<Vec<f64>>, bool)>,
 }
 
 impl BlackBox for ReplayBox {
     fn evaluate(&self, cfg: &Configuration) -> Evaluation {
-        let Some(&(value, feasible)) = self.recorded.get(cfg) else {
+        let Some((values, feasible)) = self.recorded.get(cfg) else {
             panic!(
                 "golden trajectory diverged: {} proposed {cfg}, which the fixture never \
                  evaluated. If the change is intentional, regenerate the fixture (see \
@@ -52,17 +53,25 @@ impl BlackBox for ReplayBox {
                 self.name
             );
         };
-        match (feasible, value) {
-            (true, Some(v)) => Evaluation::feasible(v),
+        match (feasible, values) {
+            (true, Some(v)) => Evaluation::feasible_multi(v.clone()),
             _ => Evaluation::infeasible(),
         }
     }
 }
 
-fn signature(r: &TuningReport) -> Vec<(String, Option<u64>, bool)> {
+/// Bitwise trial signature: configuration, full objective-vector bits,
+/// feasibility.
+fn signature(r: &TuningReport) -> Vec<(String, Option<Vec<u64>>, bool)> {
     r.trials()
         .iter()
-        .map(|t| (t.config.to_string(), t.value.map(f64::to_bits), t.feasible))
+        .map(|t| {
+            (
+                t.config.to_string(),
+                t.objectives().map(|o| o.iter().map(|v| v.to_bits()).collect()),
+                t.feasible,
+            )
+        })
         .collect()
 }
 
@@ -78,14 +87,17 @@ impl Golden {
         let path = Path::new(env!("CARGO_MANIFEST_DIR")).join(self.fixture);
         let journal = Journal::load(&path, &self.bench.space)
             .unwrap_or_else(|e| panic!("{}: {e}", self.fixture));
-        let tuner = Baco::builder(self.bench.space.clone())
+        let mut builder = Baco::builder(self.bench.space.clone())
             .budget(20)
             .doe_samples(6)
             .seed(self.seed)
             .batch_size(self.batch)
-            .eval_threads(1)
-            .build()
-            .unwrap();
+            .objectives(self.bench.n_objectives())
+            .eval_threads(1);
+        if let Some(r) = self.bench.reference_point.clone() {
+            builder = builder.reference_point(r);
+        }
+        let tuner = builder.build().unwrap();
         // The fixture must have been generated under exactly the options the
         // test reconstructs — `validate` cross-checks the envelope.
         let mode = if self.batch > 1 { Mode::Batched } else { Mode::Run };
@@ -96,7 +108,7 @@ impl Golden {
         let recorded = journal
             .trials
             .iter()
-            .map(|t| (t.config.clone(), (t.value, t.feasible)))
+            .map(|t| (t.config.clone(), (t.to_trial().objectives(), t.feasible)))
             .collect();
         let replay = ReplayBox {
             name: self.fixture,
@@ -105,11 +117,19 @@ impl Golden {
         (journal, tuner, replay)
     }
 
-    fn fixture_signature(&self, journal: &Journal) -> Vec<(String, Option<u64>, bool)> {
+    fn fixture_signature(&self, journal: &Journal) -> Vec<(String, Option<Vec<u64>>, bool)> {
         journal
             .trials
             .iter()
-            .map(|t| (t.config.to_string(), t.value.map(f64::to_bits), t.feasible))
+            .map(|t| {
+                (
+                    t.config.to_string(),
+                    t.to_trial()
+                        .objectives()
+                        .map(|o| o.iter().map(|v| v.to_bits()).collect()),
+                    t.feasible,
+                )
+            })
             .collect()
     }
 
@@ -156,15 +176,18 @@ impl Golden {
         // mid-DoE, mid-round and late interruption points.
         for &cut in boundaries.iter().step_by(3) {
             std::fs::write(&crash, &bytes[..cut]).unwrap();
-            let tuner = Baco::builder(self.bench.space.clone())
+            let mut builder = Baco::builder(self.bench.space.clone())
                 .budget(20)
                 .doe_samples(6)
                 .seed(self.seed)
                 .batch_size(self.batch)
+                .objectives(self.bench.n_objectives())
                 .eval_threads(1)
-                .journal_path(&crash)
-                .build()
-                .unwrap();
+                .journal_path(&crash);
+            if let Some(r) = self.bench.reference_point.clone() {
+                builder = builder.reference_point(r);
+            }
+            let tuner = builder.build().unwrap();
             let report = if self.batch > 1 {
                 tuner.resume_batched(&replay).unwrap()
             } else {
@@ -202,6 +225,15 @@ fn mm_gpu() -> Golden {
     }
 }
 
+fn bfs_pareto() -> Golden {
+    Golden {
+        fixture: "tests/fixtures/bfs_pareto_seed7.jsonl",
+        bench: fpga_sim::benchmarks::bfs_pareto(),
+        seed: 7,
+        batch: 1,
+    }
+}
+
 #[test]
 fn taco_spmm_golden_trajectory_replays_bitwise() {
     spmm().assert_replay();
@@ -220,4 +252,17 @@ fn taco_spmm_golden_trajectory_resumes_bitwise() {
 #[test]
 fn gpu_mm_batched_golden_trajectory_resumes_bitwise() {
     mm_gpu().assert_resume();
+}
+
+/// The multi-objective golden: a format-v2 journal whose trial records carry
+/// `[runtime_ms, area_kalms]` vectors, replayed bitwise — pins the ParEGO
+/// weight draws, the per-objective GP numerics and the v2 codec at once.
+#[test]
+fn fpga_bfs_pareto_golden_trajectory_replays_bitwise() {
+    bfs_pareto().assert_replay();
+}
+
+#[test]
+fn fpga_bfs_pareto_golden_trajectory_resumes_bitwise() {
+    bfs_pareto().assert_resume();
 }
