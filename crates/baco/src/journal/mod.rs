@@ -858,6 +858,12 @@ fn options_spec(opts: &BacoOptions) -> Json {
             Json::Arr(r.iter().map(|&v| Json::Num(v)).collect()),
         ));
     }
+    // Appended only when set, so journals written before the budgeted
+    // surrogate existed (v1, and v2 without a budget) stay byte-identical
+    // and keep validating.
+    if let Some(b) = opts.surrogate_budget {
+        members.push(("surrogate_budget".into(), Json::Num(b as f64)));
+    }
     Json::Obj(members)
 }
 

@@ -189,7 +189,7 @@ impl Default for LocalSearchOptions {
 pub fn local_search<R, F>(
     sampler: &FeasibleSampler,
     rng: &mut R,
-    mut score_batch: F,
+    score_batch: F,
     opts: &LocalSearchOptions,
     seen: &HashSet<Configuration>,
 ) -> Option<Configuration>
@@ -197,14 +197,36 @@ where
     R: Rng + ?Sized,
     F: FnMut(&[Configuration]) -> Vec<f64>,
 {
+    local_search_in(sampler, rng, score_batch, opts, seen, None)
+}
+
+/// How many draws a region-restricted pool slot may spend looking for an
+/// in-region candidate before settling for the best out-of-region draw —
+/// bounded so a tiny or empty region can never starve proposal generation.
+const REGION_ATTEMPTS: usize = 8;
+
+/// [`local_search`] restricted to a candidate region: when `region` is set,
+/// pool sampling retries a few times per slot for a configuration inside the
+/// region (falling back to a global draw, so search never starves), and hill
+/// climbs only traverse in-region neighbors. `None` is exactly
+/// [`local_search`] — same candidates, same RNG consumption, bit for bit.
+///
+/// This is the trust-region hook of the budget-bounded surrogate mode (see
+/// [`crate::surrogate::TrustRegion`]).
+pub fn local_search_in<R, F>(
+    sampler: &FeasibleSampler,
+    rng: &mut R,
+    mut score_batch: F,
+    opts: &LocalSearchOptions,
+    seen: &HashSet<Configuration>,
+    region: Option<&dyn Fn(&Configuration) -> bool>,
+) -> Option<Configuration>
+where
+    R: Rng + ?Sized,
+    F: FnMut(&[Configuration]) -> Vec<f64>,
+{
     let space = sampler.space().clone();
-    let mut pool: Vec<Configuration> = Vec::with_capacity(opts.n_candidates);
-    for _ in 0..opts.n_candidates {
-        let cfg = sampler.sample(rng);
-        if !seen.contains(&cfg) {
-            pool.push(cfg);
-        }
-    }
+    let pool = sample_pool(sampler, rng, opts.n_candidates, seen, region);
     let mut scored: Vec<(f64, Configuration)> = score_batch(&pool)
         .into_iter()
         .zip(pool)
@@ -220,11 +242,11 @@ where
         let mut cur_score = s0;
         for _ in 0..opts.max_steps {
             nbs.clear();
-            nbs.extend(
-                neighbors(&space, &cur)
-                    .into_iter()
-                    .filter(|nb| sampler.contains(nb) && !seen.contains(nb)),
-            );
+            nbs.extend(neighbors(&space, &cur).into_iter().filter(|nb| {
+                sampler.contains(nb)
+                    && !seen.contains(nb)
+                    && region.is_none_or(|inside| inside(nb))
+            }));
             if nbs.is_empty() {
                 break;
             }
@@ -253,12 +275,63 @@ where
     best.map(|(_, c)| c)
 }
 
+/// Draws the random candidate pool shared by [`local_search_in`] and
+/// [`random_search_in`]: `n` slots, each filled by an unseen feasible draw.
+///
+/// Without a region this is exactly the historical loop — one RNG draw per
+/// slot, dropped when already seen — so unbudgeted runs keep their bitwise
+/// trajectories. With a region, each slot retries up to [`REGION_ATTEMPTS`]
+/// times for an unseen in-region candidate and otherwise keeps its first
+/// unseen draw, so a shrunken trust region biases the pool without ever
+/// starving it.
+fn sample_pool<R: Rng + ?Sized>(
+    sampler: &FeasibleSampler,
+    rng: &mut R,
+    n: usize,
+    seen: &HashSet<Configuration>,
+    region: Option<&dyn Fn(&Configuration) -> bool>,
+) -> Vec<Configuration> {
+    let mut pool: Vec<Configuration> = Vec::with_capacity(n);
+    match region {
+        None => {
+            for _ in 0..n {
+                let cfg = sampler.sample(rng);
+                if !seen.contains(&cfg) {
+                    pool.push(cfg);
+                }
+            }
+        }
+        Some(inside) => {
+            for _ in 0..n {
+                let mut fallback: Option<Configuration> = None;
+                for _ in 0..REGION_ATTEMPTS {
+                    let cfg = sampler.sample(rng);
+                    if seen.contains(&cfg) {
+                        continue;
+                    }
+                    if inside(&cfg) {
+                        fallback = Some(cfg);
+                        break;
+                    }
+                    if fallback.is_none() {
+                        fallback = Some(cfg);
+                    }
+                }
+                if let Some(cfg) = fallback {
+                    pool.push(cfg);
+                }
+            }
+        }
+    }
+    pool
+}
+
 /// Picks the best of `n` random feasible candidates, scored as one batch
 /// (the degraded acquisition optimizer used by the `BaCO--` ablation).
 pub fn random_search<R, F>(
     sampler: &FeasibleSampler,
     rng: &mut R,
-    mut score_batch: F,
+    score_batch: F,
     n: usize,
     seen: &HashSet<Configuration>,
 ) -> Option<Configuration>
@@ -266,13 +339,25 @@ where
     R: Rng + ?Sized,
     F: FnMut(&[Configuration]) -> Vec<f64>,
 {
-    let mut pool: Vec<Configuration> = Vec::with_capacity(n);
-    for _ in 0..n {
-        let cfg = sampler.sample(rng);
-        if !seen.contains(&cfg) {
-            pool.push(cfg);
-        }
-    }
+    random_search_in(sampler, rng, score_batch, n, seen, None)
+}
+
+/// [`random_search`] with an optional candidate region; see
+/// [`local_search_in`] for the region semantics. `None` is exactly
+/// [`random_search`], bit for bit.
+pub fn random_search_in<R, F>(
+    sampler: &FeasibleSampler,
+    rng: &mut R,
+    mut score_batch: F,
+    n: usize,
+    seen: &HashSet<Configuration>,
+    region: Option<&dyn Fn(&Configuration) -> bool>,
+) -> Option<Configuration>
+where
+    R: Rng + ?Sized,
+    F: FnMut(&[Configuration]) -> Vec<f64>,
+{
+    let mut pool = sample_pool(sampler, rng, n, seen, region);
     let mut best: Option<(f64, usize)> = None;
     for (i, s) in score_batch(&pool).into_iter().enumerate() {
         // Strict `>` keeps the first maximum, like the sequential scan did.
@@ -394,6 +479,47 @@ mod tests {
         )
         .unwrap();
         assert_eq!(best.value("a").as_i64(), 1);
+    }
+
+    #[test]
+    fn region_restricted_search_biases_the_pool_into_the_region() {
+        let s = space();
+        let sampler = FeasibleSampler::new(&s).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        // A constant score makes the pick purely pool-order driven: the first
+        // surviving candidate wins, and with a region every slot retries until
+        // it lands inside, so the winner must be in-region.
+        let inside = |c: &Configuration| c.value("a").as_i64() >= 8;
+        let best = random_search_in(
+            &sampler,
+            &mut rng,
+            scalar_score(|_| 0.0),
+            64,
+            &HashSet::new(),
+            Some(&inside),
+        )
+        .unwrap();
+        assert!(inside(&best));
+    }
+
+    #[test]
+    fn empty_region_never_starves_search() {
+        let s = space();
+        let sampler = FeasibleSampler::new(&s).unwrap();
+        let mut rng = StdRng::seed_from_u64(8);
+        // A region that rejects everything must degrade to global draws, not
+        // return an empty pool: the fallback keeps each slot's first unseen
+        // draw.
+        let nothing = |_: &Configuration| false;
+        let best = local_search_in(
+            &sampler,
+            &mut rng,
+            scalar_score(|c| c.value("a").as_f64()),
+            &LocalSearchOptions::default(),
+            &HashSet::new(),
+            Some(&nothing),
+        );
+        assert!(best.is_some());
     }
 
     #[test]

@@ -269,9 +269,15 @@ impl ServerHandle {
                     return Err(unknown());
                 };
                 self.inner.registry.remove_if(&session, &slot);
+                let len = tenant.session.history().len();
+                // Free the tenant now, not at scope end: a long-lived session
+                // holds the surrogate cache's distance tables (O(budget²·d)
+                // budgeted, O(n²·d) exact), which must not outlive the close
+                // reply.
+                drop(tenant);
                 Ok(vec![
                     ("closed".into(), Json::Bool(true)),
-                    ("len".into(), Json::Num(tenant.session.history().len() as f64)),
+                    ("len".into(), Json::Num(len as f64)),
                 ])
             }
         }
@@ -339,6 +345,9 @@ impl ServerHandle {
         builder = builder.objectives(spec.objectives);
         if let Some(r) = spec.reference_point.clone() {
             builder = builder.reference_point(r);
+        }
+        if let Some(b) = spec.surrogate_budget {
+            builder = builder.surrogate_budget(b);
         }
         let mut resumed = false;
         if let Some(dir) = &self.inner.opts.journal_dir {
@@ -592,6 +601,54 @@ mod tests {
         assert_eq!(
             err.get("error").and_then(|e| e.get("kind")).and_then(Json::as_str),
             Some("unknown_session")
+        );
+    }
+
+    #[test]
+    fn budgeted_session_over_the_wire() {
+        let srv = ServerHandle::new(ServerOptions::default());
+        let create = format!(
+            r#"{{"op":"create_session","session":"sb","budget":16,"doe_samples":4,"seed":9,"surrogate_budget":8,"space":{}}}"#,
+            int_space_spec()
+        );
+        assert!(parse(&srv.handle_line(&create))
+            .get("ok")
+            .is_some_and(|j| *j == Json::Bool(true)));
+
+        // Enough reports that the feasible history outgrows the 8-point
+        // budget, so later asks run the active-set/trust-region path.
+        let mut n = 0;
+        loop {
+            let reply = parse(&srv.handle_line(r#"{"op":"ask","session":"sb"}"#));
+            let cfg = reply.get("config").unwrap();
+            if *cfg == Json::Null {
+                break;
+            }
+            let a = cfg.get("a").and_then(Json::as_f64).unwrap();
+            let report = format!(
+                r#"{{"op":"report","session":"sb","config":{},"value":{}}}"#,
+                cfg.to_line(),
+                (a - 7.0).powi(2) + 1.0
+            );
+            assert!(srv.handle_line(&report).contains(r#""ok":true"#));
+            n += 1;
+        }
+        assert_eq!(n, 16);
+
+        // Close frees the tenant (and its surrogate cache) immediately.
+        let closed = parse(&srv.handle_line(r#"{"op":"close","session":"sb"}"#));
+        assert_eq!(closed.get("closed"), Some(&Json::Bool(true)));
+        assert_eq!(srv.session_count(), 0);
+
+        // A sub-minimum budget is rejected at the wire with a typed error.
+        let bad = format!(
+            r#"{{"op":"create_session","session":"tiny","budget":4,"surrogate_budget":2,"space":{}}}"#,
+            int_space_spec()
+        );
+        let err = parse(&srv.handle_line(&bad));
+        assert_eq!(
+            err.get("error").and_then(|e| e.get("kind")).and_then(Json::as_str),
+            Some("bad_request")
         );
     }
 

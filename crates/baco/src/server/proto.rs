@@ -11,7 +11,7 @@
 //!
 //! | op | request fields | reply fields |
 //! |---|---|---|
-//! | `create_session` | `session`, `space` ([`space_spec`](crate::journal::space_spec) object), `budget`; optional `doe_samples`, `seed`, `resume`, `surrogate` (`"gp"`/`"rf"`), `hidden_constraints`, `feasibility_limit`, `local_search`, `log_objective`, `objectives` (≥ 1), `reference_point` (array, one finite entry per objective) | `resumed`, `len`, `remaining` |
+//! | `create_session` | `session`, `space` ([`space_spec`](crate::journal::space_spec) object), `budget`; optional `doe_samples`, `seed`, `resume`, `surrogate` (`"gp"`/`"rf"`), `hidden_constraints`, `feasibility_limit`, `local_search`, `log_objective`, `objectives` (≥ 1), `reference_point` (array, one finite entry per objective), `surrogate_budget` (≥ 8; budget-bounded surrogate mode) | `resumed`, `len`, `remaining` |
 //! | `ask` | `session` | `config` (object or `null` when exhausted) |
 //! | `suggest_batch` | `session`, `q` | `configs` (array, possibly empty) |
 //! | `report` | `session`, `config`; `value` (number, `null`, `"NaN"`, `"inf"`, `"-inf"`) **or** `values` (array, one entry per objective of a multi-objective session), and/or `feasible` — only *all-finite* measurements count as feasible, anything else is recorded as a failed evaluation | `len` |
@@ -137,6 +137,10 @@ pub struct SessionSpec {
     pub objectives: usize,
     /// Hypervolume reference point (one finite entry per objective).
     pub reference_point: Option<Vec<f64>>,
+    /// Budget-bounded surrogate mode: cap the GP training set at this many
+    /// points per round (default unset — exact GPs over the whole history).
+    /// See [`BacoBuilder::surrogate_budget`](crate::tuner::BacoBuilder).
+    pub surrogate_budget: Option<usize>,
 }
 
 /// One parsed request.
@@ -297,6 +301,15 @@ pub fn parse_request(line: &str) -> Result<Envelope, WireError> {
                         return Err(WireError::bad_request("`reference_point` must be an array"))
                     }
                 },
+                surrogate_budget: match opt_usize(&j, "surrogate_budget")? {
+                    Some(b) if b < crate::tuner::MIN_SURROGATE_BUDGET => {
+                        return Err(WireError::bad_request(format!(
+                            "`surrogate_budget` must be at least {}",
+                            crate::tuner::MIN_SURROGATE_BUDGET
+                        )))
+                    }
+                    b => b,
+                },
             };
             if let Some(r) = &spec.reference_point {
                 if r.len() != spec.objectives {
@@ -427,6 +440,31 @@ mod tests {
         ];
         for line in lines {
             parse_request(line).unwrap_or_else(|e| panic!("{line}: {e:?}"));
+        }
+    }
+
+    #[test]
+    fn surrogate_budget_parses_and_validates() {
+        let parse = |extra: &str| {
+            parse_request(&format!(
+                r#"{{"op":"create_session","session":"s","budget":5,"space":{{"params":[],"constraints":[]}}{extra}}}"#
+            ))
+        };
+        // Omitted → unset (exact surrogates).
+        let Ok(Envelope { req: Request::Create { spec, .. }, .. }) = parse("") else {
+            panic!("plain create must parse");
+        };
+        assert_eq!(spec.surrogate_budget, None);
+        // Set → plumbed through.
+        let Ok(Envelope { req: Request::Create { spec, .. }, .. }) =
+            parse(r#","surrogate_budget":64"#)
+        else {
+            panic!("budgeted create must parse");
+        };
+        assert_eq!(spec.surrogate_budget, Some(64));
+        // Below the floor (or malformed) → typed bad_request.
+        for bad in [r#","surrogate_budget":4"#, r#","surrogate_budget":"lots""#] {
+            assert_eq!(parse(bad).unwrap_err().kind, ErrorKind::BadRequest, "{bad}");
         }
     }
 

@@ -56,8 +56,10 @@
 //! [`GaussianProcess::fit_with_cache`]: super::GaussianProcess::fit_with_cache
 
 use super::features::ModelInput;
+use super::gp::PredictScratch;
 use crate::linalg::{Cholesky, Matrix};
 use crate::space::PermMetric;
+use std::sync::{Arc, Mutex};
 
 /// Persistent state for [`GaussianProcess::fit_with_cache`]; see the module
 /// docs.
@@ -83,6 +85,15 @@ pub struct GpCache {
     /// run (this cache itself serves objective 0), created on demand by
     /// [`GpCache::for_objective`]. Always empty for single-objective runs.
     extra: Vec<GpCache>,
+    /// Hard cap on how many training points the distance tables may cover —
+    /// the tuner sets it to its `surrogate_budget` so a long-lived session
+    /// can never accumulate O(n²·d) table memory. `None` = unbounded.
+    max_points: Option<usize>,
+    /// Cross-round prediction workspace, installed into every GP fitted
+    /// through this cache so the n×m cross-kernel buffers are allocated once
+    /// per session instead of once per round. Shared (not cloned) between
+    /// sub-caches and cache clones; never serialized.
+    scratch: Arc<Mutex<PredictScratch>>,
 }
 
 impl Default for GpCache {
@@ -94,6 +105,12 @@ impl Default for GpCache {
 impl GpCache {
     /// An empty cache; the first fit through it runs the full path.
     pub fn new() -> Self {
+        Self::with_budget(None)
+    }
+
+    /// An empty cache whose distance tables are clamped to `budget` training
+    /// points (see [`GpCache::max_points`]). `None` is [`GpCache::new`].
+    pub fn with_budget(budget: Option<usize>) -> Self {
         GpCache {
             fingerprint: None,
             inputs: Vec::new(),
@@ -103,26 +120,46 @@ impl GpCache {
             nll_per_point: f64::INFINITY,
             fits_since_full: 0,
             extra: Vec::new(),
+            max_points: budget,
+            scratch: Arc::new(Mutex::new(PredictScratch::default())),
         }
+    }
+
+    /// The table cap this cache enforces, if any.
+    pub fn max_points(&self) -> Option<usize> {
+        self.max_points
+    }
+
+    /// The shared prediction workspace fitted GPs borrow (an `Arc` clone).
+    pub(crate) fn shared_scratch(&self) -> Arc<Mutex<PredictScratch>> {
+        Arc::clone(&self.scratch)
     }
 
     /// The sub-cache serving objective `k` of a multi-objective run: `0` is
     /// this cache itself; higher indices are created (empty) on first use.
     /// Lets the per-iteration loops keep holding **one** `GpCache` while the
     /// tuner maintains one incrementally-refitted GP per objective.
+    /// Sub-caches inherit the table cap and share the prediction workspace.
     pub fn for_objective(&mut self, k: usize) -> &mut GpCache {
         if k == 0 {
             return self;
         }
         while self.extra.len() < k {
-            self.extra.push(GpCache::new());
+            let mut sub = GpCache::with_budget(self.max_points);
+            sub.scratch = Arc::clone(&self.scratch);
+            self.extra.push(sub);
         }
         &mut self.extra[k - 1]
     }
 
-    /// Drops all cached state.
+    /// Drops all cached model state. The table cap and the (already-sized)
+    /// prediction workspace survive — a reset must not reintroduce either
+    /// unbounded growth or cold-start reallocations.
     pub fn reset(&mut self) {
-        *self = GpCache::new();
+        let max_points = self.max_points;
+        let scratch = Arc::clone(&self.scratch);
+        *self = GpCache::with_budget(max_points);
+        self.scratch = scratch;
     }
 
     /// Number of training points the distance tables currently cover.
@@ -231,6 +268,25 @@ impl GpCache {
             self.fits_since_full = 0;
             self.nll_per_point = nll_per_point;
         }
+        // Defensive memory clamp: the budgeted tuner never feeds more than
+        // `max_points` inputs (the active-set selector caps them), but a
+        // direct `fit_with_cache` caller might. The fit itself is allowed to
+        // run over-budget; the over-sized tables and factorization are just
+        // not retained, so steady-state memory stays bounded.
+        if self.max_points.is_some_and(|cap| self.inputs.len() > cap) {
+            self.reset();
+        }
+    }
+
+    /// Rough heap footprint of the cached tables and factorizations (this
+    /// cache plus its per-objective sub-caches), for memory-bound tests and
+    /// diagnostics. Excludes the shared prediction workspace.
+    pub fn memory_bytes(&self) -> usize {
+        let f = std::mem::size_of::<f64>();
+        let n = self.inputs.len();
+        let tables: usize = self.d2.iter().map(|_| n * n * f).sum();
+        let chol = self.chol.as_ref().map_or(0, |c| c.dim() * c.dim() * f);
+        tables + chol + self.extra.iter().map(GpCache::memory_bytes).sum::<usize>()
     }
 }
 

@@ -51,7 +51,7 @@ use crate::opt::{multistart_minimize, LbfgsOptions};
 use crate::space::{Configuration, PermMetric, SearchSpace};
 use crate::{Error, Result};
 use rand::Rng;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 const SQRT5: f64 = 2.236_067_977_499_79;
 /// Jitter always added to the kernel diagonal for numerical stability.
@@ -196,6 +196,23 @@ pub struct PredictScratch {
     solved: Vec<f64>,
     mean_acc: Vec<f64>,
     var_acc: Vec<f64>,
+    /// Candidate-feature buffer for [`GaussianProcess::predict_batch_configs`]
+    /// (outer `Vec` capacity reused across rounds).
+    feats: Vec<ModelInput>,
+}
+
+/// Counts every capacity growth of a prediction workspace's cross-kernel
+/// buffers (debug builds only). The budgeted tuner shares one workspace per
+/// session via [`GpCache`], so after a warm-up round this must stop moving —
+/// asserted by the zero-alloc steady-state test.
+#[cfg(debug_assertions)]
+static SCRATCH_GROWTHS: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+
+/// (Debug builds only.) How many times any prediction workspace has had to
+/// grow its `n × m` cross-kernel buffers since process start.
+#[cfg(debug_assertions)]
+pub fn scratch_growth_count() -> usize {
+    SCRATCH_GROWTHS.load(std::sync::atomic::Ordering::Relaxed)
 }
 
 /// A fitted Gaussian process with the 5/2-Matérn kernel of Eq. (1)–(2).
@@ -227,8 +244,10 @@ pub struct GaussianProcess {
     /// built once per fit instead of once per `predict_batch` call.
     train_views: Vec<DimView>,
     /// Shared scratch so trait-object callers ([`super::ValueModel`]) reuse
-    /// the batch buffers across calls; uncontended in practice.
-    scratch: Mutex<PredictScratch>,
+    /// the batch buffers across calls; uncontended in practice. When fitted
+    /// through a [`GpCache`] the `Arc` is the cache's, so the buffers also
+    /// survive across *rounds* (and across refits) of a tuning session.
+    scratch: Arc<Mutex<PredictScratch>>,
 }
 
 /// Logs hot-path decisions when `BACO_GP_DEBUG` is set (diagnosing why a
@@ -347,7 +366,7 @@ impl GaussianProcess {
             alpha,
             ys,
             train_views,
-            scratch: Mutex::new(PredictScratch::default()),
+            scratch: cache.shared_scratch(),
         })
     }
 
@@ -397,7 +416,9 @@ impl GaussianProcess {
             alpha,
             ys,
             train_views,
-            scratch: Mutex::new(PredictScratch::default()),
+            // Fantasy models share the parent's workspace: same-round picks
+            // and later rounds keep hitting already-sized buffers.
+            scratch: Arc::clone(&self.scratch),
         })
     }
 
@@ -674,6 +695,35 @@ impl GaussianProcess {
         out
     }
 
+    /// Featurize-and-predict in one step, keeping the candidate-feature
+    /// buffer in the shared scratch so its (outer) allocation is reused
+    /// across calls and rounds. Bit-identical to
+    /// `predict_batch(&featurize(cfgs))`.
+    pub fn predict_batch_configs(&self, cfgs: &[Configuration]) -> Vec<(f64, f64)> {
+        let mut out = Vec::with_capacity(cfgs.len());
+        match self.scratch.try_lock() {
+            Ok(mut scratch) => {
+                let mut feats = std::mem::take(&mut scratch.feats);
+                #[cfg(debug_assertions)]
+                if feats.capacity() < cfgs.len() {
+                    SCRATCH_GROWTHS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                }
+                feats.clear();
+                feats.extend(
+                    cfgs.iter()
+                        .map(|c| ModelInput::from_config(&self.space, c, self.input_transforms)),
+                );
+                self.predict_batch_into(&feats, &mut scratch, &mut out);
+                scratch.feats = feats;
+            }
+            Err(_) => {
+                let feats = self.featurize(cfgs);
+                self.predict_batch_into(&feats, &mut PredictScratch::default(), &mut out);
+            }
+        }
+        out
+    }
+
     /// Allocation-free core of [`GaussianProcess::predict_batch`]: results
     /// are appended to `out` (cleared first); `scratch` is reused across
     /// calls.
@@ -701,6 +751,10 @@ impl GaussianProcess {
 
         for block in xs.chunks(PREDICT_BLOCK) {
             let m = block.len();
+            #[cfg(debug_assertions)]
+            if scratch.kstar.capacity() < n * m || scratch.solved.capacity() < n * m {
+                SCRATCH_GROWTHS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            }
             scratch.kstar.clear();
             scratch.kstar.resize(n * m, 0.0);
             scratch.solved.clear();

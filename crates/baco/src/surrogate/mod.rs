@@ -23,11 +23,13 @@
 //! # Ok::<(), baco::Error>(())
 //! ```
 
+pub mod budget;
 pub mod cache;
 mod features;
 pub mod gp;
 pub mod rf;
 
+pub use budget::{ActiveSet, TrustRegion};
 pub use cache::GpCache;
 pub use features::ModelInput;
 pub use gp::{GaussianProcess, GpOptions, PredictScratch, WarmStartOptions};
@@ -60,8 +62,7 @@ impl ValueModel for GaussianProcess {
     }
 
     fn predict_batch(&self, _space: &SearchSpace, cfgs: &[Configuration]) -> Vec<(f64, f64)> {
-        let inputs = self.featurize(cfgs);
-        GaussianProcess::predict_batch(self, &inputs)
+        self.predict_batch_configs(cfgs)
     }
 }
 

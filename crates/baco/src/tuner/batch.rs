@@ -60,7 +60,7 @@
 
 use super::{AcquisitionContext, Baco, BlackBox, FittedModel, Trial, TuningReport};
 use crate::eval::pool::evaluate_stream;
-use crate::search::{doe_sample, local_search, random_search};
+use crate::search::{doe_sample, local_search_in, random_search_in};
 use crate::space::Configuration;
 use crate::surrogate::GpCache;
 use crate::Result;
@@ -169,15 +169,18 @@ impl Baco {
         for i in 0..q {
             let next = {
                 let score_batch = ctx.score_batch(&self.space, self.opts.optimum_prior.as_ref());
+                let inside = self.region_predicate(&ctx);
+                let region = inside.as_ref().map(|f| f as &dyn Fn(&Configuration) -> bool);
                 if self.opts.local_search {
-                    local_search(&self.sampler, rng, score_batch, &self.opts.ls, &excluded)
+                    local_search_in(&self.sampler, rng, score_batch, &self.opts.ls, &excluded, region)
                 } else {
-                    random_search(
+                    random_search_in(
                         &self.sampler,
                         rng,
                         score_batch,
                         self.opts.ls.n_candidates,
                         &excluded,
+                        region,
                     )
                 }
             };
@@ -247,7 +250,7 @@ impl Baco {
         let mut report = TuningReport::new("BaCO");
         report.set_reference_point(self.opts.reference_point.clone());
         let mut seen: HashSet<Configuration> = HashSet::new();
-        let mut cache = GpCache::new();
+        let mut cache = self.new_cache();
         let ClosedLoopStart {
             mut writer,
             mut pending,

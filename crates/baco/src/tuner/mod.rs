@@ -44,11 +44,13 @@ pub use session::Session;
 use crate::acquisition::{
     expected_improvement, feasibility_weighted_ei, EpsilonSchedule, OptimumPrior, Scalarization,
 };
-use crate::search::{doe_sample, local_search, random_search, FeasibleSampler, LocalSearchOptions};
+use crate::search::{
+    doe_sample, local_search_in, random_search_in, FeasibleSampler, LocalSearchOptions,
+};
 use crate::space::{Configuration, SearchSpace};
 use crate::surrogate::{
-    GaussianProcess, GpCache, GpOptions, RandomForestClassifier, RandomForestRegressor, RfOptions,
-    ValueModel,
+    ActiveSet, GaussianProcess, GpCache, GpOptions, RandomForestClassifier,
+    RandomForestRegressor, RfOptions, TrustRegion, ValueModel,
 };
 use crate::{Error, Result};
 use rand::rngs::StdRng;
@@ -140,7 +142,29 @@ pub struct BacoOptions {
     /// fresh (and begins journaling), which is what a `--resume` CLI flag
     /// wants on the first launch.
     pub resume: bool,
+    /// Caps the GP training set at this many points per round, bounding
+    /// per-round surrogate cost at O(budget³) no matter how long the session
+    /// runs. `None` (the default) keeps the exact unbounded path. While the
+    /// feasible history fits the budget the loop is **bitwise identical** to
+    /// the exact path; beyond it, an incumbent-anchored active set
+    /// ([`crate::surrogate::ActiveSet`]) plus a TuRBO-style trust region
+    /// ([`crate::surrogate::TrustRegion`]) take over. Journaled in the
+    /// determinism envelope, so resumed runs replay the same selections.
+    /// See [`DEFAULT_SURROGATE_BUDGET`] for the recommended value.
+    pub surrogate_budget: Option<usize>,
 }
+
+/// The recommended [`BacoOptions::surrogate_budget`] for long-lived
+/// sessions: large enough that the paper's small-budget sweeps never
+/// truncate (so results are bit-identical to the exact path), small enough
+/// that a 20 000-trial session still fits+predicts in well under a second
+/// per round.
+pub const DEFAULT_SURROGATE_BUDGET: usize = 128;
+
+/// The smallest accepted [`BacoOptions::surrogate_budget`]: below this the
+/// active set cannot hold the incumbent block, the recency block and any
+/// space-filling remainder at once.
+pub const MIN_SURROGATE_BUDGET: usize = 8;
 
 impl Default for BacoOptions {
     fn default() -> Self {
@@ -165,6 +189,7 @@ impl Default for BacoOptions {
             eval_threads: 0,
             journal_path: None,
             resume: false,
+            surrogate_budget: None,
         }
     }
 }
@@ -298,6 +323,14 @@ impl BacoBuilder {
         self
     }
 
+    /// Caps the GP training set at `n` points per round (see
+    /// [`BacoOptions::surrogate_budget`]). [`DEFAULT_SURROGATE_BUDGET`] is a
+    /// good value for long-lived sessions.
+    pub fn surrogate_budget(mut self, n: usize) -> Self {
+        self.opts.surrogate_budget = Some(n);
+        self
+    }
+
     /// Replaces all options at once.
     pub fn options(mut self, opts: BacoOptions) -> Self {
         self.opts = opts;
@@ -331,6 +364,13 @@ impl BacoBuilder {
                 return Err(Error::InvalidConfig(
                     "reference point entries must be finite".into(),
                 ));
+            }
+        }
+        if let Some(b) = self.opts.surrogate_budget {
+            if b < MIN_SURROGATE_BUDGET {
+                return Err(Error::InvalidConfig(format!(
+                    "surrogate_budget must be at least {MIN_SURROGATE_BUDGET} (got {b})"
+                )));
             }
         }
         let sampler = FeasibleSampler::new(&self.space)?;
@@ -476,7 +516,7 @@ impl Baco {
         let mut report = TuningReport::new("BaCO");
         report.set_reference_point(self.opts.reference_point.clone());
         let mut seen: HashSet<Configuration> = HashSet::new();
-        let mut cache = GpCache::new();
+        let mut cache = self.new_cache();
         let ClosedLoopStart {
             mut writer,
             mut pending,
@@ -549,7 +589,28 @@ impl Baco {
         report: &TuningReport,
         seen: &HashSet<Configuration>,
     ) -> Result<Option<Configuration>> {
-        self.recommend_with_cache(rng, report, seen, &mut GpCache::new())
+        self.recommend_with_cache(rng, report, seen, &mut self.new_cache())
+    }
+
+    /// A fresh surrogate cache honoring this tuner's
+    /// [`surrogate_budget`](BacoBuilder::surrogate_budget): budgeted tuners
+    /// get a cache whose per-dimension distance tables are clamped to the
+    /// active-set size, so long-lived loops hold O(budget²·d) of cache memory
+    /// instead of O(n²·d). Custom loops calling
+    /// [`Baco::recommend_with_cache`] should create their cache here.
+    pub fn new_cache(&self) -> GpCache {
+        GpCache::with_budget(self.opts.surrogate_budget)
+    }
+
+    /// The in-region membership test handed to the candidate search on
+    /// budgeted rounds; `None` (no restriction) otherwise.
+    fn region_predicate<'a>(
+        &'a self,
+        ctx: &'a AcquisitionContext,
+    ) -> Option<impl Fn(&Configuration) -> bool + 'a> {
+        ctx.region
+            .as_ref()
+            .map(|r| move |c: &Configuration| r.contains(&self.space, c, self.opts.gp.input_transforms))
     }
 
     /// [`Baco::recommend`] with persistent surrogate state: the GP's
@@ -575,10 +636,19 @@ impl Baco {
             return Ok(self.random_unseen(rng, seen));
         };
         let score_batch = ctx.score_batch(&self.space, self.opts.optimum_prior.as_ref());
+        let inside = self.region_predicate(&ctx);
+        let region = inside.as_ref().map(|f| f as &dyn Fn(&Configuration) -> bool);
         let picked = if self.opts.local_search {
-            local_search(&self.sampler, rng, score_batch, &self.opts.ls, seen)
+            local_search_in(&self.sampler, rng, score_batch, &self.opts.ls, seen, region)
         } else {
-            random_search(&self.sampler, rng, score_batch, self.opts.ls.n_candidates, seen)
+            random_search_in(
+                &self.sampler,
+                rng,
+                score_batch,
+                self.opts.ls.n_candidates,
+                seen,
+                region,
+            )
         };
         match picked {
             Some(c) => Ok(Some(c)),
@@ -605,18 +675,52 @@ impl Baco {
         if self.opts.objectives > 1 {
             return self.fit_acquisition_multi(rng, report, cache);
         }
-        let (feas_cfgs, feas_vals): (Vec<Configuration>, Vec<f64>) = report
+        let feas: Vec<(&Configuration, f64)> = report
             .trials()
             .iter()
             .filter(|t| t.feasible && t.value.is_some_and(f64::is_finite))
-            .map(|t| (t.config.clone(), t.value.unwrap()))
-            .unzip();
+            .map(|t| (&t.config, t.value.unwrap()))
+            .collect();
 
-        if feas_cfgs.len() < 2 {
+        if feas.len() < 2 {
             return Ok(None);
         }
 
-        let y: Vec<f64> = feas_vals.iter().map(|&v| self.transform(v)).collect();
+        let y_full: Vec<f64> = feas.iter().map(|&(_, v)| self.transform(v)).collect();
+
+        // Budget-bounded surrogate mode: when the feasible history outgrows
+        // `surrogate_budget`, fold the history into a trust region, pick an
+        // active subset of at most `budget` points and train on that instead.
+        // The unbudgeted (and under-budget) path below is byte-for-byte the
+        // historical one — same clones, same arithmetic, same RNG stream.
+        let (feas_cfgs, y, region) = match self.surrogate_cap(feas.len()) {
+            Some(b) => {
+                let region = self.trust_region(report);
+                let cfg_refs: Vec<&Configuration> = feas.iter().map(|&(c, _)| c).collect();
+                let active = ActiveSet::select(
+                    rng,
+                    &self.space,
+                    &cfg_refs,
+                    &y_full,
+                    b,
+                    self.opts.gp.perm_metric,
+                    self.opts.gp.input_transforms,
+                    region.as_ref(),
+                );
+                let cfgs: Vec<Configuration> = active
+                    .indices()
+                    .iter()
+                    .map(|&i| cfg_refs[i].clone())
+                    .collect();
+                let ay = active.gather(&y_full);
+                (cfgs, ay, region)
+            }
+            None => (
+                feas.iter().map(|&(c, _)| c.clone()).collect(),
+                y_full,
+                None,
+            ),
+        };
 
         // Value model.
         let model = self.fit_value_model(rng, &feas_cfgs, &y, cache)?;
@@ -645,7 +749,53 @@ impl Baco {
             incumbent,
             guided_iter,
             ys: vec![y],
+            region,
         }))
+    }
+
+    /// The active-set cap for a feasible history of `n_feasible` points:
+    /// `Some(budget)` only when a budget is configured **and** the history
+    /// exceeds it. `None` means "run the exact path" — which is how
+    /// `surrogate_budget >= n` stays bitwise identical to no budget at all.
+    fn surrogate_cap(&self, n_feasible: usize) -> Option<usize> {
+        self.opts.surrogate_budget.filter(|&b| n_feasible > b)
+    }
+
+    /// The current trust region, recomputed as a deterministic fold over the
+    /// whole trial history (see [`TrustRegion::from_scalars`]). Recomputing
+    /// each round instead of storing state keeps resume-from-journal bitwise
+    /// for free: the fold input is exactly the replayed history. Infeasible
+    /// trials count as failures. Multi-objective histories are folded on the
+    /// weight-free scalar `sum of transformed objectives`, so the region does
+    /// not wobble with each round's ParEGO draw.
+    fn trust_region(&self, report: &TuningReport) -> Option<TrustRegion> {
+        let m = self.opts.objectives;
+        let cfgs: Vec<&Configuration> = report.trials().iter().map(|t| &t.config).collect();
+        let scalars: Vec<Option<f64>> = report
+            .trials()
+            .iter()
+            .map(|t| {
+                if !t.feasible {
+                    return None;
+                }
+                if m > 1 {
+                    let objs = t.objectives()?;
+                    (objs.len() == m && objs.iter().all(|v| v.is_finite()))
+                        .then(|| objs.iter().map(|&v| self.transform(v)).sum())
+                } else {
+                    t.value
+                        .filter(|v| v.is_finite())
+                        .map(|v| self.transform(v))
+                }
+            })
+            .collect();
+        TrustRegion::from_scalars(
+            &self.space,
+            &cfgs,
+            &scalars,
+            self.opts.gp.perm_metric,
+            self.opts.gp.input_transforms,
+        )
     }
 
     /// The multi-objective analogue of [`Baco::fit_acquisition`]: one value
@@ -676,15 +826,56 @@ impl Baco {
         if feas.len() < 2 {
             return Ok(None);
         }
-        let feas_cfgs: Vec<Configuration> = feas.iter().map(|(c, _)| (*c).clone()).collect();
-        // Objective-major transformed targets.
-        let ys: Vec<Vec<f64>> = (0..m)
+        // Objective-major transformed targets over the full feasible history.
+        let ys_full: Vec<Vec<f64>> = (0..m)
             .map(|k| feas.iter().map(|(_, o)| self.transform(o[k])).collect())
             .collect();
 
-        // This round's journaled weight draw, then one model per objective —
-        // a fixed RNG consumption order, so resume replays it bitwise.
-        let scal = Scalarization::sample(rng, &ys);
+        // This round's journaled weight draw — always over the *full* history
+        // (its normalization ranges must not depend on the active subset),
+        // then active-set selection (budgeted rounds only), then one model per
+        // objective: a fixed RNG consumption order, so resume replays it
+        // bitwise.
+        let scal = Scalarization::sample(rng, &ys_full);
+
+        // Budgeted rounds share one active set across all objectives, chosen
+        // on this round's scalarized values, so the per-objective GPs stay
+        // aligned on the same training points (and the same distance tables).
+        let (feas_cfgs, ys, region) = match self.surrogate_cap(feas.len()) {
+            Some(b) => {
+                let region = self.trust_region(report);
+                let cfg_refs: Vec<&Configuration> = feas.iter().map(|(c, _)| *c).collect();
+                let scalarized: Vec<f64> = (0..feas.len())
+                    .map(|j| {
+                        let obs: Vec<f64> = ys_full.iter().map(|y| y[j]).collect();
+                        scal.scalarize(&obs)
+                    })
+                    .collect();
+                let active = ActiveSet::select(
+                    rng,
+                    &self.space,
+                    &cfg_refs,
+                    &scalarized,
+                    b,
+                    self.opts.gp.perm_metric,
+                    self.opts.gp.input_transforms,
+                    region.as_ref(),
+                );
+                let cfgs: Vec<Configuration> = active
+                    .indices()
+                    .iter()
+                    .map(|&i| cfg_refs[i].clone())
+                    .collect();
+                let ys: Vec<Vec<f64>> = ys_full.iter().map(|y| active.gather(y)).collect();
+                (cfgs, ys, region)
+            }
+            None => (
+                feas.iter().map(|(c, _)| (*c).clone()).collect(),
+                ys_full,
+                None,
+            ),
+        };
+
         let models = ys
             .iter()
             .enumerate()
@@ -726,6 +917,7 @@ impl Baco {
             incumbent,
             guided_iter,
             ys,
+            region,
         }))
     }
 
@@ -930,8 +1122,13 @@ pub(crate) struct AcquisitionContext {
     incumbent: f64,
     guided_iter: usize,
     /// Transformed objective values of the feasible history, objective-major
-    /// (liar values for constant-liar fantasies are statistics of these).
+    /// (liar values for constant-liar fantasies are statistics of these). On
+    /// budgeted rounds these cover the *active set* only.
     pub(crate) ys: Vec<Vec<f64>>,
+    /// The trust region of a budgeted round: candidate generation is biased
+    /// into it (see [`crate::search::local_search_in`]). `None` whenever the
+    /// round ran the exact, unbudgeted path.
+    pub(crate) region: Option<TrustRegion>,
 }
 
 impl AcquisitionContext {

@@ -124,14 +124,15 @@ impl Session {
         };
         let mut report = TuningReport::new("BaCO");
         report.set_reference_point(tuner.options().reference_point.clone());
+        let cache = tuner.new_cache();
         Ok(Session {
             tuner,
             rng,
             report,
             seen: HashSet::new(),
             pending: Vec::new(),
+            cache,
             doe_queue,
-            cache: GpCache::new(),
             last_think: Duration::ZERO,
             think_end: None,
             last_report: None,
@@ -201,14 +202,15 @@ impl Session {
         queue.reverse(); // pop() order
 
         let writer = JournalWriter::resume(path, &journal, report.len())?;
+        let cache = tuner.new_cache();
         Ok(Session {
             tuner,
             rng,
             report,
             seen,
             pending: Vec::new(),
+            cache,
             doe_queue: queue,
-            cache: GpCache::new(),
             last_think: Duration::ZERO,
             think_end: None,
             last_report: None,

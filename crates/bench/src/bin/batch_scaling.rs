@@ -19,6 +19,7 @@
 use baco::benchmark::Benchmark;
 use baco::tuner::{BlackBox, Evaluation, TuningReport};
 use baco::{Baco, Configuration};
+use baco_bench::emit;
 use std::collections::HashMap;
 use std::sync::Mutex;
 use std::time::Instant;
@@ -141,11 +142,16 @@ fn main() {
             if i + 1 < arms.len() { "," } else { "" }
         ));
     }
-    json.push_str(&format!(
-        "  ],\n  \"criteria\": {{\n    \"speedup_at_q8\": {:.2},\n    \"speedup_target\": 2.5\n  }}\n}}\n",
-        speedup_q8
-    ));
+    let checks = [
+        emit::Check::ge("speedup_at_q8", speedup_q8, 2.5),
+        // Bitwise q=1 identity, encoded numerically so the check shape stays
+        // uniform across artifacts (1 = identical).
+        emit::Check::ge("q1_trajectory_identical", identical as u8 as f64, 1.0),
+    ];
+    json.push_str("  ],\n");
+    json.push_str(&emit::criteria_block(&checks));
+    json.push_str("}\n");
     std::fs::write(&out_path, &json).unwrap();
     println!("\nwrote {out_path}");
-    println!("criteria: q=8 wall-clock speedup {speedup_q8:.2}x (target 2.5x at equal budget)");
+    emit::print_criteria(&checks);
 }

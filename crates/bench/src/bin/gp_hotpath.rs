@@ -11,6 +11,7 @@
 
 use baco::space::SearchSpace;
 use baco::surrogate::{GaussianProcess, GpCache, GpOptions, PredictScratch, WarmStartOptions};
+use baco_bench::emit;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::hint::black_box;
@@ -252,13 +253,14 @@ fn main() {
             if i + 1 < fit.len() { "," } else { "" }
         ));
     }
-    json.push_str(&format!(
-        "  ],\n  \"criteria\": {{\n    \"batch_predict_speedup_at_n150\": {:.2},\n    \"batch_predict_target\": 5.0,\n    \"incremental_fit_speedup_min\": {:.1},\n    \"incremental_fit_target\": 2.0\n  }}\n}}\n",
-        predict_speedup_150, fit_speedup_min
-    ));
+    let checks = [
+        emit::Check::ge("batch_predict_speedup_at_n150", predict_speedup_150, 5.0),
+        emit::Check::ge("incremental_fit_speedup_min", fit_speedup_min, 2.0),
+    ];
+    json.push_str("  ],\n");
+    json.push_str(&emit::criteria_block(&checks));
+    json.push_str("}\n");
     std::fs::write(&out_path, &json).unwrap();
     println!("\nwrote {out_path}");
-    println!(
-        "criteria: batch@n150 {predict_speedup_150:.2}x (target 5x), incremental fit min {fit_speedup_min:.1}x (target 2x)"
-    );
+    emit::print_criteria(&checks);
 }

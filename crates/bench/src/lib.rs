@@ -24,6 +24,7 @@
 //! | `gp_hotpath` | GP hot-path microbenchmark → `BENCH_gp_hotpath.json` |
 //! | `batch_scaling` | batched-engine scaling (q ∈ {1,2,4,8}) → `BENCH_batch_scaling.json` |
 //! | `pareto_scaling` | multi-objective hypervolume vs random search → `BENCH_pareto.json` |
+//! | `gp_scaling` | budget-bounded surrogate scaling (n ∈ {1k, 5k, 20k} histories + 25-bench quality sweep) → `BENCH_gp_scaling.json` |
 //! | `baco-cli`   | journaled tuning driver: `tune --journal run.jsonl [--resume]`, `best`, `list`; also the golden-fixture generator and, via `serve`/`client`, the end-to-end face of the multi-tenant tuning server |
 //!
 //! Shared flags: `--reps N` (default 5; the paper uses 30), `--scale
@@ -34,6 +35,7 @@
 pub mod ablation;
 pub mod agg;
 pub mod cli;
+pub mod emit;
 pub mod runner;
 pub mod stats;
 pub mod store;
