@@ -1,0 +1,548 @@
+//! The event-driven TCP front end: one readiness loop multiplexing every
+//! connection over a hand-rolled epoll poller ([`super::sys`]), with request
+//! dispatch on a small worker pool.
+//!
+//! ```text
+//!              ┌───────────────── readiness loop (1 thread) ─────────────────┐
+//!   accept ──► │ non-blocking accept → slab of ConnState                     │
+//!   readable ─► read → incremental framing → FIFO ──► job queue ─┐           │
+//!   writable ─► flush bounded write buffers  ◄── completions ◄── │ workers   │
+//!   waker ───► drain completions                                 │ (N threads│
+//!              └─────────────────────────────────────────────────┘  share the│
+//!                                                                   sharded  │
+//!                                                                   registry)┘
+//! ```
+//!
+//! Division of labour: the loop does **only I/O and framing** — every
+//! request (JSON parse included) runs on a worker via
+//! [`ServerHandle::handle_line`], so a slow tuner operation never stalls
+//! accepts, reads, or writes. Per-connection order is preserved by
+//! dispatching at most one request per connection at a time
+//! ([`ConnState`]'s FIFO); cross-connection parallelism comes from the pool,
+//! and per-session serialization is the registry's per-slot mutex, exactly
+//! as under the thread-per-connection front end.
+//!
+//! Overload policy (replacing the old hard `busy` connection refusal):
+//!
+//! * more than [`ServerOptions::max_outstanding`] requests accepted but
+//!   unanswered server-wide, or more than
+//!   [`ServerOptions::max_pending_per_conn`] queued on one connection
+//!   ⇒ the request is **shed**: a typed `overloaded` error reply (with the
+//!   request's `id` echoed) delivered in order, connection kept open —
+//!   shed load is retryable load;
+//! * a connection whose write buffer outgrows
+//!   [`ServerOptions::write_buf_limit`] stops being read until it drains
+//!   (backpressure via TCP flow control);
+//! * only above [`ServerOptions::max_connections`] — an fd-exhaustion
+//!   guard, not a throughput limit — is a fresh connection answered with
+//!   one `overloaded` line and closed.
+
+use super::conn::{ConnState, Pending};
+use super::proto::{self, WireError};
+use super::sys::{self, Poller};
+use super::{ServerHandle, MAX_REQUEST_LINE};
+use crate::journal::json;
+use crate::{Error, Result};
+use std::collections::VecDeque;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::os::unix::net::UnixStream;
+use std::os::unix::prelude::AsRawFd;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// Token of the listening socket (never a valid slab index).
+const TOKEN_LISTENER: u64 = u64::MAX;
+/// Token of the loop-wake pipe.
+const TOKEN_WAKER: u64 = u64::MAX - 1;
+
+/// One request handed to the worker pool.
+struct Job {
+    token: usize,
+    gen: u64,
+    line: String,
+}
+
+/// One worker result on its way back to the loop.
+struct Completion {
+    token: usize,
+    gen: u64,
+    reply: String,
+}
+
+/// State shared between the loop, the workers, and the controller.
+struct Shared {
+    jobs: Mutex<VecDeque<Job>>,
+    jobs_cv: Condvar,
+    completions: Mutex<Vec<Completion>>,
+    stop: AtomicBool,
+}
+
+impl Shared {
+    fn enqueue(&self, job: Job) {
+        self.jobs.lock().unwrap_or_else(|e| e.into_inner()).push_back(job);
+        self.jobs_cv.notify_one();
+    }
+}
+
+/// Wakes the loop out of `epoll_wait` (worker completions, stop requests).
+/// Cheap to clone; writes are single bytes and a full pipe is itself a
+/// successful wake, so `WouldBlock` is ignored.
+#[derive(Debug)]
+pub(crate) struct Waker(UnixStream);
+
+impl Waker {
+    fn wake(&self) {
+        let _ = (&self.0).write(&[1u8]);
+    }
+
+    fn try_clone(&self) -> std::io::Result<Waker> {
+        Ok(Waker(self.0.try_clone()?))
+    }
+}
+
+/// Controller of a running event front end (wrapped by
+/// [`super::TcpServer`]).
+#[derive(Debug)]
+pub(crate) struct EventServer {
+    stop: Arc<AtomicBool>,
+    waker: Waker,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl EventServer {
+    pub(crate) fn stop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        self.waker.wake();
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+
+    pub(crate) fn join(&mut self) {
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Binds `addr` and spawns the readiness loop plus its worker pool.
+pub(crate) fn serve<A: ToSocketAddrs>(
+    handle: ServerHandle,
+    addr: A,
+) -> Result<(SocketAddr, EventServer)> {
+    let listener = TcpListener::bind(addr).map_err(|e| Error::Io(format!("bind: {e}")))?;
+    let local = listener.local_addr().map_err(|e| Error::Io(format!("local_addr: {e}")))?;
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| Error::Io(format!("set_nonblocking: {e}")))?;
+
+    let (wake_rx, wake_tx) =
+        UnixStream::pair().map_err(|e| Error::Io(format!("waker: {e}")))?;
+    wake_rx.set_nonblocking(true).map_err(|e| Error::Io(format!("waker: {e}")))?;
+    wake_tx.set_nonblocking(true).map_err(|e| Error::Io(format!("waker: {e}")))?;
+    let waker = Waker(wake_tx);
+
+    let poller = Poller::new().map_err(|e| Error::Io(format!("epoll_create: {e}")))?;
+    poller
+        .add(listener.as_raw_fd(), sys::EPOLLIN, TOKEN_LISTENER)
+        .map_err(|e| Error::Io(format!("epoll_ctl(listener): {e}")))?;
+    poller
+        .add(wake_rx.as_raw_fd(), sys::EPOLLIN, TOKEN_WAKER)
+        .map_err(|e| Error::Io(format!("epoll_ctl(waker): {e}")))?;
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let shared = Arc::new(Shared {
+        jobs: Mutex::new(VecDeque::new()),
+        jobs_cv: Condvar::new(),
+        completions: Mutex::new(Vec::new()),
+        stop: AtomicBool::new(false),
+    });
+
+    let workers: Vec<JoinHandle<()>> = (0..handle.inner.opts.workers.max(1))
+        .map(|_| {
+            let shared = Arc::clone(&shared);
+            let handle = handle.clone();
+            let waker = waker.try_clone().map_err(|e| Error::Io(format!("waker: {e}")))?;
+            Ok(std::thread::spawn(move || worker_loop(&shared, &handle, &waker)))
+        })
+        .collect::<Result<_>>()?;
+
+    let stop2 = Arc::clone(&stop);
+    let loop_waker = waker.try_clone().map_err(|e| Error::Io(format!("waker: {e}")))?;
+    let thread = std::thread::spawn(move || {
+        let mut lp = EventLoop {
+            handle,
+            poller,
+            listener,
+            wake_rx,
+            shared: Arc::clone(&shared),
+            stop: stop2,
+            slab: Vec::new(),
+            free: Vec::new(),
+            conns: 0,
+            outstanding: 0,
+            next_gen: 0,
+            scratch: vec![0u8; 64 * 1024],
+            accept_throttled: false,
+        };
+        lp.run();
+        // Loop done: release the workers, then join them so no worker
+        // outlives the front end it belongs to.
+        shared.stop.store(true, Ordering::SeqCst);
+        shared.jobs_cv.notify_all();
+        for w in workers {
+            let _ = w.join();
+        }
+    });
+
+    Ok((local, EventServer { stop, waker: loop_waker, thread: Some(thread) }))
+}
+
+fn worker_loop(shared: &Shared, handle: &ServerHandle, waker: &Waker) {
+    loop {
+        let job = {
+            let mut q = shared.jobs.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if shared.stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                if let Some(job) = q.pop_front() {
+                    break job;
+                }
+                q = shared.jobs_cv.wait(q).unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        // `handle_line` promises never to panic; the catch is belt and
+        // braces so one violation cannot wedge the connection forever
+        // behind a lost completion.
+        let reply = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            handle.handle_line(&job.line)
+        }))
+        .unwrap_or_else(|_| {
+            proto::err_line(
+                None,
+                &WireError { kind: proto::ErrorKind::Tuner, msg: "internal panic".into() },
+            )
+        });
+        shared
+            .completions
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(Completion { token: job.token, gen: job.gen, reply });
+        waker.wake();
+    }
+}
+
+/// One multiplexed connection in the slab.
+struct Conn {
+    stream: TcpStream,
+    state: ConnState,
+    /// Distinguishes this connection from earlier users of the same slab
+    /// slot, so a completion for a dead connection is never delivered to
+    /// its successor.
+    gen: u64,
+    /// Event set currently registered with the poller.
+    interest: u32,
+}
+
+struct EventLoop {
+    handle: ServerHandle,
+    poller: Poller,
+    listener: TcpListener,
+    wake_rx: UnixStream,
+    shared: Arc<Shared>,
+    stop: Arc<AtomicBool>,
+    slab: Vec<Option<Conn>>,
+    free: Vec<usize>,
+    conns: usize,
+    /// Requests accepted (framed, not shed) but not yet answered,
+    /// server-wide — the load-shedding measure.
+    outstanding: usize,
+    next_gen: u64,
+    scratch: Vec<u8>,
+    /// Set when `accept` failed for a reason other than `WouldBlock`
+    /// (fd exhaustion): the next wait uses a timeout so the loop retries
+    /// without busy-spinning on a level-triggered listener event.
+    accept_throttled: bool,
+}
+
+const READ_INTEREST: u32 = sys::EPOLLIN | sys::EPOLLRDHUP;
+
+impl EventLoop {
+    fn run(&mut self) {
+        let mut events: Vec<(u32, u64)> = Vec::new();
+        while !self.stop.load(Ordering::SeqCst) {
+            let timeout = if self.accept_throttled { 50 } else { -1 };
+            if self.poller.wait(&mut events, timeout).is_err() {
+                break; // a broken epoll fd is unrecoverable
+            }
+            if self.accept_throttled {
+                // Retry the accept backlog even if no event fired.
+                self.accept_ready();
+            }
+            for &(ev, token) in &events {
+                match token {
+                    TOKEN_LISTENER => self.accept_ready(),
+                    TOKEN_WAKER => self.drain_waker(),
+                    idx => self.conn_event(idx as usize, ev),
+                }
+            }
+            // Completions are drained every iteration (not only on waker
+            // events): a wake byte pushed while the loop was already awake
+            // must not postpone its replies to the next kernel event.
+            self.deliver_completions();
+        }
+    }
+
+    fn accept_ready(&mut self) {
+        self.accept_throttled = false;
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    if self.conns >= self.handle.inner.opts.max_connections {
+                        // Past the fd guard: shed the connection itself —
+                        // one typed line (the socket's empty send buffer
+                        // accepts it without blocking), then close.
+                        let _ = stream.set_nonblocking(true);
+                        let mut s = stream;
+                        let _ = s.write_all(
+                            format!("{}\n", proto::err_line(None, &WireError::overloaded()))
+                                .as_bytes(),
+                        );
+                        continue;
+                    }
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let _ = stream.set_nodelay(true);
+                    let idx = self.free.pop().unwrap_or_else(|| {
+                        self.slab.push(None);
+                        self.slab.len() - 1
+                    });
+                    self.next_gen += 1;
+                    let conn = Conn {
+                        stream,
+                        state: ConnState::new(self.handle.inner.opts.write_buf_limit),
+                        gen: self.next_gen,
+                        interest: READ_INTEREST,
+                    };
+                    if self
+                        .poller
+                        .add(conn.stream.as_raw_fd(), READ_INTEREST, idx as u64)
+                        .is_err()
+                    {
+                        self.free.push(idx);
+                        continue;
+                    }
+                    self.slab[idx] = Some(conn);
+                    self.conns += 1;
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    // fd exhaustion and friends: back off instead of
+                    // spinning on the still-readable listener.
+                    self.accept_throttled = true;
+                    return;
+                }
+            }
+        }
+    }
+
+    fn drain_waker(&mut self) {
+        let mut buf = [0u8; 256];
+        loop {
+            match (&self.wake_rx).read(&mut buf) {
+                Ok(0) => return,
+                Ok(n) if n < buf.len() => return,
+                Ok(_) => continue,
+                Err(_) => return,
+            }
+        }
+    }
+
+    fn deliver_completions(&mut self) {
+        let done: Vec<Completion> = {
+            let mut c = self.shared.completions.lock().unwrap_or_else(|e| e.into_inner());
+            std::mem::take(&mut *c)
+        };
+        for c in done {
+            let Some(conn) = self.slab.get_mut(c.token).and_then(Option::as_mut) else {
+                continue; // connection died with the request in flight
+            };
+            if conn.gen != c.gen {
+                continue; // slot recycled since; same story
+            }
+            conn.state.complete_in_flight();
+            self.outstanding -= 1;
+            conn.state.queue_reply(&c.reply);
+            self.pump(c.token);
+            self.flush_and_update(c.token);
+        }
+    }
+
+    fn conn_event(&mut self, idx: usize, ev: u32) {
+        if self.slab.get(idx).and_then(Option::as_ref).is_none() {
+            return; // closed earlier in this event batch
+        }
+        if ev & (sys::EPOLLERR | sys::EPOLLHUP) != 0 {
+            self.close_conn(idx);
+            return;
+        }
+        if ev & (sys::EPOLLIN | sys::EPOLLRDHUP) != 0 {
+            self.conn_readable(idx);
+        }
+        // Whatever happened — new replies queued, backpressure toggled, the
+        // socket reported writable — one flush-and-reconcile pass settles it.
+        self.flush_and_update(idx);
+    }
+
+    fn conn_readable(&mut self, idx: usize) {
+        loop {
+            let Some(conn) = self.slab.get_mut(idx).and_then(Option::as_mut) else { return };
+            if !conn.state.wants_read() {
+                return;
+            }
+            let n = match conn.stream.read(&mut self.scratch) {
+                Ok(0) => {
+                    conn.state.peer_closed();
+                    return;
+                }
+                Ok(n) => n,
+                Err(e) if e.kind() == ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.close_conn(idx);
+                    return;
+                }
+            };
+            let framed = conn.state.ingest(&self.scratch[..n], MAX_REQUEST_LINE);
+            match framed {
+                Ok(lines) => {
+                    for line in lines {
+                        self.frame_request(idx, line);
+                    }
+                }
+                Err(too_long) => {
+                    // One typed error, then close after the flush — there
+                    // is no way to resynchronize inside an unbounded line.
+                    let e = WireError::bad_request(format!(
+                        "request line exceeds {MAX_REQUEST_LINE} bytes ({}+ buffered)",
+                        too_long.buffered
+                    ));
+                    let reply = proto::err_line(None, &e);
+                    let Some(conn) = self.slab.get_mut(idx).and_then(Option::as_mut) else {
+                        return;
+                    };
+                    // Poisoning drops the pending FIFO; release the
+                    // outstanding slots its queued requests held (the
+                    // in-flight one, if any, is released by its completion
+                    // as usual — the connection stays alive until then).
+                    self.outstanding -= conn.state.pending_requests();
+                    conn.state.queue_reply(&reply);
+                    conn.state.poison();
+                    return;
+                }
+            }
+            if n < self.scratch.len() {
+                return; // drained the socket (level-trigger refires if not)
+            }
+        }
+    }
+
+    fn frame_request(&mut self, idx: usize, line: String) {
+        let opts = &self.handle.inner.opts;
+        let max_outstanding = opts.max_outstanding;
+        let max_pending = opts.max_pending_per_conn;
+        let Some(conn) = self.slab.get_mut(idx).and_then(Option::as_mut) else { return };
+        let overloaded = self.outstanding >= max_outstanding
+            || conn.state.pending_len() >= max_pending;
+        if overloaded {
+            // Shed: answer `overloaded` (id echoed) *in order* — the marker
+            // rides the same FIFO as real requests.
+            let id = json::parse(&line).ok().and_then(|j| j.get("id").cloned());
+            conn.state.push_pending(Pending::Shed(id));
+        } else {
+            self.outstanding += 1;
+            conn.state.push_pending(Pending::Request(line));
+        }
+        self.pump(idx);
+    }
+
+    /// Advances a connection's FIFO: queues replies for shed entries and
+    /// dispatches the next request if none is in flight.
+    fn pump(&mut self, idx: usize) {
+        loop {
+            let Some(conn) = self.slab.get_mut(idx).and_then(Option::as_mut) else { return };
+            let gen = conn.gen;
+            match conn.state.next_dispatch() {
+                None => return,
+                Some(Pending::Request(line)) => {
+                    self.shared.enqueue(Job { token: idx, gen, line });
+                    return;
+                }
+                Some(Pending::Shed(id)) => {
+                    let reply = proto::err_line(id.as_ref(), &WireError::overloaded());
+                    conn.state.queue_reply(&reply);
+                }
+            }
+        }
+    }
+
+    /// Flushes as much of the write buffer as the socket accepts, closes
+    /// finished connections, and reconciles the poller interest set.
+    fn flush_and_update(&mut self, idx: usize) {
+        loop {
+            let Some(conn) = self.slab.get_mut(idx).and_then(Option::as_mut) else { return };
+            let chunk = conn.state.writable();
+            if chunk.is_empty() {
+                break;
+            }
+            match conn.stream.write(chunk) {
+                Ok(0) => {
+                    self.close_conn(idx);
+                    return;
+                }
+                Ok(n) => conn.state.consume_written(n),
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.close_conn(idx);
+                    return;
+                }
+            }
+        }
+        let Some(conn) = self.slab.get_mut(idx).and_then(Option::as_mut) else { return };
+        if conn.state.done() {
+            self.close_conn(idx);
+            return;
+        }
+        let mut want = 0u32;
+        if conn.state.wants_read() {
+            want |= READ_INTEREST;
+        }
+        if conn.state.buffered_out() > 0 {
+            want |= sys::EPOLLOUT;
+        }
+        if want != conn.interest {
+            let fd = conn.stream.as_raw_fd();
+            if self.poller.modify(fd, want, idx as u64).is_ok() {
+                conn.interest = want;
+            }
+        }
+    }
+
+    fn close_conn(&mut self, idx: usize) {
+        let Some(conn) = self.slab.get_mut(idx).and_then(Option::take) else { return };
+        let _ = self.poller.delete(conn.stream.as_raw_fd());
+        // Release every outstanding slot this connection still held: its
+        // queued requests die here, and its in-flight one (if any) must be
+        // released here too, because the stale-generation check will skip
+        // its completion without touching the counter.
+        self.outstanding -= conn.state.pending_requests() + usize::from(conn.state.in_flight());
+        self.conns -= 1;
+        self.free.push(idx);
+    }
+}

@@ -27,10 +27,15 @@
 //!   uninterrupted run.
 //!
 //! Three front ends share the dispatch path: the in-process [`ServerHandle`]
-//! (deterministic; what the test suites drive), the blocking TCP listener
-//! ([`ServerHandle::serve`], thread-per-connection with a connection limit),
-//! and the `baco-cli serve` / `baco-cli client` pair for end-to-end use
-//! against the `*-sim` substrates.
+//! (deterministic; what the test suites drive), the TCP listener
+//! ([`ServerHandle::serve`] — on Linux an event-driven readiness loop
+//! multiplexing 10k+ connections over epoll with pipelining, write-side
+//! backpressure and typed `overloaded` load-shedding; elsewhere the
+//! thread-per-connection fallback, also reachable explicitly as
+//! [`ServerHandle::serve_blocking`]), and the `baco-cli serve` /
+//! `baco-cli client` pair for end-to-end use against the `*-sim`
+//! substrates. See `docs/ARCHITECTURE.md` for the connection state machine
+//! and the backpressure/shedding policy.
 //!
 //! ```
 //! use baco::server::{ServerHandle, ServerOptions};
@@ -58,8 +63,24 @@
 //! assert!(err.contains(r#""kind":"bad_request""#), "{err}");
 //! ```
 
+#[cfg(target_os = "linux")]
+mod conn;
+#[cfg(target_os = "linux")]
+mod event;
 mod registry;
+#[cfg(target_os = "linux")]
+mod sys;
 pub mod proto;
+
+#[cfg(target_os = "linux")]
+pub use sys::raise_nofile_limit;
+
+/// Portable stand-in for the Linux `RLIMIT_NOFILE` raiser: reports a
+/// conservative limit and changes nothing.
+#[cfg(not(target_os = "linux"))]
+pub fn raise_nofile_limit(_want: u64) -> u64 {
+    1024
+}
 
 use crate::journal::json::Json;
 use crate::journal::{self, Journal};
@@ -85,14 +106,42 @@ pub struct ServerOptions {
     /// can be resumed across server restarts. `None` (default) keeps
     /// sessions in memory only.
     pub journal_dir: Option<PathBuf>,
-    /// Maximum concurrently served TCP connections (default 64). Further
-    /// connections receive one `busy` error line and are closed.
+    /// Maximum concurrently served TCP connections (default 8192). For the
+    /// event-driven front end this is an fd-exhaustion guard: connections
+    /// past it get one `overloaded` error line and are closed (request-level
+    /// load is shed with [`ServerOptions::max_outstanding`] well before
+    /// this trips). The blocking fallback front end treats it as its thread
+    /// cap and answers `busy`, as before.
     pub max_connections: usize,
+    /// Worker threads executing requests behind the event-driven front end
+    /// (default 4). Per-connection order is independent of this: each
+    /// connection has at most one request in flight at a time.
+    pub workers: usize,
+    /// Server-wide cap on accepted-but-unanswered requests (default 1024).
+    /// Past it, newly framed requests are answered with a typed
+    /// `overloaded` error — in request order, connection kept open — until
+    /// the backlog drains. Shed load is retryable load.
+    pub max_outstanding: usize,
+    /// Per-connection cap on queued pipelined requests (default 128); past
+    /// it further requests from that connection are shed as `overloaded`.
+    pub max_pending_per_conn: usize,
+    /// Write-buffer bound per connection in bytes (default 256 KiB). A
+    /// connection buffering more replies than this stops being read until
+    /// the buffer drains to half the bound (backpressure, not an error).
+    pub write_buf_limit: usize,
 }
 
 impl Default for ServerOptions {
     fn default() -> Self {
-        ServerOptions { shards: 16, journal_dir: None, max_connections: 64 }
+        ServerOptions {
+            shards: 16,
+            journal_dir: None,
+            max_connections: 8192,
+            workers: 4,
+            max_outstanding: 1024,
+            max_pending_per_conn: 128,
+            write_buf_limit: 256 * 1024,
+        }
     }
 }
 
@@ -394,15 +443,41 @@ impl ServerHandle {
         ])
     }
 
-    /// Starts the blocking TCP front end on `addr` in a background accept
-    /// thread (thread-per-connection, bounded by
-    /// [`ServerOptions::max_connections`]) and returns its controller.
+    /// Starts the TCP front end on `addr` and returns its controller.
     /// Clients speak the [`proto`] protocol: one request line in, one reply
-    /// line out.
+    /// line out, with pipelining (requests of one connection are answered
+    /// strictly in request order; the optional `id` member correlates them).
+    ///
+    /// On Linux this is the event-driven readiness core — one loop
+    /// multiplexing every connection over epoll, dispatch on
+    /// [`ServerOptions::workers`] worker threads, write-side backpressure
+    /// and `overloaded` load-shedding (see the module docs). Elsewhere it
+    /// falls back to [`ServerHandle::serve_blocking`].
     ///
     /// # Errors
     /// [`Error::Io`] when the listener cannot bind.
     pub fn serve<A: ToSocketAddrs>(&self, addr: A) -> Result<TcpServer> {
+        #[cfg(target_os = "linux")]
+        {
+            let (local, ev) = event::serve(self.clone(), addr)?;
+            Ok(TcpServer { addr: local, inner: FrontEnd::Event(ev) })
+        }
+        #[cfg(not(target_os = "linux"))]
+        {
+            self.serve_blocking(addr)
+        }
+    }
+
+    /// Starts the blocking thread-per-connection TCP front end on `addr` in
+    /// a background accept thread (bounded by
+    /// [`ServerOptions::max_connections`] concurrent handler threads;
+    /// further connections receive one `busy` error line and are closed).
+    /// Kept as the portable fallback and as the baseline the
+    /// `server_throughput` bench compares the event-driven core against.
+    ///
+    /// # Errors
+    /// [`Error::Io`] when the listener cannot bind.
+    pub fn serve_blocking<A: ToSocketAddrs>(&self, addr: A) -> Result<TcpServer> {
         let listener = TcpListener::bind(addr).map_err(|e| Error::Io(format!("bind: {e}")))?;
         let local = listener
             .local_addr()
@@ -447,7 +522,7 @@ impl ServerHandle {
                 });
             }
         });
-        Ok(TcpServer { addr: local, stop, accept: Some(accept) })
+        Ok(TcpServer { addr: local, inner: FrontEnd::Blocking { stop, accept: Some(accept) } })
     }
 }
 
@@ -497,13 +572,23 @@ fn serve_connection(handle: &ServerHandle, stream: TcpStream) {
 }
 
 /// Controller of a running TCP front end (returned by
-/// [`ServerHandle::serve`]). Dropping it stops the accept loop; sessions and
-/// their journals live in the [`ServerHandle`], not here.
+/// [`ServerHandle::serve`] or [`ServerHandle::serve_blocking`]). Dropping it
+/// stops the serving loop; sessions and their journals live in the
+/// [`ServerHandle`], not here.
 #[derive(Debug)]
 pub struct TcpServer {
     addr: SocketAddr,
-    stop: Arc<AtomicBool>,
-    accept: Option<JoinHandle<()>>,
+    inner: FrontEnd,
+}
+
+#[derive(Debug)]
+enum FrontEnd {
+    Blocking {
+        stop: Arc<AtomicBool>,
+        accept: Option<JoinHandle<()>>,
+    },
+    #[cfg(target_os = "linux")]
+    Event(event::EventServer),
 }
 
 impl TcpServer {
@@ -512,26 +597,41 @@ impl TcpServer {
         self.addr
     }
 
-    /// Stops accepting new connections and joins the accept thread.
-    /// Connections already being served run until their client disconnects.
+    /// Stops serving and joins the loop. For the blocking front end,
+    /// connections already being served run until their client disconnects;
+    /// the event-driven front end drops its connections with the loop.
     pub fn stop(mut self) {
         self.shutdown();
     }
 
-    /// Blocks until the accept loop exits (it only exits on [`TcpServer::stop`]
-    /// or drop from another thread — for a daemon, this parks forever).
+    /// Blocks until the serving loop exits (it only exits on
+    /// [`TcpServer::stop`] or drop from another thread — for a daemon, this
+    /// parks forever).
     pub fn join(mut self) {
-        if let Some(h) = self.accept.take() {
-            let _ = h.join();
+        match &mut self.inner {
+            FrontEnd::Blocking { accept, .. } => {
+                if let Some(h) = accept.take() {
+                    let _ = h.join();
+                }
+            }
+            #[cfg(target_os = "linux")]
+            FrontEnd::Event(ev) => ev.join(),
         }
     }
 
     fn shutdown(&mut self) {
-        if let Some(h) = self.accept.take() {
-            self.stop.store(true, Ordering::SeqCst);
-            // Poke the listener so the blocking accept observes the flag.
-            let _ = TcpStream::connect(self.addr);
-            let _ = h.join();
+        match &mut self.inner {
+            FrontEnd::Blocking { stop, accept } => {
+                if let Some(h) = accept.take() {
+                    stop.store(true, Ordering::SeqCst);
+                    // Poke the listener so the blocking accept observes the
+                    // flag.
+                    let _ = TcpStream::connect(self.addr);
+                    let _ = h.join();
+                }
+            }
+            #[cfg(target_os = "linux")]
+            FrontEnd::Event(ev) => ev.stop(),
         }
     }
 }
@@ -767,16 +867,46 @@ mod tests {
         writeln!(b, r#"{{"op":"status"}}"#).unwrap();
         assert!(read_line(&mut b).contains(r#""sessions":1"#));
 
-        // Third concurrent connection: one busy line, then closed.
+        // Third concurrent connection: one typed refusal line, then closed
+        // (`overloaded` from the event core; `busy` from the blocking
+        // fallback on non-Linux hosts).
+        #[cfg(target_os = "linux")]
+        let refusal = r#""kind":"overloaded""#;
+        #[cfg(not(target_os = "linux"))]
+        let refusal = r#""kind":"busy""#;
         let mut c = TcpStream::connect(addr).unwrap();
-        let busy = read_line(&mut c);
-        assert!(busy.contains(r#""kind":"busy""#), "{busy}");
+        let line = read_line(&mut c);
+        assert!(line.contains(refusal), "{line}");
 
         drop(a);
         drop(b);
         drop(c);
         tcp.stop();
         assert_eq!(srv.session_count(), 1, "sessions outlive the TCP front end");
+    }
+
+    #[test]
+    fn blocking_front_end_still_answers_busy() {
+        let srv = ServerHandle::new(ServerOptions {
+            max_connections: 1,
+            ..ServerOptions::default()
+        });
+        let tcp = srv.serve_blocking("127.0.0.1:0").unwrap();
+        let addr = tcp.addr();
+        let mut a = TcpStream::connect(addr).unwrap();
+        writeln!(a, r#"{{"op":"status"}}"#).unwrap();
+        let mut r = BufReader::new(a.try_clone().unwrap());
+        let mut line = String::new();
+        r.read_line(&mut line).unwrap();
+        assert!(line.contains(r#""sessions":0"#), "{line}");
+
+        let b = TcpStream::connect(addr).unwrap();
+        let mut rb = BufReader::new(b.try_clone().unwrap());
+        let mut busy = String::new();
+        rb.read_line(&mut busy).unwrap();
+        assert!(busy.contains(r#""kind":"busy""#), "{busy}");
+        drop((a, b));
+        tcp.stop();
     }
 
     #[test]

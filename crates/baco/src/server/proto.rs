@@ -56,6 +56,11 @@ pub enum ErrorKind {
     Tuner,
     /// The server refused the connection or request due to load limits.
     Busy,
+    /// The request was shed by the event-driven core's load limiter: the
+    /// server is saturated and this request was answered without being
+    /// executed. Shed load is retryable load — clients should back off and
+    /// resend (the `baco-cli client` does so automatically).
+    Overloaded,
 }
 
 impl ErrorKind {
@@ -70,6 +75,7 @@ impl ErrorKind {
             ErrorKind::Io => "io",
             ErrorKind::Tuner => "tuner",
             ErrorKind::Busy => "busy",
+            ErrorKind::Overloaded => "overloaded",
         }
     }
 }
@@ -87,6 +93,14 @@ impl WireError {
     /// A [`ErrorKind::BadRequest`] error.
     pub fn bad_request(msg: impl Into<String>) -> WireError {
         WireError { kind: ErrorKind::BadRequest, msg: msg.into() }
+    }
+
+    /// The [`ErrorKind::Overloaded`] load-shedding error.
+    pub fn overloaded() -> WireError {
+        WireError {
+            kind: ErrorKind::Overloaded,
+            msg: "server overloaded; retry with backoff".into(),
+        }
     }
 
     /// Maps a tuner [`Error`] onto its wire kind.

@@ -1,0 +1,233 @@
+//! Raw `libc`-style syscall bindings for the event-driven server core.
+//!
+//! The container has no registry access, so instead of pulling in `libc`/
+//! `mio` this module declares the handful of symbols the readiness loop
+//! needs directly against the C library the Rust standard library already
+//! links (the same approach as the vendored `rand`/`proptest` shims, one
+//! layer lower). Everything here is Linux-only and gated accordingly; the
+//! portable fallback front end lives in `server::mod` (`serve_blocking`).
+//!
+//! Errors are surfaced through [`std::io::Error::last_os_error`], which
+//! reads `errno` without needing a binding of our own.
+
+#![allow(non_camel_case_types)]
+
+use std::io;
+use std::os::raw::c_int;
+
+/// `epoll_event.events` flag: the fd is readable.
+pub const EPOLLIN: u32 = 0x001;
+/// `epoll_event.events` flag: the fd is writable.
+pub const EPOLLOUT: u32 = 0x004;
+/// `epoll_event.events` flag: error condition on the fd.
+pub const EPOLLERR: u32 = 0x008;
+/// `epoll_event.events` flag: hangup on the fd.
+pub const EPOLLHUP: u32 = 0x010;
+/// `epoll_event.events` flag: the peer shut down its writing half.
+pub const EPOLLRDHUP: u32 = 0x2000;
+
+const EPOLL_CTL_ADD: c_int = 1;
+const EPOLL_CTL_DEL: c_int = 2;
+const EPOLL_CTL_MOD: c_int = 3;
+const EPOLL_CLOEXEC: c_int = 0x80000;
+
+/// The kernel's `struct epoll_event`. On x86-64 the kernel ABI packs it to
+/// 12 bytes; a plain `repr(C)` 16-byte layout would make `epoll_wait` write
+/// entries at the wrong stride.
+#[repr(C)]
+#[cfg_attr(target_arch = "x86_64", repr(packed))]
+#[derive(Clone, Copy)]
+pub struct epoll_event {
+    /// Readiness flag bits (`EPOLLIN` | …).
+    pub events: u32,
+    /// The caller's token, returned verbatim with each event.
+    pub data: u64,
+}
+
+extern "C" {
+    fn epoll_create1(flags: c_int) -> c_int;
+    fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut epoll_event) -> c_int;
+    fn epoll_wait(epfd: c_int, events: *mut epoll_event, maxevents: c_int, timeout: c_int)
+        -> c_int;
+    fn close(fd: c_int) -> c_int;
+    fn getrlimit(resource: c_int, rlim: *mut rlimit) -> c_int;
+    fn setrlimit(resource: c_int, rlim: *const rlimit) -> c_int;
+}
+
+/// A readiness poller over one epoll instance. Closes the epoll fd on drop.
+#[derive(Debug)]
+pub struct Poller {
+    epfd: c_int,
+}
+
+impl Poller {
+    /// Creates an epoll instance (`EPOLL_CLOEXEC`).
+    pub fn new() -> io::Result<Poller> {
+        // SAFETY: epoll_create1 takes no pointers; a negative return is the
+        // only failure mode and is checked below.
+        let epfd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+        if epfd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Poller { epfd })
+    }
+
+    fn ctl(&self, op: c_int, fd: i32, events: u32, token: u64) -> io::Result<()> {
+        let mut ev = epoll_event { events, data: token };
+        // SAFETY: `ev` outlives the call; the kernel copies it. For
+        // EPOLL_CTL_DEL the pointer is ignored on any kernel ≥ 2.6.9 but
+        // passing a valid one is always allowed.
+        let rc = unsafe { epoll_ctl(self.epfd, op, fd, &mut ev) };
+        if rc < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(())
+    }
+
+    /// Starts watching `fd` for `events`, tagging readiness with `token`.
+    pub fn add(&self, fd: i32, events: u32, token: u64) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_ADD, fd, events, token)
+    }
+
+    /// Changes the watched event set of an already-registered `fd`.
+    pub fn modify(&self, fd: i32, events: u32, token: u64) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_MOD, fd, events, token)
+    }
+
+    /// Stops watching `fd`.
+    pub fn delete(&self, fd: i32) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_DEL, fd, 0, 0)
+    }
+
+    /// Blocks until at least one registered fd is ready (or `timeout_ms`
+    /// elapses; `-1` blocks indefinitely) and returns `(events, token)`
+    /// pairs. Interruption by a signal is treated as zero events.
+    pub fn wait(&self, buf: &mut Vec<(u32, u64)>, timeout_ms: i32) -> io::Result<()> {
+        const MAX_EVENTS: usize = 256;
+        let mut events = [epoll_event { events: 0, data: 0 }; MAX_EVENTS];
+        // SAFETY: the buffer pointer/capacity pair is valid for the call's
+        // duration; the kernel writes at most MAX_EVENTS entries.
+        let n = unsafe {
+            epoll_wait(self.epfd, events.as_mut_ptr(), MAX_EVENTS as c_int, timeout_ms)
+        };
+        buf.clear();
+        if n < 0 {
+            let err = io::Error::last_os_error();
+            if err.kind() == io::ErrorKind::Interrupted {
+                return Ok(());
+            }
+            return Err(err);
+        }
+        for ev in events.iter().take(n as usize) {
+            // Copy out of the (packed) struct before using the fields.
+            let e = *ev;
+            buf.push((e.events, e.data));
+        }
+        Ok(())
+    }
+}
+
+impl Drop for Poller {
+    fn drop(&mut self) {
+        // SAFETY: the fd is owned by this Poller and closed exactly once.
+        unsafe { close(self.epfd) };
+    }
+}
+
+#[repr(C)]
+struct rlimit {
+    rlim_cur: u64,
+    rlim_max: u64,
+}
+
+const RLIMIT_NOFILE: c_int = 7;
+
+/// Best-effort raise of the process's open-file-descriptor limit to at
+/// least `want`, returning the effective soft limit afterwards. Holding
+/// 10k+ sockets (plus their client ends, in tests and benches) overruns
+/// typical default soft limits; callers scale their connection counts to
+/// whatever this returns rather than failing outright.
+pub fn raise_nofile_limit(want: u64) -> u64 {
+    let mut lim = rlimit { rlim_cur: 0, rlim_max: 0 };
+    // SAFETY: `lim` is a valid out-pointer for the duration of the call.
+    if unsafe { getrlimit(RLIMIT_NOFILE, &mut lim) } != 0 {
+        return 1024; // POSIX-conservative guess when even getrlimit fails
+    }
+    if lim.rlim_cur >= want {
+        return lim.rlim_cur;
+    }
+    // Raise the soft limit; root may raise the hard limit with it.
+    let new = rlimit { rlim_cur: want.max(lim.rlim_cur), rlim_max: lim.rlim_max.max(want) };
+    // SAFETY: `new` is a valid in-pointer for the duration of the call.
+    if unsafe { setrlimit(RLIMIT_NOFILE, &new) } == 0 {
+        return new.rlim_cur;
+    }
+    // Hard-limit raise refused (not root): settle for the hard limit.
+    let capped = rlimit { rlim_cur: lim.rlim_max, rlim_max: lim.rlim_max };
+    // SAFETY: as above.
+    if lim.rlim_max > lim.rlim_cur && unsafe { setrlimit(RLIMIT_NOFILE, &capped) } == 0 {
+        return capped.rlim_cur;
+    }
+    lim.rlim_cur
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::os::unix::net::UnixStream;
+    use std::os::unix::prelude::AsRawFd;
+
+    #[test]
+    fn poller_reports_readability_with_tokens() {
+        let poller = Poller::new().unwrap();
+        let (mut a, mut b) = UnixStream::pair().unwrap();
+        poller.add(b.as_raw_fd(), EPOLLIN, 42).unwrap();
+
+        // Nothing written yet: a zero-timeout wait sees no events.
+        let mut events = Vec::new();
+        poller.wait(&mut events, 0).unwrap();
+        assert!(events.is_empty());
+
+        a.write_all(b"x").unwrap();
+        poller.wait(&mut events, 1000).unwrap();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].1, 42, "token must round-trip through the kernel");
+        assert_ne!(events[0].0 & EPOLLIN, 0);
+
+        // Drain, modify to write-interest, and observe writability.
+        let mut byte = [0u8; 1];
+        b.read_exact(&mut byte).unwrap();
+        poller.modify(b.as_raw_fd(), EPOLLOUT, 7).unwrap();
+        poller.wait(&mut events, 1000).unwrap();
+        assert!(events.iter().any(|&(ev, tok)| tok == 7 && ev & EPOLLOUT != 0));
+
+        poller.delete(b.as_raw_fd()).unwrap();
+        poller.wait(&mut events, 0).unwrap();
+        assert!(events.is_empty(), "deleted fds report nothing");
+    }
+
+    #[test]
+    fn peer_hangup_is_visible() {
+        let poller = Poller::new().unwrap();
+        let (a, b) = UnixStream::pair().unwrap();
+        poller.add(b.as_raw_fd(), EPOLLIN | EPOLLRDHUP, 1).unwrap();
+        drop(a);
+        let mut events = Vec::new();
+        poller.wait(&mut events, 1000).unwrap();
+        assert!(
+            events
+                .iter()
+                .any(|&(ev, _)| ev & (EPOLLHUP | EPOLLRDHUP | EPOLLIN) != 0),
+            "dropping the peer must wake the poller"
+        );
+    }
+
+    #[test]
+    fn nofile_limit_raise_is_monotone() {
+        let before = raise_nofile_limit(0);
+        assert!(before >= 1, "some limit must be readable");
+        let after = raise_nofile_limit(before);
+        assert!(after >= before);
+    }
+}

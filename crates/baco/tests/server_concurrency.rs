@@ -8,6 +8,11 @@
 //! always run on different threads, racing against every other session's
 //! rounds. A monitor thread hammers `status`/`best` reads the whole time.
 //!
+//! Every property is asserted twice: against the in-process dispatch path,
+//! and over the event-driven TCP front end (each racing thread on its own
+//! multiplexed connection), so the readiness loop is held to the exact
+//! determinism contract of the in-process path.
+//!
 //! The properties under test:
 //!
 //! 1. **Determinism** — every session's trajectory (configs *and* values,
@@ -22,7 +27,10 @@ use baco::journal::json::Json;
 use baco::server::{ServerHandle, ServerOptions};
 use baco::tuner::Session;
 use baco::{Baco, Configuration, Evaluation};
-use common::{expect_ok, int_space as space, int_space_spec_line as space_spec_line, next_rand};
+use common::{
+    expect_ok, int_space as space, int_space_spec_line as space_spec_line, next_rand, Driver,
+    TcpDriver,
+};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
@@ -86,10 +94,10 @@ fn reference_trajectory(i: usize) -> Trajectory {
 
 /// Drives one suggest/report round of session `i`; returns false once the
 /// session is exhausted.
-fn drive_one_round(srv: &ServerHandle, i: usize, traj: &Mutex<Trajectory>) -> bool {
+fn drive_one_round(drv: &dyn Driver, i: usize, traj: &Mutex<Trajectory>) -> bool {
     let name = format!("s{i}");
     let round = expect_ok(
-        srv,
+        drv,
         &format!(r#"{{"op":"suggest_batch","session":"{name}","q":{}}}"#, q_of(i)),
     );
     let configs = round.get("configs").and_then(Json::as_arr).unwrap().to_vec();
@@ -111,7 +119,7 @@ fn drive_one_round(srv: &ServerHandle, i: usize, traj: &Mutex<Trajectory>) -> bo
                 cfg_json.to_line()
             ),
         };
-        expect_ok(srv, &report);
+        expect_ok(drv, &report);
     }
     true
 }
@@ -121,7 +129,19 @@ fn concurrent_sessions_are_bit_identical_to_single_threaded_reference() {
     // Few shards on purpose: multiple sessions per shard exercises the
     // contended path; correctness must not depend on shard count.
     let srv = ServerHandle::new(ServerOptions { shards: 4, ..ServerOptions::default() });
+    stress_bitwise(&srv, &srv);
+}
 
+#[test]
+fn concurrent_sessions_over_event_tcp_are_bit_identical_too() {
+    let srv = ServerHandle::new(ServerOptions { shards: 4, ..ServerOptions::default() });
+    let tcp = srv.serve("127.0.0.1:0").unwrap();
+    let drv = TcpDriver::new(tcp.addr());
+    stress_bitwise(&srv, &drv);
+    tcp.stop();
+}
+
+fn stress_bitwise(srv: &ServerHandle, drv: &dyn Driver) {
     // Watchdog: a deadlock anywhere below must fail the test run loudly
     // instead of hanging CI forever.
     let done = Arc::new(AtomicBool::new(false));
@@ -140,7 +160,7 @@ fn concurrent_sessions_are_bit_identical_to_single_threaded_reference() {
     }
 
     for i in 0..SESSIONS {
-        expect_ok(&srv, &format!(
+        expect_ok(drv, &format!(
             r#"{{"op":"create_session","session":"s{i}","budget":{BUDGET},"doe_samples":{DOE},"seed":{},"space":{}}}"#,
             seed_of(i),
             space_spec_line()
@@ -155,7 +175,6 @@ fn concurrent_sessions_are_bit_identical_to_single_threaded_reference() {
 
     std::thread::scope(|scope| {
         for t in 0..THREADS {
-            let srv = &srv;
             let queue = &queue;
             let trajectories = &trajectories;
             let finished = &finished;
@@ -165,7 +184,7 @@ fn concurrent_sessions_are_bit_identical_to_single_threaded_reference() {
                     let picked = queue.lock().unwrap().pop_front();
                     match picked {
                         Some(i) => {
-                            if drive_one_round(srv, i, &trajectories[i]) {
+                            if drive_one_round(drv, i, &trajectories[i]) {
                                 // Re-insert at a seeded pseudo-random position:
                                 // the interleaving across sessions (and which
                                 // thread runs a session's next round) is
@@ -190,15 +209,14 @@ fn concurrent_sessions_are_bit_identical_to_single_threaded_reference() {
 
         // Monitor thread: concurrent read-only traffic across all sessions
         // (status/best plus server-wide status) must never fail or wedge.
-        let srv = &srv;
         let finished = &finished;
         scope.spawn(move || {
             let mut rng = 0xdeadbeefu64;
             while finished.load(Ordering::SeqCst) < SESSIONS {
                 let i = (next_rand(&mut rng) as usize) % SESSIONS;
-                expect_ok(srv, &format!(r#"{{"op":"status","session":"s{i}"}}"#));
-                expect_ok(srv, &format!(r#"{{"op":"best","session":"s{i}"}}"#));
-                let all = expect_ok(srv, r#"{"op":"status"}"#);
+                expect_ok(drv, &format!(r#"{{"op":"status","session":"s{i}"}}"#));
+                expect_ok(drv, &format!(r#"{{"op":"best","session":"s{i}"}}"#));
+                let all = expect_ok(drv, r#"{"op":"status"}"#);
                 assert_eq!(all.get("sessions").and_then(Json::as_f64), Some(SESSIONS as f64));
                 std::thread::yield_now();
             }
@@ -207,7 +225,7 @@ fn concurrent_sessions_are_bit_identical_to_single_threaded_reference() {
 
     // Every session ran to its full budget …
     for i in 0..SESSIONS {
-        let status = expect_ok(&srv, &format!(r#"{{"op":"status","session":"s{i}"}}"#));
+        let status = expect_ok(drv, &format!(r#"{{"op":"status","session":"s{i}"}}"#));
         assert_eq!(status.get("len").and_then(Json::as_f64), Some(BUDGET as f64), "session {i}");
         assert_eq!(status.get("remaining").and_then(Json::as_f64), Some(0.0), "session {i}");
         assert_eq!(status.get("pending").and_then(Json::as_f64), Some(0.0), "session {i}");
@@ -231,7 +249,7 @@ fn concurrent_sessions_are_bit_identical_to_single_threaded_reference() {
 
     // Closing every session empties the registry.
     for i in 0..SESSIONS {
-        expect_ok(&srv, &format!(r#"{{"op":"close","session":"s{i}"}}"#));
+        expect_ok(drv, &format!(r#"{{"op":"close","session":"s{i}"}}"#));
     }
     assert_eq!(srv.session_count(), 0);
     done.store(true, Ordering::SeqCst);
@@ -244,17 +262,29 @@ fn concurrent_sessions_are_bit_identical_to_single_threaded_reference() {
 #[test]
 fn concurrent_asks_on_one_session_hand_out_distinct_proposals() {
     let srv = ServerHandle::new(ServerOptions::default());
-    expect_ok(&srv, &format!(
+    distinct_proposals(&srv);
+}
+
+#[test]
+fn concurrent_asks_over_event_tcp_hand_out_distinct_proposals() {
+    let srv = ServerHandle::new(ServerOptions::default());
+    let tcp = srv.serve("127.0.0.1:0").unwrap();
+    let drv = TcpDriver::new(tcp.addr());
+    distinct_proposals(&drv);
+    tcp.stop();
+}
+
+fn distinct_proposals(drv: &dyn Driver) {
+    expect_ok(drv, &format!(
         r#"{{"op":"create_session","session":"solo","budget":8,"doe_samples":8,"seed":7,"space":{}}}"#,
         space_spec_line()
     ));
     let configs: Mutex<Vec<String>> = Mutex::new(Vec::new());
     std::thread::scope(|scope| {
         for _ in 0..8 {
-            let srv = &srv;
             let configs = &configs;
             scope.spawn(move || {
-                let reply = expect_ok(srv, r#"{"op":"ask","session":"solo"}"#);
+                let reply = expect_ok(drv, r#"{"op":"ask","session":"solo"}"#);
                 let cfg = reply.get("config").unwrap();
                 assert_ne!(*cfg, Json::Null, "budget admits 8 concurrent asks");
                 configs.lock().unwrap().push(cfg.to_line());
@@ -265,7 +295,7 @@ fn concurrent_asks_on_one_session_hand_out_distinct_proposals() {
     got.sort();
     got.dedup();
     assert_eq!(got.len(), 8, "all concurrently asked proposals are distinct");
-    let status = expect_ok(&srv, r#"{"op":"status","session":"solo"}"#);
+    let status = expect_ok(drv, r#"{"op":"status","session":"solo"}"#);
     assert_eq!(status.get("pending").and_then(Json::as_f64), Some(8.0));
     assert_eq!(status.get("remaining").and_then(Json::as_f64), Some(0.0));
 }

@@ -8,12 +8,17 @@
 //! malformed request never wedges a session: after every barrage, the live
 //! session still answers a well-formed `ask`/`report` round and its
 //! trajectory stays on the deterministic reference path.
+//!
+//! Every barrage runs twice: against the in-process dispatch path, and over
+//! the event-driven TCP front end. Line terminators are stripped from
+//! mutated payloads in *both* variants (over TCP a `\n` would frame two
+//! requests, not fuzz one), so the two variants feed identical corpora.
 
 mod common;
 
 use baco::journal::json::{self, Json};
 use baco::server::{ServerHandle, ServerOptions};
-use common::next_rand;
+use common::{next_rand, Driver, TcpDriver};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
 const SPACE_SPEC: &str = r#"{"params":[{"name":"a","kind":"int","lo":"0","hi":"15"},{"name":"tile","kind":"ordinal","values":[1,2,4,8],"scale":"log"},{"name":"c","kind":"cat","values":["x","y"]},{"name":"p","kind":"perm","len":3}],"constraints":["a >= 1"]}"#;
@@ -26,9 +31,9 @@ fn create_line(name: &str, budget: usize) -> String {
 
 /// Feeds one line to the server under `catch_unwind`; asserts the no-panic,
 /// one-valid-JSON-reply-per-line contract and returns the parsed reply.
-fn feed(srv: &ServerHandle, line: &str) -> Json {
-    let reply = catch_unwind(AssertUnwindSafe(|| srv.handle_line(line)))
-        .unwrap_or_else(|_| panic!("handle_line panicked on {:?}", line));
+fn feed(drv: &dyn Driver, line: &str) -> Json {
+    let reply = catch_unwind(AssertUnwindSafe(|| drv.request(line)))
+        .unwrap_or_else(|_| panic!("request panicked on {:?}", line));
     let parsed = json::parse(&reply)
         .unwrap_or_else(|e| panic!("reply is not valid JSON ({e}): {reply}"));
     match parsed.get("ok") {
@@ -48,7 +53,8 @@ fn feed(srv: &ServerHandle, line: &str) -> Json {
                     "journal_corrupt",
                     "io",
                     "tuner",
-                    "busy"
+                    "busy",
+                    "overloaded"
                 ]
                 .contains(&kind),
                 "unknown error kind `{kind}`: {reply}"
@@ -61,8 +67,8 @@ fn feed(srv: &ServerHandle, line: &str) -> Json {
 
 /// One well-formed ask/report round on `session`; proves the session is not
 /// wedged and returns the proposed config line.
-fn healthy_round(srv: &ServerHandle, session: &str) -> String {
-    let reply = feed(srv, &format!(r#"{{"op":"ask","session":"{session}"}}"#));
+fn healthy_round(drv: &dyn Driver, session: &str) -> String {
+    let reply = feed(drv, &format!(r#"{{"op":"ask","session":"{session}"}}"#));
     assert_eq!(reply.get("ok"), Some(&Json::Bool(true)), "session {session} wedged");
     let cfg = reply.get("config").expect("ask reply carries config");
     assert_ne!(*cfg, Json::Null, "session {session} exhausted prematurely");
@@ -70,7 +76,7 @@ fn healthy_round(srv: &ServerHandle, session: &str) -> String {
         r#"{{"op":"report","session":"{session}","config":{},"value":2.5}}"#,
         cfg.to_line()
     );
-    let reply = feed(srv, &report);
+    let reply = feed(drv, &report);
     assert_eq!(reply.get("ok"), Some(&Json::Bool(true)), "report on {session} failed");
     cfg.to_line()
 }
@@ -93,7 +99,20 @@ fn corpus() -> Vec<String> {
 #[test]
 fn byte_mutated_requests_never_panic_or_wedge_sessions() {
     let srv = ServerHandle::new(ServerOptions::default());
-    feed(&srv, &create_line("fuzz", 100_000));
+    byte_mutation_barrage(&srv);
+}
+
+#[test]
+fn byte_mutated_requests_over_event_tcp_never_wedge_sessions() {
+    let srv = ServerHandle::new(ServerOptions::default());
+    let tcp = srv.serve("127.0.0.1:0").unwrap();
+    let drv = TcpDriver::new(tcp.addr());
+    byte_mutation_barrage(&drv);
+    tcp.stop();
+}
+
+fn byte_mutation_barrage(drv: &dyn Driver) {
+    feed(drv, &create_line("fuzz", 100_000));
 
     let corpus = corpus();
     let mut rng = 0x5eed_f00du64;
@@ -114,18 +133,38 @@ fn byte_mutated_requests_never_panic_or_wedge_sessions() {
                 _ => bytes.truncate(pos),
             }
         }
+        // A mutated terminator would frame two requests over TCP instead of
+        // fuzzing one; strip in both variants so the corpora stay identical.
+        for b in &mut bytes {
+            if *b == b'\n' || *b == b'\r' {
+                *b = b' ';
+            }
+        }
         let line = String::from_utf8_lossy(&bytes).into_owned();
-        feed(&srv, &line);
+        feed(drv, &line);
     }
 
     // The barrage over, the session still follows the protocol.
-    healthy_round(&srv, "fuzz");
+    healthy_round(drv, "fuzz");
 }
 
 #[test]
 fn garbage_lines_yield_typed_errors() {
     let srv = ServerHandle::new(ServerOptions::default());
-    feed(&srv, &create_line("fuzz", 50));
+    garbage_barrage(&srv, &srv);
+}
+
+#[test]
+fn garbage_lines_over_event_tcp_yield_typed_errors() {
+    let srv = ServerHandle::new(ServerOptions::default());
+    let tcp = srv.serve("127.0.0.1:0").unwrap();
+    let drv = TcpDriver::new(tcp.addr());
+    garbage_barrage(&srv, &drv);
+    tcp.stop();
+}
+
+fn garbage_barrage(srv: &ServerHandle, drv: &dyn Driver) {
+    feed(drv, &create_line("fuzz", 50));
     let cases: Vec<String> = vec![
         String::new(),
         " ".into(),
@@ -160,7 +199,7 @@ fn garbage_lines_yield_typed_errors() {
         format!(r#"{{"op":"ask","session":"fuzz","id":{}1{}}}"#, "[".repeat(80), "]".repeat(80)),
     ];
     for line in &cases {
-        let reply = feed(&srv, line);
+        let reply = feed(drv, line);
         assert_eq!(
             reply.get("ok"),
             Some(&Json::Bool(false)),
@@ -169,7 +208,7 @@ fn garbage_lines_yield_typed_errors() {
         );
     }
     // None of it wedged the live session or leaked a registration.
-    healthy_round(&srv, "fuzz");
+    healthy_round(drv, "fuzz");
     assert_eq!(srv.session_count(), 1);
 }
 
@@ -177,27 +216,54 @@ fn garbage_lines_yield_typed_errors() {
 /// trajectory must be unaffected by any amount of rejected noise in between.
 #[test]
 fn garbage_between_valid_requests_leaves_trajectories_untouched() {
-    let run = |with_noise: bool| -> Vec<String> {
-        let srv = ServerHandle::new(ServerOptions::default());
-        feed(&srv, &create_line("s", 10));
-        let mut rng = 0xabcdu64;
-        let mut got = Vec::new();
-        for _ in 0..10 {
-            if with_noise {
-                for _ in 0..(next_rand(&mut rng) % 3 + 1) {
-                    let junk = match next_rand(&mut rng) % 4 {
-                        0 => r#"{"op":"ask","session":"ghost"}"#.to_string(),
-                        1 => r#"{"op":"report","session":"s","config":{"a":-7},"value":0}"#.to_string(),
-                        2 => "≈≈ total garbage ≈≈".to_string(),
-                        _ => r#"{"op":"suggest_batch","session":"s","q":true}"#.to_string(),
-                    };
-                    let reply = feed(&srv, &junk);
-                    assert_eq!(reply.get("ok"), Some(&Json::Bool(false)));
-                }
-            }
-            got.push(healthy_round(&srv, "s"));
-        }
-        got
+    assert_eq!(
+        noise_interleaved_trajectory(false, false),
+        noise_interleaved_trajectory(false, true),
+        "rejected noise must not steer the trajectory"
+    );
+}
+
+#[test]
+fn garbage_over_event_tcp_leaves_trajectories_untouched() {
+    // The TCP trajectory must match the in-process one exactly — with and
+    // without interleaved noise — so the front end provably adds nothing.
+    let want = noise_interleaved_trajectory(false, false);
+    assert_eq!(noise_interleaved_trajectory(true, false), want);
+    assert_eq!(
+        noise_interleaved_trajectory(true, true),
+        want,
+        "rejected noise over TCP must not steer the trajectory"
+    );
+}
+
+fn noise_interleaved_trajectory(tcp: bool, with_noise: bool) -> Vec<String> {
+    let srv = ServerHandle::new(ServerOptions::default());
+    let front = tcp.then(|| {
+        let t = srv.serve("127.0.0.1:0").unwrap();
+        let d = TcpDriver::new(t.addr());
+        (t, d)
+    });
+    let drv: &dyn Driver = match &front {
+        Some((_, d)) => d,
+        None => &srv,
     };
-    assert_eq!(run(false), run(true), "rejected noise must not steer the trajectory");
+    feed(drv, &create_line("s", 10));
+    let mut rng = 0xabcdu64;
+    let mut got = Vec::new();
+    for _ in 0..10 {
+        if with_noise {
+            for _ in 0..(next_rand(&mut rng) % 3 + 1) {
+                let junk = match next_rand(&mut rng) % 4 {
+                    0 => r#"{"op":"ask","session":"ghost"}"#.to_string(),
+                    1 => r#"{"op":"report","session":"s","config":{"a":-7},"value":0}"#.to_string(),
+                    2 => "≈≈ total garbage ≈≈".to_string(),
+                    _ => r#"{"op":"suggest_batch","session":"s","q":true}"#.to_string(),
+                };
+                let reply = feed(drv, &junk);
+                assert_eq!(reply.get("ok"), Some(&Json::Bool(false)));
+            }
+        }
+        got.push(healthy_round(drv, "s"));
+    }
+    got
 }

@@ -39,7 +39,7 @@
 use baco::benchmark::Benchmark;
 use baco::journal::json::{self, Json};
 use baco::journal::Journal;
-use baco::server::{ServerHandle, ServerOptions};
+use baco::server::{raise_nofile_limit, ServerHandle, ServerOptions};
 use baco::tuner::{Baco, BlackBox, Evaluation};
 use baco::Configuration;
 use std::io::{BufRead, BufReader, Write};
@@ -90,7 +90,7 @@ fn parse(mut args: std::env::Args) -> (String, Opts) {
         addr: None,
         session: None,
         journal_dir: None,
-        max_conn: 64,
+        max_conn: 8192,
         shards: 16,
         evals: None,
     };
@@ -248,6 +248,28 @@ fn print_best(report: &baco::TuningReport) {
 struct Conn {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
+    /// Jitter state for the `overloaded` retry backoff.
+    rng: u64,
+}
+
+/// Retry budget when the server sheds load: 10 attempts spanning roughly
+/// 25 ms … 6 s of cumulative jittered backoff.
+const OVERLOAD_RETRIES: u32 = 10;
+
+/// True when a reply is the server's typed load-shed error — the one wire
+/// error that means "try again", not "give up".
+fn is_overloaded(reply: &Json) -> bool {
+    reply.get("error").and_then(|e| e.get("kind")).and_then(Json::as_str) == Some("overloaded")
+}
+
+/// Full-jitter exponential backoff: attempt `n` sleeps a uniform-random
+/// slice of `[base/2, base]` where `base = 25ms · 2ⁿ`, capped at 2 s — so a
+/// thundering herd of shed clients decorrelates instead of re-stampeding.
+fn backoff_delay(attempt: u32, rng: &mut u64) -> std::time::Duration {
+    let base_ms = 25u64.saturating_mul(1 << attempt.min(8)).min(2_000);
+    *rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+    let jitter = (*rng >> 33) % (base_ms / 2 + 1);
+    std::time::Duration::from_millis(base_ms / 2 + jitter)
 }
 
 impl Conn {
@@ -257,13 +279,7 @@ impl Conn {
         let mut last = None;
         for _ in 0..40 {
             match TcpStream::connect(addr) {
-                Ok(s) => {
-                    let reader = BufReader::new(s.try_clone().unwrap_or_else(|e| {
-                        eprintln!("cannot clone stream: {e}");
-                        std::process::exit(1);
-                    }));
-                    return Conn { reader, writer: s };
-                }
+                Ok(s) => return Conn::over(s),
                 Err(e) => last = Some(e),
             }
             std::thread::sleep(std::time::Duration::from_millis(250));
@@ -272,9 +288,45 @@ impl Conn {
         std::process::exit(1);
     }
 
-    /// One request line out, one reply line in; exits on transport errors
-    /// and on `ok: false` replies.
+    /// Wraps an established stream; the backoff jitter is seeded from the
+    /// local port so concurrent clients desynchronize.
+    fn over(s: TcpStream) -> Conn {
+        let seed = 0x5ca1ab1eu64 ^ s.local_addr().map(|a| u64::from(a.port())).unwrap_or(1) << 17;
+        let reader = BufReader::new(s.try_clone().unwrap_or_else(|e| {
+            eprintln!("cannot clone stream: {e}");
+            std::process::exit(1);
+        }));
+        Conn { reader, writer: s, rng: seed }
+    }
+
+    /// One request line out, one reply line in. `overloaded` replies — the
+    /// server shedding load — are retried with jittered exponential backoff
+    /// instead of aborting the run; transport errors and every other
+    /// `ok: false` reply still exit.
     fn request(&mut self, req: &Json) -> Json {
+        for attempt in 0..=OVERLOAD_RETRIES {
+            let reply = self.round_trip(req);
+            if reply.get("ok") == Some(&Json::Bool(true)) {
+                return reply;
+            }
+            if is_overloaded(&reply) && attempt < OVERLOAD_RETRIES {
+                let pause = backoff_delay(attempt, &mut self.rng);
+                eprintln!(
+                    "server overloaded; retrying in {}ms (attempt {}/{OVERLOAD_RETRIES})",
+                    pause.as_millis(),
+                    attempt + 1
+                );
+                std::thread::sleep(pause);
+                continue;
+            }
+            eprintln!("server error: {}", reply.to_line());
+            std::process::exit(1);
+        }
+        unreachable!("retry loop returns or exits");
+    }
+
+    /// The raw write-line/read-line exchange behind [`Conn::request`].
+    fn round_trip(&mut self, req: &Json) -> Json {
         if writeln!(self.writer, "{}", req.to_line()).and_then(|()| self.writer.flush()).is_err() {
             eprintln!("server connection lost (is the server still running?)");
             std::process::exit(1);
@@ -287,15 +339,10 @@ impl Conn {
                 std::process::exit(1);
             }
         }
-        let reply = json::parse(line.trim_end()).unwrap_or_else(|e| {
+        json::parse(line.trim_end()).unwrap_or_else(|e| {
             eprintln!("malformed server reply: {e}");
             std::process::exit(1);
-        });
-        if reply.get("ok") != Some(&Json::Bool(true)) {
-            eprintln!("server error: {line}");
-            std::process::exit(1);
-        }
-        reply
+        })
     }
 }
 
@@ -314,10 +361,21 @@ fn run_serve(o: &Opts) {
             std::process::exit(1);
         }
     }
+    // Ask for enough descriptors to actually hold --max-conn sockets (plus
+    // listener/waker/journal headroom); shrink the guard to what we got.
+    let fds = raise_nofile_limit(o.max_conn as u64 + 256);
+    let max_connections = o.max_conn.min((fds.saturating_sub(128)) as usize).max(1);
+    if max_connections < o.max_conn {
+        eprintln!(
+            "note: fd limit {fds} caps --max-conn {} to {max_connections}",
+            o.max_conn
+        );
+    }
     let handle = ServerHandle::new(ServerOptions {
         shards: o.shards,
         journal_dir: o.journal_dir.clone(),
-        max_connections: o.max_conn,
+        max_connections,
+        ..ServerOptions::default()
     });
     let tcp = handle.serve(addr).unwrap_or_else(|e| {
         eprintln!("cannot serve on {addr}: {e}");
@@ -506,5 +564,78 @@ fn main() {
             eprintln!("unknown command `{other}`");
             usage();
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    /// A scripted server: accepts one connection and answers each request
+    /// line with the next canned reply, echoing nothing, thinking never.
+    fn scripted(replies: Vec<String>) -> (std::net::SocketAddr, std::thread::JoinHandle<usize>) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let h = std::thread::spawn(move || {
+            let (s, _) = listener.accept().unwrap();
+            let mut r = BufReader::new(s.try_clone().unwrap());
+            let mut w = s;
+            let mut served = 0usize;
+            for reply in replies {
+                let mut line = String::new();
+                if r.read_line(&mut line).unwrap_or(0) == 0 {
+                    break;
+                }
+                writeln!(w, "{reply}").unwrap();
+                served += 1;
+            }
+            served
+        });
+        (addr, h)
+    }
+
+    #[test]
+    fn client_retries_through_overloaded_replies() {
+        let shed = r#"{"id":7,"ok":false,"error":{"kind":"overloaded","msg":"busy"}}"#.to_string();
+        let ok = r#"{"id":7,"ok":true,"sessions":0}"#.to_string();
+        let (addr, server) = scripted(vec![shed.clone(), shed.clone(), shed, ok]);
+        let mut conn = Conn::over(TcpStream::connect(addr).unwrap());
+        let reply = conn.request(&obj(vec![
+            ("op", Json::Str("status".into())),
+            ("id", Json::Num(7.0)),
+        ]));
+        // The three shed replies were absorbed by backoff-and-retry; the
+        // caller only ever sees the eventual success.
+        assert_eq!(reply.get("ok"), Some(&Json::Bool(true)));
+        drop(conn);
+        assert_eq!(server.join().unwrap(), 4, "three retries plus the served attempt");
+    }
+
+    #[test]
+    fn overloaded_detection_is_kind_exact() {
+        let shed = json::parse(r#"{"ok":false,"error":{"kind":"overloaded","msg":"x"}}"#).unwrap();
+        let busy = json::parse(r#"{"ok":false,"error":{"kind":"busy","msg":"x"}}"#).unwrap();
+        let ok = json::parse(r#"{"ok":true}"#).unwrap();
+        assert!(is_overloaded(&shed));
+        assert!(!is_overloaded(&busy), "hard refusal is not retryable");
+        assert!(!is_overloaded(&ok));
+    }
+
+    #[test]
+    fn backoff_grows_exponentially_within_jitter_bounds() {
+        let mut rng = 42u64;
+        for attempt in 0..12 {
+            let base = 25u64.saturating_mul(1 << attempt.min(8)).min(2_000);
+            let d = backoff_delay(attempt, &mut rng).as_millis() as u64;
+            assert!(d >= base / 2 && d <= base, "attempt {attempt}: {d}ms outside [{}, {base}]", base / 2);
+        }
+        // Jitter actually varies across states.
+        let (mut a, mut b) = (1u64, 2u64);
+        let draws: Vec<u64> =
+            (0..8).map(|_| backoff_delay(6, &mut a).as_millis() as u64).collect();
+        let other: Vec<u64> =
+            (0..8).map(|_| backoff_delay(6, &mut b).as_millis() as u64).collect();
+        assert_ne!(draws, other, "two clients must not share a backoff schedule");
     }
 }
