@@ -17,8 +17,10 @@
 //! assert_eq!(feasibility_weighted_ei(promising, 0.2, 0.5), f64::NEG_INFINITY);
 //! ```
 
+mod ehvi;
 mod prior;
 
+pub use ehvi::{inferred_reference, Ehvi};
 pub use prior::OptimumPrior;
 
 use rand::Rng;
@@ -156,15 +158,15 @@ impl Scalarization {
         Scalarization { weights, mins, maxs, rho: 0.05 }
     }
 
-    /// Normalizes one objective value to the observed range (degenerate
-    /// ranges normalize to 0).
+    /// Normalizes one objective value to the observed range. A degenerate
+    /// range (a constant objective column, common in early DoE rounds) falls
+    /// back to a **unit range** — `v − min` divided by 1 — so the candidate's
+    /// posterior still differentiates values instead of the whole column
+    /// collapsing to a constant 0 and erasing the GP's signal.
     fn norm(&self, i: usize, v: f64) -> f64 {
         let range = self.maxs[i] - self.mins[i];
-        if range > 0.0 {
-            (v - self.mins[i]) / range
-        } else {
-            0.0
-        }
+        let range = if range > 0.0 { range } else { 1.0 };
+        (v - self.mins[i]) / range
     }
 
     /// The augmented-Chebyshev scalarization of one objective vector
@@ -194,11 +196,10 @@ impl Scalarization {
             .enumerate()
             .map(|(i, (&var, &w))| {
                 let range = self.maxs[i] - self.mins[i];
-                let scale = if range > 0.0 {
-                    w * (1.0 + self.rho) / range
-                } else {
-                    0.0
-                };
+                // Same unit-range fallback as `norm`: a constant column keeps
+                // its posterior variance instead of being zeroed out.
+                let range = if range > 0.0 { range } else { 1.0 };
+                let scale = w * (1.0 + self.rho) / range;
                 var.max(0.0) * scale * scale
             })
             .sum()
@@ -295,7 +296,8 @@ mod tests {
         // Extreme weights select the matching axis.
         let sx = Scalarization { weights: vec![1.0, 0.0], ..s.clone() };
         assert!(sx.scalarize(&[0.1, 0.9]) < sx.scalarize(&[0.5, 0.1]));
-        // Degenerate range normalizes to 0 instead of dividing by zero.
+        // Degenerate range falls back to a unit range instead of dividing by
+        // zero: finite, and still ordered by the raw value.
         let sd = Scalarization {
             weights: vec![0.5, 0.5],
             mins: vec![2.0, 0.0],
@@ -303,6 +305,27 @@ mod tests {
             rho: 0.05,
         };
         assert!(sd.scalarize(&[2.0, 0.5]).is_finite());
+        assert!(sd.scalarize(&[2.0, 0.5]) < sd.scalarize(&[2.4, 0.5]));
+    }
+
+    #[test]
+    fn degenerate_range_keeps_unit_scale_not_zero() {
+        // A constant objective column (all trials equal) must not collapse
+        // the scalarization to a constant: candidates' posterior means still
+        // differ through the unit-range fallback …
+        let s = Scalarization {
+            weights: vec![0.6, 0.4],
+            mins: vec![3.0, 3.0],
+            maxs: vec![3.0, 3.0],
+            rho: 0.05,
+        };
+        let lo = s.scalarize(&[3.0, 3.0]);
+        let hi = s.scalarize(&[3.5, 3.1]);
+        assert!(lo.is_finite() && hi.is_finite() && lo < hi, "lo {lo} hi {hi}");
+        // … and the scalarized posterior variance survives instead of being
+        // zeroed (which froze EI to pure exploitation on degenerate columns).
+        let v = s.scalarize_variance(&[0.25, 0.25]);
+        assert!(v > 0.0, "variance collapsed: {v}");
     }
 
     #[test]

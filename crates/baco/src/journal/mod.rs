@@ -77,7 +77,7 @@
 pub mod json;
 
 use crate::space::{Configuration, ParamKind, ParamValue, Scale, SearchSpace};
-use crate::tuner::{BacoOptions, SurrogateKind, Trial};
+use crate::tuner::{BacoOptions, MultiObjectiveStrategy, SurrogateKind, Trial};
 use crate::{Error, Result};
 use json::Json;
 use std::fs::{File, OpenOptions};
@@ -851,6 +851,15 @@ fn options_spec(opts: &BacoOptions) -> Json {
     ];
     if opts.objectives > 1 {
         members.push(("objectives".into(), Json::Num(opts.objectives as f64)));
+    }
+    // The multi-objective strategy is recorded only as "ehvi": **absence
+    // means ParEGO**, which is what every journal written before the
+    // strategy knob existed ran. Those journals stay byte-identical and
+    // resume under the strategy that produced them (pin
+    // `MultiObjectiveStrategy::ParEgo` when replaying one); single-objective
+    // runs never record it, whatever the knob says, since they ignore it.
+    if opts.objectives > 1 && opts.mo_strategy == MultiObjectiveStrategy::Ehvi {
+        members.push(("mo_strategy".into(), Json::Str("ehvi".into())));
     }
     if let Some(r) = &opts.reference_point {
         members.push((

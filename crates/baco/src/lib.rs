@@ -113,7 +113,9 @@ pub mod tuner;
 
 pub use error::{Error, Result};
 pub use space::{Configuration, ParamValue, SearchSpace};
-pub use tuner::{Baco, BacoBuilder, BlackBox, Evaluation, FnBlackBox, TuningReport};
+pub use tuner::{
+    Baco, BacoBuilder, BlackBox, Evaluation, FnBlackBox, MultiObjectiveStrategy, TuningReport,
+};
 
 /// Convenience re-exports for typical use.
 pub mod prelude {
@@ -124,8 +126,8 @@ pub mod prelude {
     /// The BaCO tuner: builder, black-box adapter, batching knobs and the
     /// incremental ask/report session.
     pub use crate::tuner::{
-        Baco, BacoBuilder, BlackBox, Evaluation, FantasyStrategy, FnBlackBox, LiarValue, Session,
-        TuningReport,
+        Baco, BacoBuilder, BlackBox, Evaluation, FantasyStrategy, FnBlackBox, LiarValue,
+        MultiObjectiveStrategy, Session, TuningReport,
     };
     /// The crate-wide error type.
     pub use crate::Error;

@@ -268,8 +268,16 @@ impl ServerHandle {
                         })
                         .collect();
                     let mut fields = vec![("front".into(), Json::Arr(front))];
-                    if let Some(hv) = history.hypervolume_vs_ref() {
-                        fields.push(("hypervolume".into(), Json::Num(hv)));
+                    // No reference point means the dominated hypervolume is
+                    // undefined, not an error: reply with an explicit `null`
+                    // plus a typed note so clients can tell "not configured"
+                    // apart from "front is empty".
+                    match history.hypervolume_vs_ref() {
+                        Some(hv) => fields.push(("hypervolume".into(), Json::Num(hv))),
+                        None => {
+                            fields.push(("hypervolume".into(), Json::Null));
+                            fields.push(("note".into(), Json::Str("no_reference_point".into())));
+                        }
                     }
                     return Ok(fields);
                 }
@@ -282,7 +290,7 @@ impl ServerHandle {
                 })
             }),
             Request::Status { session: Some(session) } => self.with_tenant(&session, |t| {
-                Ok(vec![
+                let mut fields = vec![
                     ("len".into(), Json::Num(t.session.history().len() as f64)),
                     ("budget".into(), Json::Num(t.session.tuner().options().budget as f64)),
                     ("remaining".into(), Json::Num(t.session.remaining_budget() as f64)),
@@ -291,7 +299,24 @@ impl ServerHandle {
                         "best_value".into(),
                         journal::encode_value(t.session.history().best_value()),
                     ),
-                ])
+                ];
+                if t.session.tuner().options().objectives > 1 {
+                    let history = t.session.history();
+                    fields.push((
+                        "front_size".into(),
+                        Json::Num(history.pareto_front().len() as f64),
+                    ));
+                    // Mirrors `best`: hypervolume is `null` (with the same
+                    // typed note) when the session has no reference point.
+                    match history.hypervolume_vs_ref() {
+                        Some(hv) => fields.push(("hypervolume".into(), Json::Num(hv))),
+                        None => {
+                            fields.push(("hypervolume".into(), Json::Null));
+                            fields.push(("note".into(), Json::Str("no_reference_point".into())));
+                        }
+                    }
+                }
+                Ok(fields)
             }),
             Request::Status { session: None } => {
                 // One snapshot for both fields, so `sessions` always equals
@@ -392,6 +417,9 @@ impl ServerHandle {
             builder = builder.log_objective(b);
         }
         builder = builder.objectives(spec.objectives);
+        if let Some(s) = spec.mo_strategy {
+            builder = builder.mo_strategy(s);
+        }
         if let Some(r) = spec.reference_point.clone() {
             builder = builder.reference_point(r);
         }

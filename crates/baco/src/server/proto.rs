@@ -11,12 +11,12 @@
 //!
 //! | op | request fields | reply fields |
 //! |---|---|---|
-//! | `create_session` | `session`, `space` ([`space_spec`](crate::journal::space_spec) object), `budget`; optional `doe_samples`, `seed`, `resume`, `surrogate` (`"gp"`/`"rf"`), `hidden_constraints`, `feasibility_limit`, `local_search`, `log_objective`, `objectives` (≥ 1), `reference_point` (array, one finite entry per objective), `surrogate_budget` (≥ 8; budget-bounded surrogate mode) | `resumed`, `len`, `remaining` |
+//! | `create_session` | `session`, `space` ([`space_spec`](crate::journal::space_spec) object), `budget`; optional `doe_samples`, `seed`, `resume`, `surrogate` (`"gp"`/`"rf"`), `hidden_constraints`, `feasibility_limit`, `local_search`, `log_objective`, `objectives` (≥ 1), `mo_strategy` (`"ehvi"` default / `"parego"`; multi-objective acquisition), `reference_point` (array, one finite entry per objective), `surrogate_budget` (≥ 8; budget-bounded surrogate mode) | `resumed`, `len`, `remaining` |
 //! | `ask` | `session` | `config` (object or `null` when exhausted) |
 //! | `suggest_batch` | `session`, `q` | `configs` (array, possibly empty) |
 //! | `report` | `session`, `config`; `value` (number, `null`, `"NaN"`, `"inf"`, `"-inf"`) **or** `values` (array, one entry per objective of a multi-objective session), and/or `feasible` — only *all-finite* measurements count as feasible, anything else is recorded as a failed evaluation | `len` |
-//! | `best` | `session` | single-objective: `config`+`value` (or both `null`); multi-objective: `front` (array of `{config, values}` in evaluation order) plus `hypervolume` when the session has a reference point |
-//! | `status` | optional `session` | per-session: `len`, `budget`, `remaining`, `pending`, `best_value`; server-wide: `sessions`, `names` |
+//! | `best` | `session` | single-objective: `config`+`value` (or both `null`); multi-objective: `front` (array of `{config, values}` in evaluation order) plus `hypervolume` — a number when the session has a reference point, otherwise `null` with a typed `note: "no_reference_point"` |
+//! | `status` | optional `session` | per-session: `len`, `budget`, `remaining`, `pending`, `best_value`, and for multi-objective sessions `front_size` + `hypervolume` (number, or `null` with `note: "no_reference_point"`); server-wide: `sessions`, `names` |
 //! | `close` | `session` | `closed`, `len` |
 //!
 //! Configurations use the run journal's codec
@@ -149,6 +149,11 @@ pub struct SessionSpec {
     pub log_objective: Option<bool>,
     /// Number of objectives the session tunes (default 1).
     pub objectives: usize,
+    /// Multi-objective acquisition strategy: `"ehvi"` (the default) or
+    /// `"parego"`. Ignored by single-objective sessions. Omit it when
+    /// resuming a journal created before the knob existed — those journals
+    /// ran ParEGO and must be resumed with `"parego"`.
+    pub mo_strategy: Option<crate::tuner::MultiObjectiveStrategy>,
     /// Hypervolume reference point (one finite entry per objective).
     pub reference_point: Option<Vec<f64>>,
     /// Budget-bounded surrogate mode: cap the GP training set at this many
@@ -294,6 +299,20 @@ pub fn parse_request(line: &str) -> Result<Envelope, WireError> {
                         return Err(WireError::bad_request("`objectives` must be at least 1"))
                     }
                     Some(m) => m,
+                },
+                mo_strategy: match j.get("mo_strategy") {
+                    None | Some(Json::Null) => None,
+                    Some(Json::Str(s)) if s == "ehvi" => {
+                        Some(crate::tuner::MultiObjectiveStrategy::Ehvi)
+                    }
+                    Some(Json::Str(s)) if s == "parego" => {
+                        Some(crate::tuner::MultiObjectiveStrategy::ParEgo)
+                    }
+                    Some(_) => {
+                        return Err(WireError::bad_request(
+                            "`mo_strategy` must be \"ehvi\" or \"parego\"",
+                        ))
+                    }
                 },
                 reference_point: match j.get("reference_point") {
                     None | Some(Json::Null) => None,
@@ -478,6 +497,35 @@ mod tests {
         assert_eq!(spec.surrogate_budget, Some(64));
         // Below the floor (or malformed) → typed bad_request.
         for bad in [r#","surrogate_budget":4"#, r#","surrogate_budget":"lots""#] {
+            assert_eq!(parse(bad).unwrap_err().kind, ErrorKind::BadRequest, "{bad}");
+        }
+    }
+
+    #[test]
+    fn mo_strategy_parses_and_validates() {
+        use crate::tuner::MultiObjectiveStrategy;
+        let parse = |extra: &str| {
+            parse_request(&format!(
+                r#"{{"op":"create_session","session":"s","budget":5,"space":{{"params":[],"constraints":[]}}{extra}}}"#
+            ))
+        };
+        // Omitted → None (the server applies the library default, EHVI).
+        let Ok(Envelope { req: Request::Create { spec, .. }, .. }) = parse("") else {
+            panic!("plain create must parse");
+        };
+        assert_eq!(spec.mo_strategy, None);
+        for (tag, want) in [
+            ("ehvi", MultiObjectiveStrategy::Ehvi),
+            ("parego", MultiObjectiveStrategy::ParEgo),
+        ] {
+            let Ok(Envelope { req: Request::Create { spec, .. }, .. }) =
+                parse(&format!(r#","objectives":2,"mo_strategy":"{tag}""#))
+            else {
+                panic!("{tag} create must parse");
+            };
+            assert_eq!(spec.mo_strategy, Some(want));
+        }
+        for bad in [r#","mo_strategy":"nsga2""#, r#","mo_strategy":7"#] {
             assert_eq!(parse(bad).unwrap_err().kind, ErrorKind::BadRequest, "{bad}");
         }
     }

@@ -100,6 +100,14 @@ impl AcquisitionContext {
     /// append) this is a no-op and batch diversity rests on the seen-set
     /// de-duplication alone.
     fn fantasize(&mut self, cfg: &Configuration, strategy: FantasyStrategy) {
+        // An EHVI round hands the rest of the batch to ParEGO scalarized EI:
+        // the cell decomposition was built over the *observed* front, which a
+        // hallucinated outcome can't honestly update (the pick has no real
+        // objectives yet), whereas the scalarization remains exactly as
+        // meaningful on fantasy-conditioned posteriors. This is the
+        // "ParEGO as fantasy-batching fallback" composition — EHVI steers
+        // the round's first pick, scalarized EI diversifies the rest.
+        self.ehvi = None;
         // Each objective's model is conditioned independently: the kriging
         // believer lies with that model's own posterior mean, the constant
         // liar with a statistic of that objective's observed values — so a

@@ -42,7 +42,8 @@ pub use report::{Trial, TuningReport};
 pub use session::Session;
 
 use crate::acquisition::{
-    expected_improvement, feasibility_weighted_ei, EpsilonSchedule, OptimumPrior, Scalarization,
+    expected_improvement, feasibility_weighted_ei, inferred_reference, Ehvi, EpsilonSchedule,
+    OptimumPrior, Scalarization,
 };
 use crate::search::{
     doe_sample, local_search_in, random_search_in, FeasibleSampler, LocalSearchOptions,
@@ -66,6 +67,29 @@ pub enum SurrogateKind {
     GaussianProcess,
     /// Random forest (the "RFs" arm of Fig. 8).
     RandomForest,
+}
+
+/// How a multi-objective run scores candidates each acquisition round
+/// (single-objective runs ignore this).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MultiObjectiveStrategy {
+    /// Expected hypervolume improvement over the incremental Pareto front
+    /// (the default): exact stripe decomposition for two objectives, a
+    /// hypervolume-sliced cell decomposition for three (see
+    /// [`crate::acquisition::Ehvi`]). Falls back to [`ParEgo`] when the
+    /// objective count is unsupported (`m > 3`) and between the picks of a
+    /// `q > 1` batch round, where fantasy-conditioned models re-score by
+    /// scalarized EI.
+    ///
+    /// [`ParEgo`]: MultiObjectiveStrategy::ParEgo
+    #[default]
+    Ehvi,
+    /// ParEGO: collapse the per-objective posteriors with this round's
+    /// random augmented-Chebyshev scalarization and run the classic scalar
+    /// EI machinery ([`crate::acquisition::Scalarization`]) — the pre-EHVI
+    /// behavior, and what journals without an explicit `mo_strategy`
+    /// envelope entry replay.
+    ParEgo,
 }
 
 /// Tunable knobs of the BaCO loop. Every ablation in the paper's Sec. 5.3
@@ -101,12 +125,18 @@ pub struct BacoOptions {
     /// positive-heavy-tailed shape).
     pub log_objective: bool,
     /// Number of objectives the black box measures (default 1). With `m > 1`
-    /// the tuner fits one GP per objective and collapses their posteriors
-    /// each round via a freshly drawn ParEGO augmented-Chebyshev
-    /// scalarization ([`Scalarization`]); the run's result is the Pareto
-    /// front ([`TuningReport::pareto_front`]). `1` keeps the classic
-    /// single-objective loop, bit for bit.
+    /// the tuner fits one GP per objective and scores candidates by
+    /// [`BacoOptions::mo_strategy`] — expected hypervolume improvement by
+    /// default, ParEGO scalarization ([`Scalarization`]) on request; the
+    /// run's result is the Pareto front ([`TuningReport::pareto_front`]).
+    /// `1` keeps the classic single-objective loop, bit for bit.
     pub objectives: usize,
+    /// Acquisition strategy for multi-objective runs (see
+    /// [`MultiObjectiveStrategy`]). Journaled in the determinism envelope
+    /// only as `"ehvi"` — absence means ParEGO, the historical behavior —
+    /// so journals written before the strategy existed stay byte-identical
+    /// and resume under the strategy that produced them.
+    pub mo_strategy: MultiObjectiveStrategy,
     /// Hypervolume reference point for multi-objective runs (one entry per
     /// objective, in raw objective units). Recorded in the run journal's
     /// determinism envelope and stamped onto the report
@@ -182,6 +212,7 @@ impl Default for BacoOptions {
             ls: LocalSearchOptions::default(),
             log_objective: true,
             objectives: 1,
+            mo_strategy: MultiObjectiveStrategy::default(),
             reference_point: None,
             optimum_prior: None,
             batch_size: 1,
@@ -280,6 +311,13 @@ impl BacoBuilder {
     /// [`BacoOptions::reference_point`]).
     pub fn reference_point(mut self, r: Vec<f64>) -> Self {
         self.opts.reference_point = Some(r);
+        self
+    }
+
+    /// Chooses the multi-objective acquisition strategy (see
+    /// [`MultiObjectiveStrategy`]); single-objective runs ignore it.
+    pub fn mo_strategy(mut self, s: MultiObjectiveStrategy) -> Self {
+        self.opts.mo_strategy = s;
         self
     }
 
@@ -744,6 +782,7 @@ impl Baco {
         Ok(Some(AcquisitionContext {
             models: vec![model],
             scalarization: None,
+            ehvi: None,
             classifier,
             epsilon_f,
             incumbent,
@@ -835,8 +874,33 @@ impl Baco {
         // (its normalization ranges must not depend on the active subset),
         // then active-set selection (budgeted rounds only), then one model per
         // objective: a fixed RNG consumption order, so resume replays it
-        // bitwise.
+        // bitwise. The draw happens under **both** strategies — EHVI still
+        // needs it for active-set selection, the incumbent and the batch
+        // fallback — so switching strategies never perturbs the RNG stream.
         let scal = Scalarization::sample(rng, &ys_full);
+
+        // EHVI (the default strategy): the cell decomposition over the
+        // current front, in the *transformed* objective space the GPs are
+        // trained in. RNG-free and a pure function of the replayed history
+        // (including the inferred reference, when none was configured), so
+        // resumed rounds rebuild the identical scorer. `None` — unsupported
+        // dimensionality (m > 3) — falls back to ParEGO scalarized EI below.
+        let ehvi = if self.opts.mo_strategy == MultiObjectiveStrategy::Ehvi {
+            let front: Vec<Vec<f64>> = report
+                .pareto_front()
+                .iter()
+                .filter_map(|t| t.objectives())
+                .filter(|o| o.len() == m)
+                .map(|o| o.iter().map(|&v| self.transform(v)).collect())
+                .collect();
+            let reference: Vec<f64> = match &self.opts.reference_point {
+                Some(r) => r.iter().map(|&v| self.transform(v)).collect(),
+                None => inferred_reference(&ys_full),
+            };
+            Ehvi::new(&front, &reference)
+        } else {
+            None
+        };
 
         // Budgeted rounds share one active set across all objectives, chosen
         // on this round's scalarized values, so the per-objective GPs stay
@@ -912,6 +976,7 @@ impl Baco {
         Ok(Some(AcquisitionContext {
             models,
             scalarization: Some(scal),
+            ehvi,
             classifier,
             epsilon_f,
             incumbent,
@@ -1114,7 +1179,16 @@ pub(crate) struct AcquisitionContext {
     pub(crate) models: Vec<FittedModel>,
     /// This round's ParEGO weight draw; `None` on single-objective runs,
     /// whose acquisition arithmetic stays exactly the historical scalar path.
+    /// Drawn (and the RNG consumed) even when [`AcquisitionContext::ehvi`]
+    /// does the scoring — it still powers active-set selection, the
+    /// incumbent, and the fantasy-batch fallback.
     pub(crate) scalarization: Option<Scalarization>,
+    /// The EHVI scorer of an [`MultiObjectiveStrategy::Ehvi`] round; `None`
+    /// under ParEGO, on single-objective runs, for unsupported objective
+    /// counts, and after the first pick of a fantasy batch (see
+    /// [`AcquisitionContext::fantasize`]). When set, it replaces scalarized
+    /// EI as the base acquisition.
+    pub(crate) ehvi: Option<Ehvi>,
     classifier: Option<RandomForestClassifier>,
     epsilon_f: f64,
     /// Noise-free incumbent — in scalarized units when `scalarization` is
@@ -1136,8 +1210,9 @@ impl AcquisitionContext {
     /// flow through each model's bulk posterior (one blocked triangular solve
     /// for the whole slice per objective) and only then through the cheap
     /// per-candidate acquisition arithmetic. Multi-objective posteriors are
-    /// collapsed per candidate by this round's augmented-Chebyshev
-    /// scalarization before the same EI machinery runs.
+    /// scored whole by EHVI when this round carries a cell decomposition,
+    /// and otherwise collapsed per candidate by this round's
+    /// augmented-Chebyshev scalarization before the same EI machinery runs.
     pub(crate) fn score_batch<'a>(
         &'a self,
         space: &'a SearchSpace,
@@ -1155,17 +1230,25 @@ impl AcquisitionContext {
             cfgs.iter()
                 .enumerate()
                 .map(|(j, cfg)| {
-                    let (mean, var) = match &self.scalarization {
-                        None => preds[0][j],
-                        Some(s) => {
-                            for (k, p) in preds.iter().enumerate() {
-                                means[k] = p[j].0;
-                                vars[k] = p[j].1;
-                            }
-                            (s.scalarize(&means), s.scalarize_variance(&vars))
+                    let ei = if let Some(e) = &self.ehvi {
+                        for (k, p) in preds.iter().enumerate() {
+                            means[k] = p[j].0;
+                            vars[k] = p[j].1;
                         }
+                        e.value(&means, &vars)
+                    } else {
+                        let (mean, var) = match &self.scalarization {
+                            None => preds[0][j],
+                            Some(s) => {
+                                for (k, p) in preds.iter().enumerate() {
+                                    means[k] = p[j].0;
+                                    vars[k] = p[j].1;
+                                }
+                                (s.scalarize(&means), s.scalarize_variance(&vars))
+                            }
+                        };
+                        expected_improvement(mean, var, self.incumbent)
                     };
-                    let ei = expected_improvement(mean, var, self.incumbent);
                     let acq = match &self.classifier {
                         Some(c) => {
                             let p = c.predict_proba(space, cfg);

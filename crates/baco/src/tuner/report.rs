@@ -214,9 +214,15 @@ impl TuningReport {
     /// The hypervolume dominated by the Pareto front with respect to
     /// `reference` (minimization): the Lebesgue measure of the region
     /// dominated by the front inside the box bounded above by `reference`.
-    /// Front points that do not strictly dominate the reference point in
-    /// every objective contribute nothing. Larger is better; `0.0` for an
-    /// empty front.
+    /// Larger is better; `0.0` for an empty front.
+    ///
+    /// Every front coordinate is **clamped** to the reference
+    /// (`min(pᵢ, rᵢ)`): a point that does not strictly dominate the
+    /// reference in every component lands on the box boundary and dominates
+    /// a region of measure zero — exactly zero contribution, never a negative
+    /// slab or a silently inflated one. (Clamping, rather than skipping, is
+    /// the fix for the boundary case `pᵢ = rᵢ`, which must not be treated as
+    /// interior.)
     ///
     /// Exact for any objective count via recursive slicing on the last
     /// objective — O(n²) per slice level, plenty for fronts bounded by the
@@ -226,7 +232,8 @@ impl TuningReport {
             .front
             .iter()
             .filter_map(|&i| self.trials[i].objectives())
-            .filter(|o| o.len() == reference.len() && o.iter().zip(reference).all(|(p, r)| p < r))
+            .filter(|o| o.len() == reference.len())
+            .map(|o| o.iter().zip(reference).map(|(&p, &r)| p.min(r)).collect())
             .collect();
         hypervolume_of(&pts, reference)
     }
@@ -285,8 +292,10 @@ impl TuningReport {
     }
 }
 
-/// Hypervolume of a set of mutually comparable points strictly inside the
-/// reference box, by recursive slicing on the last objective.
+/// Hypervolume of a set of points with every coordinate at or below the
+/// reference (clamped by the caller), by recursive slicing on the last
+/// objective. Boundary coordinates produce zero-width slabs, never negative
+/// ones.
 fn hypervolume_of(pts: &[Vec<f64>], reference: &[f64]) -> f64 {
     if pts.is_empty() || reference.is_empty() {
         return 0.0;
@@ -501,6 +510,29 @@ mod tests {
         // [1,3)x[2,3)x[2,3) (vol 2) and [2,3)x[1,3)x[2,3) (vol 2), overlap
         // [2,3)x[2,3)x[2,3) (vol 1) → 3.
         assert!((r.hypervolume(&[3.0, 3.0, 3.0]) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hypervolume_clamps_points_at_or_beyond_the_reference() {
+        // Regression (PR 8): a front point outside the reference box, or
+        // exactly on its boundary, must contribute exactly zero volume — the
+        // total equals the interior point's contribution alone.
+        let mut r = TuningReport::new("t");
+        r.push(trial_multi(0, &[1.0, 3.5])); // interior: (4-1)*(4-3.5) = 1.5
+        r.push(trial_multi(1, &[0.5, 6.0])); // outside in obj 2
+        r.push(trial_multi(2, &[4.0, 0.5])); // exactly on the boundary in obj 1
+        assert_eq!(r.pareto_front().len(), 3, "all three are mutually non-dominated");
+        assert!((r.hypervolume(&[4.0, 4.0]) - 1.5).abs() < 1e-12);
+
+        // A front made *only* of boundary/outside points has zero volume …
+        let mut b = TuningReport::new("t");
+        b.push(trial_multi(0, &[4.0, 1.0]));
+        b.push(trial_multi(1, &[1.0, 9.0]));
+        assert_eq!(b.hypervolume(&[4.0, 4.0]), 0.0);
+        // … and never a negative one, in any dimension count.
+        let mut c = TuningReport::new("t");
+        c.push(trial_multi(0, &[5.0, 5.0, 5.0]));
+        assert_eq!(c.hypervolume(&[3.0, 3.0, 3.0]), 0.0);
     }
 
     #[test]

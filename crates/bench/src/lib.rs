@@ -52,13 +52,14 @@ pub fn all_benchmarks(scale: TacoScale) -> Vec<Benchmark> {
 }
 
 /// The multi-objective (Pareto) benchmark variants: the Table-3 spaces with
-/// a second minimized metric (fpga-sim latency/area, gpu-sim
-/// runtime/energy, taco-sim runtime/traffic). Kept out of
-/// [`all_benchmarks`] so the 25-instance paper sweep stays exactly the
-/// paper's.
+/// further minimized metrics (fpga-sim latency/area, gpu-sim
+/// runtime/energy — plus a runtime/energy/occupancy 3-objective variant —
+/// taco-sim runtime/traffic). Kept out of [`all_benchmarks`] so the
+/// 25-instance paper sweep stays exactly the paper's.
 pub fn pareto_benchmarks(scale: TacoScale) -> Vec<Benchmark> {
     let mut v = fpga_sim::benchmarks::hpvm_pareto_benchmarks();
     v.push(gpu_sim::benchmarks::mm_gpu_pareto());
+    v.push(gpu_sim::benchmarks::mm_gpu_pareto3());
     v.push(taco_sim::benchmarks::spmm_pareto_benchmark("scircuit", scale));
     v
 }
@@ -98,5 +99,17 @@ mod tests {
     fn lookup_works() {
         let b = benchmark_by_name("MM_GPU", TacoScale::Test);
         assert_eq!(b.space.len(), 10);
+    }
+
+    #[test]
+    fn pareto_lookup_spans_two_and_three_objectives() {
+        let widths: Vec<usize> = pareto_benchmarks(TacoScale::Test)
+            .iter()
+            .map(|b| b.n_objectives())
+            .collect();
+        assert!(widths.contains(&2) && widths.contains(&3), "{widths:?}");
+        let b3 = benchmark_by_name("MM_GPU-pareto3", TacoScale::Test);
+        assert_eq!(b3.n_objectives(), 3);
+        assert_eq!(b3.reference_point.as_ref().map(Vec::len), Some(3));
     }
 }

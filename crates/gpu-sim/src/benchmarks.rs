@@ -99,6 +99,58 @@ pub fn mm_gpu_pareto() -> Benchmark {
     }
 }
 
+/// Occupancy shortfall (%) of an MM_GPU configuration: how far the
+/// workgroup sits under the 1024-thread hardware maximum. Minimizing it
+/// pulls toward the widest workgroups — the direct opposite of the energy
+/// objective — so the 3-D front is genuinely non-degenerate.
+fn mm_gpu_idle_pct(cfg: &Configuration) -> f64 {
+    let threads = cfg.value("ls_x").as_f64() * cfg.value("ls_y").as_f64();
+    100.0 * (1.0 - threads / 1024.0)
+}
+
+struct MmGpuPareto3Bench;
+
+impl BlackBox for MmGpuPareto3Bench {
+    fn evaluate(&self, cfg: &Configuration) -> Evaluation {
+        match kernels::mm_gpu::evaluate(cfg) {
+            Some(ms) => Evaluation::feasible_multi(vec![
+                ms,
+                ms * mm_gpu_power_w(cfg),
+                mm_gpu_idle_pct(cfg),
+            ]),
+            None => Evaluation::infeasible(),
+        }
+    }
+    fn name(&self) -> &str {
+        "MM_GPU-pareto3"
+    }
+}
+
+/// The MM_GPU **three-objective** variant: runtime, energy and occupancy
+/// shortfall over the same space and constraints as [`mm_gpu`]. Runtime
+/// favors moderate workgroups, energy the narrowest, occupancy the widest —
+/// three mutually antagonistic pulls, which is what exercises the
+/// hypervolume-sliced EHVI path (`m = 3`) end to end.
+pub fn mm_gpu_pareto3() -> Benchmark {
+    use kernels::mm_gpu as k;
+    let space = k::space();
+    Benchmark {
+        name: "MM_GPU-pareto3".to_string(),
+        group: Group::Rise,
+        default_config: k::default_config(&space),
+        expert_config: Some(k::expert_config(&space)),
+        blackbox: Box::new(MmGpuPareto3Bench),
+        space,
+        budget: 120,
+        has_hidden_constraints: true,
+        objective_names: vec!["runtime_ms".into(), "energy_mj".into(), "idle_pct".into()],
+        // Runtime/energy bounds as in [`mm_gpu_pareto`]; the shortfall is a
+        // percentage, so 100 covers every configuration with at least one
+        // thread per workgroup.
+        reference_point: Some(vec![2_000.0, 400_000.0, 100.0]),
+    }
+}
+
 /// The MM_CPU benchmark (budget 100, K/H).
 pub fn mm_cpu() -> Benchmark {
     use kernels::mm_cpu as k;
@@ -183,6 +235,46 @@ mod tests {
             assert!(d > 0.0 && e > 0.0);
             assert!(e <= d, "{}: expert {e} vs default {d}", b.name);
         }
+    }
+
+    #[test]
+    fn pareto3_objectives_are_mutually_antagonistic() {
+        let b = mm_gpu_pareto3();
+        assert_eq!(b.n_objectives(), 3);
+        // The default configuration evaluates to a finite 3-vector inside
+        // the reference box.
+        let eval = b.blackbox.evaluate(&b.default_config);
+        let objs = eval.values().expect("default config is feasible").to_vec();
+        let reference = b.reference_point.as_ref().unwrap();
+        assert_eq!(objs.len(), 3);
+        for (o, r) in objs.iter().zip(reference) {
+            assert!(o.is_finite() && *o >= 0.0 && o < r, "{objs:?} vs {reference:?}");
+        }
+        // Widest workgroup: zero shortfall but the highest power draw;
+        // narrowest: near-total shortfall with the lowest draw — occupancy
+        // and energy pull in opposite directions by construction.
+        use baco::ParamValue;
+        let cfg_with = |ls_x: f64, ls_y: f64| {
+            b.space
+                .configuration(&[
+                    ("m_wg", ParamValue::Ordinal(16.0)),
+                    ("n_wg", ParamValue::Ordinal(16.0)),
+                    ("k_tile", ParamValue::Ordinal(4.0)),
+                    ("m_th", ParamValue::Ordinal(1.0)),
+                    ("n_th", ParamValue::Ordinal(1.0)),
+                    ("ls_x", ParamValue::Ordinal(ls_x)),
+                    ("ls_y", ParamValue::Ordinal(ls_y)),
+                    ("vec", ParamValue::Ordinal(1.0)),
+                    ("unroll", ParamValue::Ordinal(1.0)),
+                    ("k_split", ParamValue::Ordinal(1.0)),
+                ])
+                .unwrap()
+        };
+        let wide = cfg_with(32.0, 32.0);
+        let narrow = cfg_with(1.0, 1.0);
+        assert_eq!(mm_gpu_idle_pct(&wide), 0.0);
+        assert!(mm_gpu_idle_pct(&narrow) > 99.0);
+        assert!(mm_gpu_power_w(&wide) > mm_gpu_power_w(&narrow));
     }
 
     #[test]

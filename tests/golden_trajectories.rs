@@ -30,7 +30,7 @@
 
 use baco::benchmark::Benchmark;
 use baco::journal::{Journal, Mode};
-use baco::tuner::{Baco, BlackBox, Evaluation};
+use baco::tuner::{Baco, BlackBox, Evaluation, MultiObjectiveStrategy};
 use baco::{Configuration, TuningReport};
 use std::collections::HashMap;
 use std::path::Path;
@@ -93,6 +93,11 @@ impl Golden {
             .seed(self.seed)
             .batch_size(self.batch)
             .objectives(self.bench.n_objectives())
+            // Every committed fixture predates the EHVI default: their
+            // envelopes carry no `mo_strategy`, which means ParEGO. Pinning
+            // it keeps them validating and replaying forever (it is inert
+            // for the single-objective fixtures).
+            .mo_strategy(MultiObjectiveStrategy::ParEgo)
             .eval_threads(1);
         if let Some(r) = self.bench.reference_point.clone() {
             builder = builder.reference_point(r);
@@ -182,6 +187,7 @@ impl Golden {
                 .seed(self.seed)
                 .batch_size(self.batch)
                 .objectives(self.bench.n_objectives())
+                .mo_strategy(MultiObjectiveStrategy::ParEgo)
                 .eval_threads(1)
                 .journal_path(&crash);
             if let Some(r) = self.bench.reference_point.clone() {
