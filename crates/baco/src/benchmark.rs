@@ -154,6 +154,91 @@ impl Benchmark {
     }
 }
 
+/// A latency-simulating wrapper for benchmark black boxes: sleeps a
+/// deterministic, per-configuration amount before delegating, producing the
+/// heterogeneous evaluation times of real compile+run workloads without
+/// their noise. The latency is a pure function of the configuration (an
+/// FNV-1a hash of its canonical string), so fixed-seed trajectories stay
+/// reproducible and repeated evaluations of one configuration cost the
+/// same — which is what makes wall-clock comparisons between the barriered
+/// and speculative engines ([`crate::tuner::speculate`]) apples-to-apples.
+///
+/// A configurable percentage of configurations are "heavy" (straggler
+/// compiles); the rest are "light". The `spec_pipeline` bench layers a
+/// heavier profile on top via [`SimLatency::with_profile`].
+pub struct SimLatency {
+    inner: Box<dyn BlackBox + Send + Sync>,
+    /// Light-tail sleep range, microseconds (inclusive).
+    light_us: (u64, u64),
+    /// Heavy-tail (straggler) sleep range, microseconds (inclusive).
+    heavy_us: (u64, u64),
+    /// Percentage (0–100) of configurations drawing from the heavy tail.
+    heavy_pct: u64,
+}
+
+impl SimLatency {
+    /// Wraps `inner` with the default mixed-latency profile: 15% of
+    /// configurations sleep 40–80 ms (stragglers), the rest 2–6 ms.
+    pub fn new(inner: Box<dyn BlackBox + Send + Sync>) -> SimLatency {
+        SimLatency::with_profile(inner, (2_000, 6_000), (40_000, 80_000), 15)
+    }
+
+    /// Wraps `inner` with an explicit latency profile (ranges in
+    /// microseconds; `heavy_pct` is clamped to 0–100).
+    pub fn with_profile(
+        inner: Box<dyn BlackBox + Send + Sync>,
+        light_us: (u64, u64),
+        heavy_us: (u64, u64),
+        heavy_pct: u64,
+    ) -> SimLatency {
+        SimLatency {
+            inner,
+            light_us,
+            heavy_us,
+            heavy_pct: heavy_pct.min(100),
+        }
+    }
+
+    /// The deterministic sleep, in microseconds, this wrapper charges `cfg`.
+    pub fn latency_us(&self, cfg: &Configuration) -> u64 {
+        // FNV-1a over the canonical configuration string: stable across
+        // runs, platforms and (unlike `DefaultHasher`) Rust releases.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in cfg.to_string().bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        let (lo, hi) = if h % 100 < self.heavy_pct {
+            self.heavy_us
+        } else {
+            self.light_us
+        };
+        lo + (h >> 8) % (hi.saturating_sub(lo) + 1)
+    }
+}
+
+impl BlackBox for SimLatency {
+    fn evaluate(&self, cfg: &Configuration) -> crate::tuner::Evaluation {
+        std::thread::sleep(std::time::Duration::from_micros(self.latency_us(cfg)));
+        self.inner.evaluate(cfg)
+    }
+
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+}
+
+impl fmt::Debug for SimLatency {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SimLatency")
+            .field("name", &self.inner.name())
+            .field("light_us", &self.light_us)
+            .field("heavy_us", &self.heavy_us)
+            .field("heavy_pct", &self.heavy_pct)
+            .finish()
+    }
+}
+
 impl fmt::Debug for Benchmark {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Benchmark")
@@ -211,6 +296,35 @@ mod tests {
         let b = demo();
         assert_eq!(b.default_value(), Some(2.0));
         assert_eq!(b.expert_value(), Some(2.0));
+    }
+
+    #[test]
+    fn sim_latency_is_deterministic_and_mixed() {
+        let space = SearchSpace::builder().integer("x", 0, 99).build().unwrap();
+        let sim = SimLatency::with_profile(
+            Box::new(FnBlackBox::new(|c: &Configuration| {
+                Evaluation::feasible(c.value("x").as_f64() + 1.0)
+            })),
+            (10, 20),
+            (500, 600),
+            20,
+        );
+        let mut light = 0;
+        let mut heavy = 0;
+        for x in 0..100 {
+            let cfg = space.configuration(&[("x", crate::space::ParamValue::Int(x))]).unwrap();
+            let us = sim.latency_us(&cfg);
+            assert_eq!(us, sim.latency_us(&cfg), "latency must be pure");
+            match us {
+                10..=20 => light += 1,
+                500..=600 => heavy += 1,
+                other => panic!("latency {other}us outside both tails"),
+            }
+            // The wrapper only delays; values pass through untouched.
+            assert_eq!(sim.evaluate(&cfg).value(), Some(x as f64 + 1.0));
+        }
+        assert!(light > 0 && heavy > 0, "mixture has {light} light / {heavy} heavy");
+        assert!(light > heavy, "the heavy tail must be the minority");
     }
 
     #[test]

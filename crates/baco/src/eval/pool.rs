@@ -19,11 +19,23 @@
 //! (or inline) path and surfaced as a hidden-constraint infeasible outcome —
 //! every submitted configuration still produces exactly one result, the
 //! collector never deadlocks, and the run continues (see BaCO's failed-run
-//! semantics, Sec. 4.2). Run journaling ([`crate::journal`]) records trials in the order
-//! this pool *completes* them, so a resumed journal replays the round as it
-//! actually unfolded; with `threads <= 1` completion order is submission
-//! order, which extends the resume-anywhere bitwise guarantee to any batch
-//! size.
+//! semantics, Sec. 4.2). The same containment philosophy covers the pool's
+//! own synchronization: a poisoned work-slot mutex is recovered via
+//! `into_inner` (like `server::registry` recovers tenant slots) and the
+//! stranded configuration is surfaced as a hidden-constraint infeasible
+//! outcome, and a collector slot a dead worker never filled is backfilled the
+//! same way instead of crashing the whole run. Run journaling
+//! ([`crate::journal`]) records trials in the order this pool *completes*
+//! them, so a resumed journal replays the round as it actually unfolded; with
+//! `threads <= 1` completion order is submission order, which extends the
+//! resume-anywhere bitwise guarantee to any batch size.
+//!
+//! Beyond per-round streaming, [`with_pool`] keeps one worker pool alive
+//! across *many* rounds and exposes it as an [`EvalPool`] — submit
+//! configurations at any time, cancel ones no longer wanted, and receive
+//! completions one at a time. This is the substrate of the speculative
+//! evaluation pipeline ([`crate::tuner::speculate`]), which has no round
+//! barrier to scope a per-round pool to.
 //!
 //! ```
 //! use baco::eval::pool::evaluate_stream;
@@ -48,9 +60,10 @@
 use crate::parallel::effective_threads;
 use crate::space::Configuration;
 use crate::tuner::{BlackBox, Evaluation};
+use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{mpsc, Mutex};
+use std::sync::{mpsc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
 /// Evaluates one configuration with panic containment: a black box that
@@ -68,6 +81,37 @@ fn evaluate_contained(bb: &(dyn BlackBox + Sync), cfg: &Configuration) -> Evalua
     catch_unwind(AssertUnwindSafe(|| bb.evaluate(cfg))).unwrap_or_else(|_| {
         Evaluation::infeasible()
     })
+}
+
+/// Takes the configuration out of a work slot, recovering a **poisoned**
+/// mutex via `into_inner` — the same recovery `server::registry` applies to
+/// tenant slots. Poisoning here means a sibling worker panicked while
+/// holding this lock; the slot's contents are still a plain `Option` move,
+/// so recovery is safe. Returns the configuration plus whether the slot was
+/// poisoned; `None` if the slot was already emptied.
+fn take_slot(slot: &Mutex<Option<Configuration>>) -> Option<(Configuration, bool)> {
+    match slot.lock() {
+        Ok(mut guard) => guard.take().map(|c| (c, false)),
+        Err(poisoned) => poisoned.into_inner().take().map(|c| (c, true)),
+    }
+}
+
+/// Claims one work slot and produces its evaluation. A poisoned slot is
+/// mapped to the hidden-constraint infeasible outcome *without* invoking the
+/// black box — the panic that poisoned it makes the shared state suspect, so
+/// it is treated like any other failed run instead of crashing the pool.
+/// `None` means the slot was already taken (nothing to report).
+fn evaluate_slot(
+    bb: &(dyn BlackBox + Sync),
+    slot: &Mutex<Option<Configuration>>,
+) -> Option<(Configuration, Evaluation)> {
+    let (config, poisoned) = take_slot(slot)?;
+    let evaluation = if poisoned {
+        Evaluation::infeasible()
+    } else {
+        evaluate_contained(bb, &config)
+    };
+    Some((config, evaluation))
 }
 
 /// One completed evaluation delivered by [`evaluate_stream`].
@@ -139,9 +183,10 @@ pub fn evaluate_stream<F>(
                 if i >= n {
                     break;
                 }
-                let config = work[i].lock().unwrap().take().expect("config taken once");
                 let t0 = Instant::now();
-                let evaluation = evaluate_contained(bb, &config);
+                let Some((config, evaluation)) = evaluate_slot(bb, &work[i]) else {
+                    continue;
+                };
                 // The receiver outlives the scope body; a send can only fail
                 // if the main thread panicked, which propagates anyway.
                 let _ = tx.send(BatchOutcome {
@@ -168,11 +213,314 @@ pub fn evaluate_batch(
     threads: usize,
 ) -> Vec<(Configuration, Evaluation)> {
     let n = cfgs.len();
+    let originals = cfgs.clone();
     let mut slots: Vec<Option<(Configuration, Evaluation)>> = (0..n).map(|_| None).collect();
     evaluate_stream(bb, cfgs, threads, |out| {
         slots[out.index] = Some((out.config, out.evaluation));
     });
-    slots.into_iter().map(|s| s.expect("every slot filled")).collect()
+    backfill_lost_slots(&originals, slots)
+}
+
+/// Turns the collector's slot array into submission-order results. A slot
+/// its worker never filled — a worker killed mid-flight (e.g. an abort
+/// inside foreign code that unwinding cannot catch) leaves a hole — is
+/// backfilled with the hidden-constraint infeasible outcome for the original
+/// configuration instead of crashing the whole run's collector.
+fn backfill_lost_slots(
+    cfgs: &[Configuration],
+    slots: Vec<Option<(Configuration, Evaluation)>>,
+) -> Vec<(Configuration, Evaluation)> {
+    slots
+        .into_iter()
+        .enumerate()
+        .map(|(i, s)| s.unwrap_or_else(|| (cfgs[i].clone(), Evaluation::infeasible())))
+        .collect()
+}
+
+/// One completed evaluation delivered by [`EvalPool::recv`].
+#[derive(Debug)]
+pub struct Completion {
+    /// The caller-chosen identifier passed to [`EvalPool::submit`].
+    pub ticket: u64,
+    /// The evaluated configuration.
+    pub config: Configuration,
+    /// The black box's verdict.
+    pub evaluation: Evaluation,
+    /// Wall-clock time the black box took for this configuration.
+    pub eval_time: Duration,
+}
+
+type Job = (u64, Configuration);
+
+#[derive(Default)]
+struct QueueState {
+    queue: VecDeque<Job>,
+    shutdown: bool,
+}
+
+/// The condvar-fed job queue shared between [`EvalPool`] and its workers.
+struct SharedQueue {
+    state: Mutex<QueueState>,
+    cv: Condvar,
+}
+
+impl SharedQueue {
+    /// Locks the queue, recovering a poisoned mutex via `into_inner` — the
+    /// queue is a plain `VecDeque` of owned jobs, always structurally valid.
+    fn lock(&self) -> MutexGuard<'_, QueueState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// Shuts the pool down even if the caller's closure panics: raises the
+/// shutdown flag, abandons still-queued jobs, and wakes every worker blocked
+/// on the condvar so the enclosing `thread::scope` can join.
+struct ShutdownGuard<'a>(&'a SharedQueue);
+
+impl Drop for ShutdownGuard<'_> {
+    fn drop(&mut self) {
+        let mut st = self.0.lock();
+        st.shutdown = true;
+        st.queue.clear();
+        drop(st);
+        self.0.cv.notify_all();
+    }
+}
+
+fn worker_loop(bb: &(dyn BlackBox + Sync), shared: &SharedQueue, tx: mpsc::Sender<Completion>) {
+    loop {
+        let job = {
+            let mut st = shared.lock();
+            loop {
+                if let Some(job) = st.queue.pop_front() {
+                    break Some(job);
+                }
+                if st.shutdown {
+                    break None;
+                }
+                st = shared.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+            }
+        };
+        let Some((ticket, config)) = job else { return };
+        let t0 = Instant::now();
+        let evaluation = evaluate_contained(bb, &config);
+        let done = Completion {
+            ticket,
+            config,
+            evaluation,
+            eval_time: t0.elapsed(),
+        };
+        if tx.send(done).is_err() {
+            // The pool was dropped mid-evaluation; nothing left to report to.
+            return;
+        }
+    }
+}
+
+enum PoolImpl<'a> {
+    /// Effective thread count ≤ 1: jobs queue up and are evaluated inline on
+    /// the caller's thread, one per [`EvalPool::recv`], in strict submission
+    /// order — the deterministic degenerate pool that anchors the journal's
+    /// resume-bitwise guarantee.
+    Inline {
+        bb: &'a (dyn BlackBox + Sync),
+        queue: VecDeque<Job>,
+    },
+    /// Long-lived scoped workers fed through a condvar queue; completions
+    /// stream back through an mpsc channel in completion order.
+    Threaded {
+        shared: &'a SharedQueue,
+        rx: mpsc::Receiver<Completion>,
+        outstanding: usize,
+    },
+}
+
+/// A persistent evaluation pool whose workers outlive any single round:
+/// submissions and completions interleave freely, so a driver can keep
+/// proposing (and withdrawing) work while earlier evaluations are still in
+/// flight. Created by [`with_pool`]; this is the substrate of the
+/// speculative evaluation pipeline, which replaces the per-round barrier of
+/// [`evaluate_stream`] with reconciliation on completion order.
+pub struct EvalPool<'a> {
+    inner: PoolImpl<'a>,
+}
+
+impl std::fmt::Debug for EvalPool<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let (kind, outstanding) = match &self.inner {
+            PoolImpl::Inline { queue, .. } => ("inline", queue.len()),
+            PoolImpl::Threaded { outstanding, .. } => ("threaded", *outstanding),
+        };
+        f.debug_struct("EvalPool")
+            .field("kind", &kind)
+            .field("outstanding", &outstanding)
+            .finish()
+    }
+}
+
+impl EvalPool<'_> {
+    /// Submits one configuration for evaluation under a caller-chosen
+    /// ticket. Tickets are opaque to the pool and echoed back verbatim in
+    /// the [`Completion`]; the caller is responsible for their uniqueness.
+    pub fn submit(&mut self, ticket: u64, config: Configuration) {
+        match &mut self.inner {
+            PoolImpl::Inline { queue, .. } => queue.push_back((ticket, config)),
+            PoolImpl::Threaded {
+                shared,
+                outstanding,
+                ..
+            } => {
+                shared.lock().queue.push_back((ticket, config));
+                shared.cv.notify_one();
+                *outstanding += 1;
+            }
+        }
+    }
+
+    /// Withdraws a submission that has not started evaluating. Returns
+    /// `true` iff the job was still queued and is now gone — its completion
+    /// will never be delivered. `false` means a worker already claimed it
+    /// (or the ticket is unknown): the completion **will** still arrive and
+    /// the caller must be prepared to discard it.
+    pub fn cancel(&mut self, ticket: u64) -> bool {
+        match &mut self.inner {
+            PoolImpl::Inline { queue, .. } => {
+                match queue.iter().position(|(t, _)| *t == ticket) {
+                    Some(pos) => {
+                        queue.remove(pos);
+                        true
+                    }
+                    None => false,
+                }
+            }
+            PoolImpl::Threaded {
+                shared,
+                outstanding,
+                ..
+            } => {
+                let mut st = shared.lock();
+                match st.queue.iter().position(|(t, _)| *t == ticket) {
+                    Some(pos) => {
+                        st.queue.remove(pos);
+                        *outstanding -= 1;
+                        true
+                    }
+                    None => false,
+                }
+            }
+        }
+    }
+
+    /// Number of submissions whose completions have not been received yet
+    /// (cancelled submissions excluded).
+    pub fn outstanding(&self) -> usize {
+        match &self.inner {
+            PoolImpl::Inline { queue, .. } => queue.len(),
+            PoolImpl::Threaded { outstanding, .. } => *outstanding,
+        }
+    }
+
+    /// Blocks until the next completion, or returns `None` when nothing is
+    /// outstanding. On the inline (≤ 1 thread) pool this *evaluates* the
+    /// oldest queued submission on the caller's thread, so completions
+    /// arrive in strict submission order.
+    pub fn recv(&mut self) -> Option<Completion> {
+        match &mut self.inner {
+            PoolImpl::Inline { bb, queue } => {
+                let (ticket, config) = queue.pop_front()?;
+                let t0 = Instant::now();
+                let evaluation = evaluate_contained(*bb, &config);
+                Some(Completion {
+                    ticket,
+                    config,
+                    evaluation,
+                    eval_time: t0.elapsed(),
+                })
+            }
+            PoolImpl::Threaded {
+                rx, outstanding, ..
+            } => {
+                if *outstanding == 0 {
+                    return None;
+                }
+                let done = rx.recv().ok()?;
+                *outstanding -= 1;
+                Some(done)
+            }
+        }
+    }
+}
+
+/// Runs `f` with a persistent [`EvalPool`] of `threads` workers (`0` = one
+/// per expected in-flight evaluation, capped at the available parallelism;
+/// `capacity` is the expected number of simultaneously in-flight
+/// evaluations, used only for that sizing).
+///
+/// With an effective thread count of one the pool is *inline*:
+/// [`EvalPool::recv`] evaluates the oldest queued submission on the caller's
+/// thread, making completion order equal submission order — the property the
+/// journal's resume-bitwise guarantee builds on. Worker threads are scoped:
+/// they are joined before `with_pool` returns, even if `f` panics.
+///
+/// ```
+/// use baco::eval::pool::with_pool;
+/// use baco::prelude::*;
+///
+/// let space = SearchSpace::builder().integer("x", 0, 7).build()?;
+/// let bb = FnBlackBox::new(|c: &Configuration| {
+///     Evaluation::feasible(c.value("x").as_f64() + 1.0)
+/// });
+/// let total = with_pool(&bb, 2, 4, |pool| {
+///     for ticket in 0..3 {
+///         pool.submit(ticket, space.default_configuration());
+///     }
+///     let mut sum = 0.0;
+///     while let Some(done) = pool.recv() {
+///         sum += done.evaluation.value().unwrap_or(0.0);
+///     }
+///     sum
+/// });
+/// assert_eq!(total, 3.0);
+/// # Ok::<(), baco::Error>(())
+/// ```
+pub fn with_pool<R>(
+    bb: &(dyn BlackBox + Sync),
+    threads: usize,
+    capacity: usize,
+    f: impl FnOnce(&mut EvalPool<'_>) -> R,
+) -> R {
+    let threads = effective_threads(threads, capacity.max(1));
+    if threads <= 1 {
+        let mut pool = EvalPool {
+            inner: PoolImpl::Inline {
+                bb,
+                queue: VecDeque::new(),
+            },
+        };
+        return f(&mut pool);
+    }
+    let shared = SharedQueue {
+        state: Mutex::new(QueueState::default()),
+        cv: Condvar::new(),
+    };
+    let (tx, rx) = mpsc::channel::<Completion>();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let tx = tx.clone();
+            let shared = &shared;
+            scope.spawn(move || worker_loop(bb, shared, tx));
+        }
+        drop(tx);
+        let _shutdown = ShutdownGuard(&shared);
+        let mut pool = EvalPool {
+            inner: PoolImpl::Threaded {
+                shared: &shared,
+                rx,
+                outstanding: 0,
+            },
+        };
+        f(&mut pool)
+    })
 }
 
 #[cfg(test)]
@@ -253,23 +601,28 @@ mod tests {
     /// must not deadlock the mpsc collector or lose its slot — it becomes a
     /// hidden-constraint infeasible outcome, and every other slot still
     /// completes normally, on both the threaded and the inline path.
+    // Silence the default panic printout so the test log stays readable;
+    // the drop guard restores it even if an assertion fails while it is
+    // active, so a failure cannot swallow later panics' diagnostics.
+    type PanicHook = Box<dyn Fn(&std::panic::PanicHookInfo<'_>) + Sync + Send>;
+    struct HookGuard(Option<PanicHook>);
+    impl Drop for HookGuard {
+        fn drop(&mut self) {
+            if let Some(h) = self.0.take() {
+                std::panic::set_hook(h);
+            }
+        }
+    }
+    fn silence_panics() -> HookGuard {
+        let guard = HookGuard(Some(std::panic::take_hook()));
+        std::panic::set_hook(Box::new(|_| {}));
+        guard
+    }
+
     #[test]
     fn panicking_blackbox_becomes_infeasible_without_losing_slots() {
         let s = space();
-        // Silence the default panic printout so the test log stays readable;
-        // the drop guard restores it even if an assertion below fails, so a
-        // failure here cannot swallow later panics' diagnostics.
-        type PanicHook = Box<dyn Fn(&std::panic::PanicHookInfo<'_>) + Sync + Send>;
-        struct HookGuard(Option<PanicHook>);
-        impl Drop for HookGuard {
-            fn drop(&mut self) {
-                if let Some(h) = self.0.take() {
-                    std::panic::set_hook(h);
-                }
-            }
-        }
-        let _restore = HookGuard(Some(std::panic::take_hook()));
-        std::panic::set_hook(Box::new(|_| {}));
+        let _restore = silence_panics();
         let bb = FnBlackBox::new(|c: &Configuration| {
             let x = c.value("x").as_i64();
             if x % 3 == 0 {
@@ -300,6 +653,185 @@ mod tests {
             let out = evaluate_batch(&bb, cfgs, threads);
             assert_eq!(out.len(), 12);
             assert_eq!(out.iter().filter(|(_, e)| !e.is_feasible()).count(), 4);
+        }
+    }
+
+    /// Regression for the poisoned-slot panic path: a work-slot mutex
+    /// poisoned by a sibling worker's panic must be recovered via
+    /// `into_inner` (not propagated as a pool-wide panic), and its stranded
+    /// configuration mapped to the hidden-constraint infeasible outcome
+    /// without ever invoking the black box.
+    #[test]
+    fn poisoned_work_slot_recovers_to_infeasible() {
+        let s = space();
+        let _restore = silence_panics();
+        let slot = Mutex::new(Some(cfg(&s, 7)));
+        let _ = catch_unwind(AssertUnwindSafe(|| {
+            let _guard = slot.lock().unwrap();
+            panic!("poison the slot");
+        }));
+        assert!(slot.is_poisoned());
+        // The black box would report feasible — proving the poisoned path
+        // never reaches it.
+        let bb = FnBlackBox::new(|_: &Configuration| Evaluation::feasible(1.0));
+        let (config, evaluation) = evaluate_slot(&bb, &slot).expect("config still present");
+        assert_eq!(config.value("x").as_i64(), 7);
+        assert!(
+            !evaluation.is_feasible(),
+            "poisoned slot must surface as a hidden-constraint failure"
+        );
+        // The slot is consumed by the recovery; a second claim is a no-op,
+        // not a crash.
+        assert!(evaluate_slot(&bb, &slot).is_none());
+    }
+
+    /// Regression for the killed-worker collector crash: a worker that dies
+    /// without ever filling its slot (an abort in foreign code that
+    /// unwinding cannot catch) leaves a hole the collector used to `expect`
+    /// on. The hole must instead surface as an infeasible outcome for the
+    /// original configuration.
+    #[test]
+    fn killed_worker_lost_slot_becomes_infeasible() {
+        let s = space();
+        let cfgs: Vec<_> = (0..4).map(|i| cfg(&s, i)).collect();
+        let mut slots: Vec<Option<(Configuration, Evaluation)>> = cfgs
+            .iter()
+            .map(|c| Some((c.clone(), Evaluation::feasible(c.value("x").as_f64()))))
+            .collect();
+        slots[2] = None; // the worker for slot 2 died before reporting
+        let out = backfill_lost_slots(&cfgs, slots);
+        assert_eq!(out.len(), 4);
+        assert_eq!(out[2].0.value("x").as_i64(), 2);
+        assert!(!out[2].1.is_feasible(), "lost slot must become infeasible");
+        for (i, (c, e)) in out.iter().enumerate() {
+            assert_eq!(c.value("x").as_i64(), i as i64);
+            if i != 2 {
+                assert!(e.is_feasible());
+            }
+        }
+    }
+
+    #[test]
+    fn inline_pool_completes_in_submission_order() {
+        let s = space();
+        let bb = FnBlackBox::new(|c: &Configuration| {
+            Evaluation::feasible(c.value("x").as_f64())
+        });
+        with_pool(&bb, 1, 8, |pool| {
+            for (ticket, x) in [(5u64, 0i64), (3, 1), (9, 2)] {
+                pool.submit(ticket, cfg(&s, x));
+            }
+            assert_eq!(pool.outstanding(), 3);
+            let order: Vec<u64> = std::iter::from_fn(|| pool.recv())
+                .map(|done| done.ticket)
+                .collect();
+            assert_eq!(order, vec![5, 3, 9]);
+            assert_eq!(pool.outstanding(), 0);
+            assert!(pool.recv().is_none());
+        });
+    }
+
+    #[test]
+    fn threaded_pool_delivers_every_ticket_exactly_once() {
+        let s = space();
+        let bb = FnBlackBox::new(|c: &Configuration| {
+            let x = c.value("x").as_i64();
+            std::thread::sleep(Duration::from_millis((8 - (x % 8)) as u64));
+            Evaluation::feasible(x as f64)
+        });
+        with_pool(&bb, 4, 8, |pool| {
+            for i in 0..8u64 {
+                pool.submit(i, cfg(&s, i as i64));
+            }
+            let mut tickets = std::collections::HashSet::new();
+            while let Some(done) = pool.recv() {
+                assert_eq!(done.config.value("x").as_i64() as u64, done.ticket);
+                assert_eq!(done.evaluation.value(), Some(done.ticket as f64));
+                assert!(tickets.insert(done.ticket), "duplicate completion");
+            }
+            assert_eq!(tickets.len(), 8);
+        });
+    }
+
+    #[test]
+    fn inline_pool_cancel_removes_queued_job() {
+        let s = space();
+        let bb = FnBlackBox::new(|c: &Configuration| {
+            Evaluation::feasible(c.value("x").as_f64())
+        });
+        with_pool(&bb, 1, 4, |pool| {
+            pool.submit(1, cfg(&s, 1));
+            pool.submit(2, cfg(&s, 2));
+            assert!(pool.cancel(1), "queued job must be cancellable");
+            assert!(!pool.cancel(1), "already cancelled");
+            assert!(!pool.cancel(77), "unknown ticket");
+            assert_eq!(pool.outstanding(), 1);
+            let done = pool.recv().unwrap();
+            assert_eq!(done.ticket, 2);
+            assert!(pool.recv().is_none());
+        });
+    }
+
+    /// The threaded cancel contract: `true` means the completion will never
+    /// arrive, `false` means it will arrive exactly once — whichever way the
+    /// race with the workers goes.
+    #[test]
+    fn threaded_pool_cancel_semantics_hold() {
+        let s = space();
+        let bb = FnBlackBox::new(|c: &Configuration| {
+            std::thread::sleep(Duration::from_millis(3));
+            Evaluation::feasible(c.value("x").as_f64())
+        });
+        with_pool(&bb, 2, 8, |pool| {
+            for i in 0..8u64 {
+                pool.submit(i, cfg(&s, i as i64));
+            }
+            let cancelled: Vec<(u64, bool)> =
+                (4..8u64).map(|t| (t, pool.cancel(t))).collect();
+            let mut delivered = std::collections::HashSet::new();
+            while let Some(done) = pool.recv() {
+                assert!(delivered.insert(done.ticket), "duplicate completion");
+            }
+            for t in 0..4u64 {
+                assert!(delivered.contains(&t), "uncancelled ticket {t} lost");
+            }
+            for (t, was_cancelled) in cancelled {
+                assert_ne!(
+                    was_cancelled,
+                    delivered.contains(&t),
+                    "cancel({t}) returned {was_cancelled} but delivery disagrees"
+                );
+            }
+        });
+    }
+
+    #[test]
+    fn pool_contains_panicking_blackbox() {
+        let s = space();
+        let _restore = silence_panics();
+        let bb = FnBlackBox::new(|c: &Configuration| {
+            let x = c.value("x").as_i64();
+            if x % 2 == 0 {
+                panic!("deliberate crash at x={x}");
+            }
+            Evaluation::feasible(x as f64)
+        });
+        for threads in [1usize, 3] {
+            with_pool(&bb, threads, 6, |pool| {
+                for i in 0..6u64 {
+                    pool.submit(i, cfg(&s, i as i64));
+                }
+                let mut infeasible = 0;
+                let mut n = 0;
+                while let Some(done) = pool.recv() {
+                    n += 1;
+                    if !done.evaluation.is_feasible() {
+                        infeasible += 1;
+                    }
+                }
+                assert_eq!(n, 6, "threads={threads}");
+                assert_eq!(infeasible, 3, "threads={threads}");
+            });
         }
     }
 

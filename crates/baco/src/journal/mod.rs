@@ -14,20 +14,26 @@
 //! journal reconstructs the run to a state whose continued trajectory is
 //! **bit-for-bit identical** to the uninterrupted run.
 //!
-//! # Format (version 2)
+//! # Format (version 3)
 //!
 //! Line 1 is a [`Header`]; every further line is a [`Record`]:
 //!
 //! | record | written when | payload |
 //! |---|---|---|
-//! | `propose` | a round of configurations is chosen | trial count, DoE share, RNG state before/after proposing, per-proposal think time, the configurations |
+//! | `propose` | a round of configurations is chosen | trial count, DoE share, RNG state before/after proposing, per-proposal think time, the configurations; speculative rounds add the `anchors` they were drafted on |
 //! | `trial` | one evaluation completes | trial index, configuration, objective(s), feasibility, timings |
 //! | `resume` | a resumed writer reopens the journal | trial count at resume |
+//! | `reconcile` | a landed evaluation settles a speculative round's fate | trial count, round ordinal, keep/flush verdict, withdrawn-proposal count |
 //!
 //! Version 2 differs from version 1 only on multi-objective trials, whose
 //! records carry the full objective vector in a `values` array (head equal to
 //! the v1 `value` field). Single-objective v2 records are shaped exactly like
-//! v1 records, and v1 journals load and resume bit for bit.
+//! v1 records, and v1 journals load and resume bit for bit. Version 3 is
+//! written **only** by the speculative pipeline
+//! (`BacoOptions::speculation_depth > 0`): it adds the `anchors` member on
+//! speculative propose records and the `reconcile` marker. Runs with
+//! `speculation_depth == 0` still write version 2, byte-identical to before
+//! the pipeline existed, and v1/v2 journals load and resume bit for bit.
 //!
 //! Integers that must survive exactly (`u64` RNG state words, nanosecond
 //! timings, 64-bit seeds and bounds) are encoded as decimal strings — JSON
@@ -85,16 +91,23 @@ use std::io::{Seek, SeekFrom, Write};
 use std::path::Path;
 use std::time::Duration;
 
-/// Journal format version written by this crate. Readers reject newer
-/// versions; older versions load unchanged.
+/// Newest journal format version this crate reads and writes. Readers
+/// reject newer versions; older versions load unchanged.
 ///
-/// **v2** (this version) adds multi-objective value vectors: trial records of
-/// runs with more than one objective carry a `values` array alongside the v1
-/// `value` field (which stays the primary objective). Single-objective v2
-/// records are byte-identical in shape to v1 records, and v1 journals load
-/// and resume bit for bit — the options envelope only mentions `objectives`
+/// **v2** adds multi-objective value vectors: trial records of runs with
+/// more than one objective carry a `values` array alongside the v1 `value`
+/// field (which stays the primary objective). Single-objective v2 records
+/// are byte-identical in shape to v1 records, and v1 journals load and
+/// resume bit for bit — the options envelope only mentions `objectives`
 /// when it differs from the v1-implicit single objective.
-pub const FORMAT_VERSION: u64 = 2;
+///
+/// **v3** (this version) is written **only** by the speculative pipeline
+/// (`speculation_depth > 0`): speculative propose records carry the
+/// `anchors` they were drafted on and landed evaluations append `reconcile`
+/// verdict markers. Headers of non-speculative runs still declare version 2
+/// (see [`Header::new`]), so every byte a depth-0 run writes is identical to
+/// what this crate wrote before the pipeline existed.
+pub const FORMAT_VERSION: u64 = 3;
 
 /// The format magic in every header.
 pub const FORMAT_NAME: &str = "baco-journal";
@@ -163,9 +176,15 @@ pub struct Header {
 
 impl Header {
     /// Builds the header for a run of `space` under `opts`.
+    ///
+    /// The declared version is the *oldest* format the run's records fit in:
+    /// version 3 only when the speculative pipeline is enabled
+    /// (`speculation_depth > 0`), version 2 otherwise — which keeps every
+    /// byte of a non-speculative journal identical to what older binaries
+    /// wrote, and keeps those journals loadable by them.
     pub fn new(mode: Mode, opts: &BacoOptions, space: &SearchSpace) -> Header {
         Header {
-            version: FORMAT_VERSION,
+            version: if opts.speculation_depth > 0 { 3 } else { 2 },
             mode,
             seed: opts.seed,
             budget: opts.budget,
@@ -284,6 +303,66 @@ pub struct ProposeRec {
     pub tuner_ns: u64,
     /// The proposed configurations, in pick order.
     pub configs: Vec<Configuration>,
+    /// The in-flight evaluations this round was speculatively drafted on
+    /// (format v3; empty for non-speculative rounds, whose records stay
+    /// byte-compatible with v2). Order matters: anchors are fantasized in
+    /// this exact order when the round is proposed and re-proposed at
+    /// resume.
+    pub anchors: Vec<AnchorRec>,
+}
+
+/// One speculation anchor (format v3): an in-flight configuration a
+/// speculative round was drafted on, together with the surrogate posterior
+/// (per-objective mean and variance) it was fantasized at. Reconciliation —
+/// live and at resume — compares the landed evaluation against exactly these
+/// numbers, so the keep/flush verdict is a pure function of journaled state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnchorRec {
+    /// The in-flight configuration the draft assumed a value for.
+    pub config: Configuration,
+    /// Predicted posterior mean per objective at `config` (transformed
+    /// space), recorded before conditioning.
+    pub means: Vec<f64>,
+    /// Predicted posterior variance per objective at `config`.
+    pub vars: Vec<f64>,
+}
+
+impl AnchorRec {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("config".into(), encode_config(&self.config)),
+            (
+                "means".into(),
+                Json::Arr(self.means.iter().map(|&v| encode_value(Some(v))).collect()),
+            ),
+            (
+                "vars".into(),
+                Json::Arr(self.vars.iter().map(|&v| encode_value(Some(v))).collect()),
+            ),
+        ])
+    }
+
+    fn from_json(space: &SearchSpace, j: &Json) -> std::result::Result<AnchorRec, String> {
+        let decode_vec = |key: &str| -> std::result::Result<Vec<f64>, String> {
+            j.get(key)
+                .and_then(Json::as_arr)
+                .ok_or_else(|| format!("anchor missing `{key}` array"))?
+                .iter()
+                .map(|v| {
+                    decode_value(v)?.ok_or_else(|| format!("anchor `{key}` entry is null"))
+                })
+                .collect()
+        };
+        let rec = AnchorRec {
+            config: decode_config(space, j.get("config").ok_or("anchor missing `config`")?)?,
+            means: decode_vec("means")?,
+            vars: decode_vec("vars")?,
+        };
+        if rec.means.len() != rec.vars.len() || rec.means.is_empty() {
+            return Err("anchor means/vars must be equal-length and non-empty".into());
+        }
+        Ok(rec)
+    }
 }
 
 /// One journaled evaluation outcome (mirrors [`Trial`]).
@@ -346,6 +425,31 @@ pub enum Record {
         /// Trials on record when the journal was reopened.
         len: usize,
     },
+    /// A speculative-round reconciliation verdict (format v3). Markers are
+    /// **informational**: resume recomputes every verdict from the anchors
+    /// and the landed trials rather than replaying markers, which keeps
+    /// resumes bitwise even when a crash falls between a trial record and
+    /// its marker. The loader still validates them against the trial
+    /// sequence so corruption cannot hide.
+    Reconcile(ReconcileRec),
+}
+
+/// One journaled reconciliation verdict (see [`Record::Reconcile`]): when a
+/// real evaluation lands, each speculative round anchored on it is either
+/// kept (the realized value fell within the anchor's tolerance band) or
+/// flushed together with everything speculated on top of it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReconcileRec {
+    /// Completed trials when the verdict was reached.
+    pub len: usize,
+    /// Zero-based ordinal, in journal write order, of the speculative
+    /// propose record the verdict applies to.
+    pub round: usize,
+    /// Whether the speculative round survived reconciliation.
+    pub keep: bool,
+    /// Unevaluated proposals withdrawn by this verdict across the flush
+    /// cascade (0 when `keep`).
+    pub cancelled: usize,
 }
 
 impl Record {
@@ -356,18 +460,30 @@ impl Record {
 
     fn to_json(&self) -> Json {
         match self {
-            Record::Propose(p) => Json::Obj(vec![
-                ("t".into(), Json::Str("propose".into())),
-                ("len".into(), Json::Num(p.len as f64)),
-                ("doe_k".into(), Json::Num(p.doe_k as f64)),
-                ("rng_before".into(), rng_json(&p.rng_before)),
-                ("rng_after".into(), rng_json(&p.rng_after)),
-                ("tuner_ns".into(), u64_str(p.tuner_ns)),
-                (
-                    "configs".into(),
-                    Json::Arr(p.configs.iter().map(encode_config).collect()),
-                ),
-            ]),
+            Record::Propose(p) => {
+                let mut members = vec![
+                    ("t".into(), Json::Str("propose".into())),
+                    ("len".into(), Json::Num(p.len as f64)),
+                    ("doe_k".into(), Json::Num(p.doe_k as f64)),
+                    ("rng_before".into(), rng_json(&p.rng_before)),
+                    ("rng_after".into(), rng_json(&p.rng_after)),
+                    ("tuner_ns".into(), u64_str(p.tuner_ns)),
+                    (
+                        "configs".into(),
+                        Json::Arr(p.configs.iter().map(encode_config).collect()),
+                    ),
+                ];
+                // Format v3: anchors ride along only on speculative rounds,
+                // so non-speculative propose records stay byte-compatible
+                // with format v2.
+                if !p.anchors.is_empty() {
+                    members.push((
+                        "anchors".into(),
+                        Json::Arr(p.anchors.iter().map(AnchorRec::to_json).collect()),
+                    ));
+                }
+                Json::Obj(members)
+            }
             Record::Trial(tr) => {
                 let mut members = vec![
                     ("t".into(), Json::Str("trial".into())),
@@ -392,6 +508,13 @@ impl Record {
                 ("t".into(), Json::Str("resume".into())),
                 ("len".into(), Json::Num(*len as f64)),
             ]),
+            Record::Reconcile(r) => Json::Obj(vec![
+                ("t".into(), Json::Str("reconcile".into())),
+                ("len".into(), Json::Num(r.len as f64)),
+                ("round".into(), Json::Num(r.round as f64)),
+                ("keep".into(), Json::Bool(r.keep)),
+                ("cancelled".into(), Json::Num(r.cancelled as f64)),
+            ]),
         }
     }
 
@@ -415,6 +538,21 @@ impl Record {
                     .iter()
                     .map(|c| decode_config(space, c))
                     .collect::<std::result::Result<Vec<_>, _>>()?;
+                let anchors = match j.get("anchors") {
+                    None => Vec::new(),
+                    Some(Json::Arr(items)) => {
+                        if items.is_empty() {
+                            return Err("propose `anchors` must be omitted when empty".into());
+                        }
+                        items
+                            .iter()
+                            .map(|a| AnchorRec::from_json(space, a))
+                            .collect::<std::result::Result<Vec<_>, _>>()?
+                    }
+                    Some(other) => {
+                        return Err(format!("bad propose `anchors` {}", other.to_line()))
+                    }
+                };
                 let rec = ProposeRec {
                     len: get_usize(j, "len")?,
                     doe_k: get_usize(j, "doe_k")?,
@@ -422,9 +560,13 @@ impl Record {
                     rng_after: rng_from_json(j.get("rng_after").ok_or("missing `rng_after`")?)?,
                     tuner_ns: get_u64(j, "tuner_ns")?,
                     configs,
+                    anchors,
                 };
                 if rec.doe_k > rec.configs.len() {
                     return Err("propose record: doe_k exceeds round size".into());
+                }
+                if !rec.anchors.is_empty() && rec.doe_k > 0 {
+                    return Err("propose record: speculative rounds cannot carry DoE picks".into());
                 }
                 Ok(Record::Propose(rec))
             }
@@ -471,6 +613,15 @@ impl Record {
                 }))
             }
             Some("resume") => Ok(Record::Resume { len: get_usize(j, "len")? }),
+            Some("reconcile") => Ok(Record::Reconcile(ReconcileRec {
+                len: get_usize(j, "len")?,
+                round: get_usize(j, "round")?,
+                keep: match j.get("keep") {
+                    Some(Json::Bool(b)) => *b,
+                    _ => return Err("reconcile missing boolean `keep`".into()),
+                },
+                cancelled: get_usize(j, "cancelled")?,
+            })),
             Some("header") => Err("unexpected second header".into()),
             Some(other) => Err(format!("unknown record type `{other}`")),
             None => Err("record has no `t` tag".into()),
@@ -873,6 +1024,15 @@ fn options_spec(opts: &BacoOptions) -> Json {
     if let Some(b) = opts.surrogate_budget {
         members.push(("surrogate_budget".into(), Json::Num(b as f64)));
     }
+    // Appended only when the speculative pipeline is on (the same
+    // only-when-set convention): depth-0 runs never mention it, keeping
+    // their envelopes byte-identical to pre-pipeline journals.
+    if opts.speculation_depth > 0 {
+        members.push((
+            "speculation_depth".into(),
+            Json::Num(opts.speculation_depth as f64),
+        ));
+    }
     Json::Obj(members)
 }
 
@@ -988,6 +1148,9 @@ pub struct Journal {
     pub proposes: Vec<ProposeRec>,
     /// Every completed trial, in evaluation order (`trials[i].index == i`).
     pub trials: Vec<TrialRec>,
+    /// Every reconciliation verdict, in write order (speculative runs only;
+    /// informational — see [`Record::Reconcile`]).
+    pub reconciles: Vec<ReconcileRec>,
     /// Resume markers seen (count of prior crashes/continuations).
     pub resumes: usize,
     /// Whether a torn final line (crash mid-write) was dropped.
@@ -1046,6 +1209,7 @@ impl Journal {
         let mut header: Option<Header> = None;
         let mut proposes = Vec::new();
         let mut trials: Vec<TrialRec> = Vec::new();
+        let mut reconciles: Vec<ReconcileRec> = Vec::new();
         let mut resumes = 0;
         let mut torn_tail = false;
         let mut clean_len = 0u64;
@@ -1123,6 +1287,35 @@ impl Journal {
                             }
                             resumes += 1;
                         }
+                        Record::Reconcile(r) => {
+                            if r.len != trials.len() {
+                                return Err(corrupt(
+                                    line_no,
+                                    format!(
+                                        "reconcile marker claims {} trials, journal has {}",
+                                        r.len,
+                                        trials.len()
+                                    ),
+                                ));
+                            }
+                            if r.round >= proposes.len() {
+                                return Err(corrupt(
+                                    line_no,
+                                    format!(
+                                        "reconcile marker names round {}, journal has {}",
+                                        r.round,
+                                        proposes.len()
+                                    ),
+                                ));
+                            }
+                            if r.keep && r.cancelled != 0 {
+                                return Err(corrupt(
+                                    line_no,
+                                    "reconcile keep verdict cannot cancel proposals".into(),
+                                ));
+                            }
+                            reconciles.push(r);
+                        }
                     }
                 }
                 Err(msg) => {
@@ -1145,6 +1338,7 @@ impl Journal {
             header,
             proposes,
             trials,
+            reconciles,
             resumes,
             torn_tail,
             clean_len,
@@ -1280,9 +1474,39 @@ mod tests {
             rng_after: [4, 5, 6, u64::MAX - 1],
             tuner_ns: u64::MAX,
             configs: vec![demo_cfg(&s)],
+            anchors: Vec::new(),
         });
         let line = rec.to_line();
         assert_eq!(Record::parse_line(&s, &line).unwrap(), rec);
+        assert!(
+            !line.contains("anchors"),
+            "non-speculative propose records must not mention anchors"
+        );
+
+        let spec = Record::Propose(ProposeRec {
+            len: 5,
+            doe_k: 0,
+            rng_before: [1, 2, 3, 4],
+            rng_after: [5, 6, 7, 8],
+            tuner_ns: 42,
+            configs: vec![demo_cfg(&s)],
+            anchors: vec![AnchorRec {
+                config: demo_cfg(&s),
+                means: vec![1.5, f64::NEG_INFINITY],
+                vars: vec![0.25, 0.0],
+            }],
+        });
+        let line = spec.to_line();
+        assert_eq!(Record::parse_line(&s, &line).unwrap(), spec);
+
+        let rc = Record::Reconcile(ReconcileRec {
+            len: 7,
+            round: 2,
+            keep: false,
+            cancelled: 3,
+        });
+        let line = rc.to_line();
+        assert_eq!(Record::parse_line(&s, &line).unwrap(), rc);
 
         let tr = Record::Trial(TrialRec {
             index: 0,

@@ -133,6 +133,45 @@ impl AcquisitionContext {
             }
         }
     }
+
+    /// The *draft* step of the speculative pipeline: records the
+    /// per-objective posterior (mean, variance) at `cfg`, then folds a
+    /// kriging-believer fantasy for it into the value models. The returned
+    /// numbers are the **anchor** the draft is later reconciled against
+    /// when the real evaluation lands; they are read *before* conditioning,
+    /// so a resumed replay (which refits from the same history) reproduces
+    /// them bit for bit.
+    ///
+    /// Unlike an intra-round pick, the hallucinated value is clamped to the
+    /// observed range of each objective: drafts chain conditionings across
+    /// several rounds, and one extrapolated lie fed back into the next
+    /// `condition_on` can snowball into a numerically degenerate posterior
+    /// (the anchors themselves stay raw — the degeneracy guard in
+    /// `tuner::speculate` judges the unclamped prediction).
+    pub(super) fn fantasize_anchored(
+        &mut self,
+        space: &crate::space::SearchSpace,
+        cfg: &Configuration,
+    ) -> (Vec<f64>, Vec<f64>) {
+        let (means, vars): (Vec<f64>, Vec<f64>) = self
+            .models
+            .iter()
+            .map(|m| m.as_value_model().predict(space, cfg))
+            .unzip();
+        self.ehvi = None;
+        for ((model, y), &mean) in self.models.iter_mut().zip(&self.ys).zip(&means) {
+            let FittedModel::Gp(gp) = model else {
+                continue;
+            };
+            let lo = y.iter().copied().fold(f64::INFINITY, f64::min);
+            let hi = y.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            let lie = if lo <= hi { mean.clamp(lo, hi) } else { mean };
+            if let Ok(conditioned) = gp.condition_on(cfg, lie) {
+                *model = FittedModel::Gp(Box::new(conditioned));
+            }
+        }
+        (means, vars)
+    }
 }
 
 impl Baco {
@@ -173,28 +212,44 @@ impl Baco {
         };
 
         let mut excluded = seen.clone();
+        Ok(self.pick_round(rng, &mut ctx, &mut excluded, q))
+    }
+
+    /// The intra-round pick loop shared by [`Baco::recommend_batch`] and the
+    /// speculative pipeline: up to `q` acquisition maximizations, each pick
+    /// excluded from (and, between picks, fantasized into) the next. The
+    /// picks are added to `excluded` as they are made. May return fewer than
+    /// `q` configurations when the unevaluated feasible set is nearly
+    /// exhausted.
+    pub(super) fn pick_round(
+        &self,
+        rng: &mut StdRng,
+        ctx: &mut AcquisitionContext,
+        excluded: &mut HashSet<Configuration>,
+        q: usize,
+    ) -> Vec<Configuration> {
         let mut picked: Vec<Configuration> = Vec::with_capacity(q);
         for i in 0..q {
             let next = {
                 let score_batch = ctx.score_batch(&self.space, self.opts.optimum_prior.as_ref());
-                let inside = self.region_predicate(&ctx);
+                let inside = self.region_predicate(ctx);
                 let region = inside.as_ref().map(|f| f as &dyn Fn(&Configuration) -> bool);
                 if self.opts.local_search {
-                    local_search_in(&self.sampler, rng, score_batch, &self.opts.ls, &excluded, region)
+                    local_search_in(&self.sampler, rng, score_batch, &self.opts.ls, excluded, region)
                 } else {
                     random_search_in(
                         &self.sampler,
                         rng,
                         score_batch,
                         self.opts.ls.n_candidates,
-                        &excluded,
+                        excluded,
                         region,
                     )
                 }
             };
             // Acquisition exhausted (e.g. ε_f gated everything unseen):
             // pad with a random unseen feasible configuration.
-            let next = next.or_else(|| self.sampler.sample_batch(rng, 1, &excluded).pop());
+            let next = next.or_else(|| self.sampler.sample_batch(rng, 1, excluded).pop());
             let Some(cfg) = next else {
                 break; // feasible set fully evaluated
             };
@@ -204,7 +259,7 @@ impl Baco {
             excluded.insert(cfg.clone());
             picked.push(cfg);
         }
-        Ok(picked)
+        picked
     }
 
     /// Runs the full loop with the asynchronous batched-evaluation engine:
@@ -217,6 +272,14 @@ impl Baco {
     /// [`Baco::run`] for the same seed (and the pool degenerates to in-line
     /// evaluation), so sequential paper-reproduction runs are unaffected by
     /// routing through this entry point.
+    ///
+    /// With
+    /// [`BacoOptions::speculation_depth`](super::BacoOptions::speculation_depth)
+    /// `> 0` the per-round barrier is removed entirely: the run is driven by
+    /// the speculative pipeline ([`crate::tuner::speculate`]), which drafts
+    /// fantasy rounds while evaluations are in flight and reconciles them as
+    /// real values land. Depth 0 (the default) keeps this barriered loop,
+    /// byte-identical to before the pipeline existed.
     ///
     /// With [`BacoOptions::journal_path`](super::BacoOptions::journal_path)
     /// set, rounds and evaluations are durably journaled exactly as in
@@ -245,9 +308,21 @@ impl Baco {
         self.run_batched_impl(bb, true)
     }
 
-    fn run_batched_impl(&self, bb: &(dyn BlackBox + Sync), resume: bool) -> Result<TuningReport> {
+    pub(super) fn run_batched_impl(
+        &self,
+        bb: &(dyn BlackBox + Sync),
+        resume: bool,
+    ) -> Result<TuningReport> {
         use super::{append_propose, ClosedLoopStart};
         use crate::journal::{JournalWriter, Mode, Record, TrialRec};
+
+        // With a positive speculation depth the round barrier is gone: the
+        // speculative pipeline (`tuner::speculate`) drives the run instead.
+        // Depth 0 stays on this loop, byte-identical to before the pipeline
+        // existed.
+        if self.opts.speculation_depth > 0 {
+            return self.run_speculative(bb, resume);
+        }
 
         let q = self.opts.batch_size.max(1);
         // A q=1 batched run is bit-identical to the sequential loop, so its

@@ -35,6 +35,7 @@ pub mod batch;
 mod blackbox;
 mod report;
 mod session;
+pub mod speculate;
 
 pub use batch::{FantasyStrategy, LiarValue};
 pub use blackbox::{BlackBox, Evaluation, FnBlackBox};
@@ -182,6 +183,15 @@ pub struct BacoOptions {
     /// determinism envelope, so resumed runs replay the same selections.
     /// See [`DEFAULT_SURROGATE_BUDGET`] for the recommended value.
     pub surrogate_budget: Option<usize>,
+    /// How many *speculative* rounds [`Baco::run_batched`] may draft beyond
+    /// the round whose evaluations are in flight (`0`, the default, keeps
+    /// the classic per-round barrier — bitwise identical to the engine
+    /// before the pipeline existed). With depth `d > 0` the loop fantasizes
+    /// kriging-believer values for every in-flight configuration and
+    /// dispatches up to `d` extra rounds immediately, reconciling each draft
+    /// when its anchoring evaluations land; see [`crate::tuner::speculate`].
+    /// Capped at [`MAX_SPECULATION_DEPTH`].
+    pub speculation_depth: usize,
 }
 
 /// The recommended [`BacoOptions::surrogate_budget`] for long-lived
@@ -195,6 +205,13 @@ pub const DEFAULT_SURROGATE_BUDGET: usize = 128;
 /// active set cannot hold the incumbent block, the recency block and any
 /// space-filling remainder at once.
 pub const MIN_SURROGATE_BUDGET: usize = 8;
+
+/// The largest accepted [`BacoOptions::speculation_depth`]. Beyond a few
+/// fantasy rounds the kriging-believer posterior is dominated by its own
+/// inventions — mis-speculation (and with it, flushed work) grows faster
+/// than the overlap win, while every extra round multiplies the in-flight
+/// set the reconciler must track.
+pub const MAX_SPECULATION_DEPTH: usize = 8;
 
 impl Default for BacoOptions {
     fn default() -> Self {
@@ -221,6 +238,7 @@ impl Default for BacoOptions {
             journal_path: None,
             resume: false,
             surrogate_budget: None,
+            speculation_depth: 0,
         }
     }
 }
@@ -369,6 +387,15 @@ impl BacoBuilder {
         self
     }
 
+    /// Lets [`Baco::run_batched`] draft up to `d` speculative rounds while
+    /// evaluations are in flight (see [`BacoOptions::speculation_depth`];
+    /// `0` keeps the classic round barrier). At most
+    /// [`MAX_SPECULATION_DEPTH`].
+    pub fn speculation_depth(mut self, d: usize) -> Self {
+        self.opts.speculation_depth = d;
+        self
+    }
+
     /// Replaces all options at once.
     pub fn options(mut self, opts: BacoOptions) -> Self {
         self.opts = opts;
@@ -410,6 +437,12 @@ impl BacoBuilder {
                     "surrogate_budget must be at least {MIN_SURROGATE_BUDGET} (got {b})"
                 )));
             }
+        }
+        if self.opts.speculation_depth > MAX_SPECULATION_DEPTH {
+            return Err(Error::InvalidConfig(format!(
+                "speculation_depth must be at most {MAX_SPECULATION_DEPTH} (got {})",
+                self.opts.speculation_depth
+            )));
         }
         let sampler = FeasibleSampler::new(&self.space)?;
         Ok(Baco {
@@ -1140,6 +1173,7 @@ pub(crate) fn append_propose(
             rng_after,
             tuner_ns: tuner_time.as_nanos().min(u64::MAX as u128) as u64,
             configs: configs.to_vec(),
+            anchors: Vec::new(),
         }))?;
     }
     Ok(())

@@ -307,6 +307,7 @@ impl Session {
                 rng_after: self.rng.state(),
                 tuner_ns: self.last_think.as_nanos().min(u64::MAX as u128) as u64,
                 configs: vec![cfg.clone()],
+                anchors: Vec::new(),
             })?;
         }
         Ok(next)
@@ -380,6 +381,7 @@ impl Session {
                 rng_after: self.rng.state(),
                 tuner_ns: self.last_think.as_nanos().min(u64::MAX as u128) as u64,
                 configs: round.clone(),
+                anchors: Vec::new(),
             })?;
         }
         Ok(round)

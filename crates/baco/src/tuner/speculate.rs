@@ -1,0 +1,781 @@
+//! The speculative evaluation pipeline: [`Baco::run_batched`] without the
+//! per-round barrier.
+//!
+//! The barriered batched engine proposes `q` configurations, waits for **all**
+//! of them, refits, and proposes again — so one straggler evaluation idles
+//! every other worker until its round closes. On heterogeneous-latency
+//! workloads (real compile+run variance) the q× concurrency win collapses
+//! toward 1×. This module removes the barrier with the draft/verify overlap
+//! of speculative decoding:
+//!
+//! * **Draft** — while evaluations are in flight, the surrogate is
+//!   conditioned on a kriging-believer fantasy for each in-flight
+//!   configuration (`AcquisitionContext::fantasize_anchored`) and up to
+//!   [`BacoOptions::speculation_depth`] extra rounds are proposed and
+//!   dispatched immediately on the persistent
+//!   [`eval::pool`](crate::eval::pool) ([`EvalPool`]). The posterior
+//!   (mean, variance) at every fantasized point is recorded as the round's
+//!   **anchors**.
+//! * **Verify** — when a real evaluation lands, every speculative round
+//!   anchored on it is reconciled: the realized (transformed) objectives are
+//!   compared against the anchor's recorded posterior. Within the tolerance
+//!   band (per objective: 3σ, σ floored at 10⁻⁶, the band itself floored at
+//!   40% of the landed objective spread — GP posteriors are overconfident
+//!   off-sample) the draft is *kept*; outside
+//!   it — or when the evaluation failed outright — the draft round is
+//!   *flushed*: its not-yet-started proposals are withdrawn from the pool
+//!   and released back to the proposable set, and everything speculated on
+//!   top of a withdrawn configuration is flushed transitively. Evaluations
+//!   a worker already claimed are never discarded — they keep running and
+//!   land as ordinary trials (only the speculative premise behind them
+//!   broke, not the proposal itself), so a flush costs queued drafts and a
+//!   refit, never started work.
+//!
+//! # Journal format and determinism
+//!
+//! Speculative runs journal in format v3 (see [`crate::journal`]): propose
+//! records carry their anchors, and reconciliation verdicts are recorded as
+//! `reconcile` markers. The markers are **informational** — resume replays
+//! the proposes and trials in write order through the same reconciliation
+//! engine and recomputes every verdict from the anchors and the landed
+//! values, so a crash *between* a trial record and its marker still resumes
+//! bitwise. All RNG consumption is bracketed by journaled propose records
+//! (failed proposal attempts restore the bracketed state), and with
+//! [`BacoOptions::eval_threads`] `<= 1` the inline pool completes in
+//! submission order, so the resume-anywhere bitwise guarantee of the
+//! barriered engine carries over to every record boundary of a speculative
+//! journal. Depth 0 never enters this module and keeps writing format v2,
+//! byte-identical to the engine before the pipeline existed.
+//!
+//! [`BacoOptions::speculation_depth`]: super::BacoOptions::speculation_depth
+//! [`BacoOptions::eval_threads`]: super::BacoOptions::eval_threads
+
+use super::{Baco, BlackBox, Trial, TuningReport};
+use crate::eval::pool::{with_pool, Completion, EvalPool};
+use crate::journal::{
+    AnchorRec, Header, Journal, JournalWriter, Mode, ProposeRec, Record, ReconcileRec, TrialRec,
+};
+use crate::search::doe_sample;
+use crate::space::Configuration;
+use crate::surrogate::GpCache;
+use crate::{Error, Result};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::{HashMap, HashSet};
+use std::time::{Duration, Instant};
+
+/// Variance floor for the anchor tolerance band: a collapsed posterior
+/// (repeated point, numerically-zero variance) must still tolerate
+/// round-off-scale disagreement instead of flushing every draft.
+const MIN_ANCHOR_SIGMA: f64 = 1e-6;
+
+/// Scale-aware floor on the reconciliation tolerance: a landed value within
+/// this fraction of the observed objective spread (max − min of the
+/// transformed values landed so far) of the anchor mean never counts as
+/// surprising, regardless of how small the anchor's posterior variance is.
+/// GP predictive variance is routinely overconfident off-sample; without
+/// this floor every smooth landing "surprises" its anchor and the pipeline
+/// thrashes in flush/redraft cycles, wasting the very evaluations it
+/// overlapped — exploratory picks land off the incumbent ridge by design,
+/// and a rollback only pays for itself when the miss is large enough to
+/// have steered downstream drafts badly. The floor is computed from the
+/// landed trials alone, so a resumed replay recomputes identical verdicts.
+const SPREAD_TOLERANCE: f64 = 0.4;
+
+/// Tolerance half-width in posterior standard deviations: a realized value
+/// within `TOLERANCE_SIGMAS · σ` of the anchor mean confirms the draft.
+const TOLERANCE_SIGMAS: f64 = 3.0;
+
+/// Draft-time sanity bound: an anchor whose posterior mean sits more than
+/// this many observed spreads outside the landed objective range marks a
+/// numerically degenerate conditioned model, and the refill skips
+/// speculating on it (see [`Baco::spec_refill`]'s degeneracy guard).
+const DEGENERACY_SPREADS: f64 = 5.0;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EntryState {
+    /// Submitted (or, at resume, awaiting re-dispatch); no value yet.
+    Pending,
+    /// Landed as a journaled trial.
+    Done,
+    /// Withdrawn by a flush; never becomes a trial.
+    Cancelled,
+}
+
+/// One proposed configuration of one round.
+#[derive(Debug)]
+struct Entry {
+    config: Configuration,
+    /// The pool ticket while in flight (`None` during journal replay).
+    ticket: Option<u64>,
+    state: EntryState,
+}
+
+/// One speculation premise of a round: the posterior recorded for an
+/// in-flight configuration when the round was drafted (see [`AnchorRec`]).
+#[derive(Debug)]
+struct Anchor {
+    config: Configuration,
+    means: Vec<f64>,
+    vars: Vec<f64>,
+    landed: bool,
+    surprising: bool,
+}
+
+impl Anchor {
+    fn from_rec(a: &AnchorRec) -> Anchor {
+        Anchor {
+            config: a.config.clone(),
+            means: a.means.clone(),
+            vars: a.vars.clone(),
+            landed: false,
+            surprising: false,
+        }
+    }
+}
+
+/// One proposal round of the pipeline, in journal propose-record order.
+#[derive(Debug)]
+struct Round {
+    entries: Vec<Entry>,
+    /// Empty for non-speculative rounds (DoE, cold random, idle refits).
+    anchors: Vec<Anchor>,
+    /// Per-trial think time attributed to this round's proposals.
+    tuner: Duration,
+    flushed: bool,
+    /// A `keep` marker was already journaled for this round.
+    kept_marked: bool,
+}
+
+/// The pipeline's mutable state, shared verbatim between the live loop and
+/// the resume replay so both evolve it through identical transitions.
+#[derive(Debug, Default)]
+struct SpecState {
+    /// All rounds ever proposed, indexed by propose-record ordinal
+    /// (flushed rounds stay, so ordinals match the journal).
+    rounds: Vec<Round>,
+    /// In-flight pool tickets → (round, entry) indices.
+    tickets: HashMap<u64, (usize, usize)>,
+    next_ticket: u64,
+    doe_done: bool,
+    /// Draft backoff after a degeneracy-guard trip: no drafting until the
+    /// landed count reaches this (a fit whose anchors come out insane is a
+    /// fit wasted, and one more landing rarely heals a degenerate chain —
+    /// wait out a full round of fresh data instead of refitting per
+    /// landing). Live-only scheduling state; replay never consults it.
+    draft_backoff: usize,
+}
+
+impl SpecState {
+    /// Unevaluated proposals currently in flight (or awaiting re-dispatch).
+    fn pending(&self) -> usize {
+        self.rounds
+            .iter()
+            .flat_map(|r| &r.entries)
+            .filter(|e| e.state == EntryState::Pending)
+            .count()
+    }
+
+    /// Appends a round for `configs`, marking them seen; with a pool, each
+    /// entry is ticketed and submitted immediately.
+    fn push_round(
+        &mut self,
+        configs: &[Configuration],
+        tuner: Duration,
+        anchors: Vec<Anchor>,
+        seen: &mut HashSet<Configuration>,
+        mut pool: Option<&mut EvalPool<'_>>,
+    ) {
+        let ri = self.rounds.len();
+        let mut entries = Vec::with_capacity(configs.len());
+        for cfg in configs {
+            seen.insert(cfg.clone());
+            let mut entry = Entry {
+                config: cfg.clone(),
+                ticket: None,
+                state: EntryState::Pending,
+            };
+            if let Some(p) = pool.as_deref_mut() {
+                let t = self.next_ticket;
+                self.next_ticket += 1;
+                entry.ticket = Some(t);
+                self.tickets.insert(t, (ri, entries.len()));
+                p.submit(t, cfg.clone());
+            }
+            entries.push(entry);
+        }
+        self.rounds.push(Round {
+            entries,
+            anchors,
+            tuner,
+            flushed: false,
+            kept_marked: false,
+        });
+    }
+}
+
+/// Durably journals one speculative-pipeline proposal round (no-op without
+/// a writer). Unlike the barriered engine's propose append, this one carries
+/// the round's anchors.
+#[allow(clippy::too_many_arguments)]
+fn append_spec_propose(
+    writer: &mut Option<JournalWriter>,
+    len: usize,
+    doe_k: usize,
+    rng_before: [u64; 4],
+    rng_after: [u64; 4],
+    tuner: Duration,
+    configs: &[Configuration],
+    anchors: Vec<AnchorRec>,
+) -> Result<()> {
+    if let Some(w) = writer.as_mut() {
+        w.append(&Record::Propose(ProposeRec {
+            len,
+            doe_k,
+            rng_before,
+            rng_after,
+            tuner_ns: tuner.as_nanos().min(u64::MAX as u128) as u64,
+            configs: configs.to_vec(),
+            anchors,
+        }))?;
+    }
+    Ok(())
+}
+
+/// Journals one reconciliation verdict (no-op without a writer; replay
+/// passes none — markers are write-once, live-only).
+fn append_reconcile(
+    writer: &mut Option<JournalWriter>,
+    len: usize,
+    round: usize,
+    keep: bool,
+    cancelled: usize,
+) -> Result<()> {
+    if let Some(w) = writer.as_mut() {
+        w.append(&Record::Reconcile(ReconcileRec {
+            len,
+            round,
+            keep,
+            cancelled,
+        }))?;
+    }
+    Ok(())
+}
+
+impl Baco {
+    /// The speculative-pipeline driver behind [`Baco::run_batched`] when
+    /// [`BacoOptions::speculation_depth`](super::BacoOptions::speculation_depth)
+    /// `> 0`: a persistent pool, completion-order landings, draft rounds
+    /// while work is in flight, and anchor reconciliation (see the
+    /// [module docs](self)).
+    pub(super) fn run_speculative(
+        &self,
+        bb: &(dyn BlackBox + Sync),
+        resume: bool,
+    ) -> Result<TuningReport> {
+        let mut rng = StdRng::seed_from_u64(self.opts.seed);
+        let mut report = TuningReport::new("BaCO");
+        report.set_reference_point(self.opts.reference_point.clone());
+        let mut seen: HashSet<Configuration> = HashSet::new();
+        let mut cache = self.new_cache();
+        let mut st = SpecState::default();
+        let mut writer: Option<JournalWriter> = None;
+
+        if let Some(path) = &self.opts.journal_path {
+            if resume && Journal::exists(path) {
+                let journal = Journal::load(path, &self.space)?;
+                journal.header.validate(Mode::Batched, &self.opts, &self.space)?;
+                self.spec_replay(&journal, &mut st, &mut report, &mut seen)?;
+                if let Some(p) = journal.proposes.last() {
+                    rng = StdRng::from_state(p.rng_after);
+                }
+                st.doe_done = !journal.proposes.is_empty();
+                writer = Some(JournalWriter::resume(path, &journal, report.len())?);
+            } else {
+                let header = Header::new(Mode::Batched, &self.opts, &self.space);
+                writer = Some(JournalWriter::create(path, &header)?);
+            }
+        }
+
+        let q = self.opts.batch_size.max(1);
+        let capacity = q * (self.opts.speculation_depth + 1);
+        with_pool(bb, self.opts.eval_threads, capacity, move |pool| {
+            // Re-dispatch what a resumed journal left in flight, in
+            // submission order — with the inline pool this reproduces the
+            // interrupted run's completion order exactly.
+            for ri in 0..st.rounds.len() {
+                if st.rounds[ri].flushed {
+                    continue;
+                }
+                for ei in 0..st.rounds[ri].entries.len() {
+                    if st.rounds[ri].entries[ei].state != EntryState::Pending {
+                        continue;
+                    }
+                    let t = st.next_ticket;
+                    st.next_ticket += 1;
+                    st.rounds[ri].entries[ei].ticket = Some(t);
+                    st.tickets.insert(t, (ri, ei));
+                    pool.submit(t, st.rounds[ri].entries[ei].config.clone());
+                }
+            }
+
+            while report.len() < self.opts.budget {
+                self.spec_refill(
+                    &mut st,
+                    &mut rng,
+                    &report,
+                    &mut seen,
+                    &mut cache,
+                    pool,
+                    &mut writer,
+                )?;
+                let Some(done) = pool.recv() else {
+                    break; // nothing in flight and nothing proposable
+                };
+                self.spec_land(&mut st, done, &mut report, &mut seen, pool, &mut writer)?;
+            }
+            Ok(report)
+        })
+    }
+
+    /// Keeps the pipeline full: proposes rounds until the budget is covered
+    /// by landed+in-flight work, the depth bound is reached, or proposing is
+    /// not currently possible (too little signal, or the feasible set is
+    /// exhausted). Every proposal is journaled before it is dispatched;
+    /// attempts that propose nothing restore the RNG to the state they
+    /// started from, so all RNG consumption stays bracketed by propose
+    /// records.
+    #[allow(clippy::too_many_arguments)]
+    fn spec_refill(
+        &self,
+        st: &mut SpecState,
+        rng: &mut StdRng,
+        report: &TuningReport,
+        seen: &mut HashSet<Configuration>,
+        cache: &mut GpCache,
+        pool: &mut EvalPool<'_>,
+        writer: &mut Option<JournalWriter>,
+    ) -> Result<()> {
+        let q = self.opts.batch_size.max(1);
+        loop {
+            let landed = report.len();
+            let inflight = st.pending();
+            if landed + inflight >= self.opts.budget {
+                return Ok(()); // in-flight work already covers the budget
+            }
+            // The depth knob bounds in-flight *evaluations* — the base
+            // round plus `depth` drafted rounds' worth (the pool's
+            // capacity) — and drafting waits until a full round fits.
+            // Counting rounds instead would let three nearly-drained
+            // rounds (one straggler each) starve the pool: the exact
+            // stall this pipeline exists to remove.
+            let capacity = q * (self.opts.speculation_depth + 1);
+            if inflight + q > capacity {
+                return Ok(());
+            }
+            // Degeneracy-guard backoff (see `SpecState::draft_backoff`). An
+            // idle pool always drafts: progress must not hinge on model
+            // health.
+            if inflight > 0 && landed < st.draft_backoff {
+                return Ok(());
+            }
+
+            // The DoE draw is one (unanchored) round, exactly as the
+            // barriered engine journals it.
+            if !st.doe_done {
+                let doe_n = self.opts.doe_samples.min(self.opts.budget);
+                let t0 = Instant::now();
+                let rng_before = rng.state();
+                let initial = doe_sample(&self.sampler, rng, doe_n, seen);
+                let per = t0.elapsed() / doe_n.max(1) as u32;
+                append_spec_propose(
+                    writer,
+                    report.len(),
+                    initial.len(),
+                    rng_before,
+                    rng.state(),
+                    per,
+                    &initial,
+                    Vec::new(),
+                )?;
+                st.doe_done = true;
+                st.push_round(&initial, per, Vec::new(), seen, Some(pool));
+                continue;
+            }
+
+            let q_eff = q.min(self.opts.budget - landed - inflight);
+            let t0 = Instant::now();
+            let rng_before = rng.state();
+            let Some(mut ctx) = self.fit_acquisition(rng, report, cache)? else {
+                // Too little signal to fit (consumes no RNG). With work in
+                // flight, real data is coming — wait for it rather than
+                // burning budget on blind random rounds.
+                if inflight > 0 {
+                    return Ok(());
+                }
+                let picks = self.sampler.sample_batch(rng, q_eff, seen);
+                if picks.is_empty() {
+                    *rng = StdRng::from_state(rng_before);
+                    return Ok(()); // feasible set exhausted
+                }
+                let per = t0.elapsed() / picks.len() as u32;
+                append_spec_propose(
+                    writer,
+                    report.len(),
+                    0,
+                    rng_before,
+                    rng.state(),
+                    per,
+                    &picks,
+                    Vec::new(),
+                )?;
+                st.push_round(&picks, per, Vec::new(), seen, Some(pool));
+                continue;
+            };
+
+            // Draft step: fantasize a kriging-believer value for every
+            // in-flight configuration, recording the posterior it was
+            // fantasized at as this round's anchors. Order is (round,
+            // entry) submission order — the order the journal replays.
+            let mut anchors: Vec<AnchorRec> = Vec::new();
+            for r in st.rounds.iter().filter(|r| !r.flushed) {
+                for e in r.entries.iter().filter(|e| e.state == EntryState::Pending) {
+                    let (means, vars) = ctx.fantasize_anchored(&self.space, &e.config);
+                    anchors.push(AnchorRec {
+                        config: e.config.clone(),
+                        means,
+                        vars,
+                    });
+                }
+            }
+
+            // Degeneracy guard: long `condition_on` chains occasionally go
+            // numerically degenerate and hallucinate non-finite or absurd
+            // posteriors (means many spreads outside anything observed). A
+            // draft anchored on garbage is guaranteed to flush when its
+            // premise lands — wasted evaluations and, transitively, a flush
+            // storm. Skip speculating until the next real landing refreshes
+            // the fit. An idle pool still drafts: progress must not depend
+            // on model health, and with nothing in flight there is nothing
+            // to anchor on anyway.
+            if inflight > 0 && !self.anchors_sane(report, &anchors) {
+                st.draft_backoff = landed + q;
+                *rng = StdRng::from_state(rng_before);
+                return Ok(());
+            }
+
+            let mut excluded = seen.clone();
+            let picks = self.pick_round(rng, &mut ctx, &mut excluded, q_eff);
+            if picks.is_empty() {
+                // Nothing proposable right now. The attempt must be
+                // RNG-pure: restore the bracketed state so the journal's
+                // propose records still account for every draw.
+                *rng = StdRng::from_state(rng_before);
+                return Ok(());
+            }
+            let per = t0.elapsed() / picks.len() as u32;
+            let round_anchors: Vec<Anchor> = anchors.iter().map(Anchor::from_rec).collect();
+            append_spec_propose(
+                writer,
+                report.len(),
+                0,
+                rng_before,
+                rng.state(),
+                per,
+                &picks,
+                anchors,
+            )?;
+            st.push_round(&picks, per, round_anchors, seen, Some(pool));
+        }
+    }
+
+    /// Lands one real completion: journals the trial and reconciles every
+    /// draft anchored on it.
+    fn spec_land(
+        &self,
+        st: &mut SpecState,
+        done: Completion,
+        report: &mut TuningReport,
+        seen: &mut HashSet<Configuration>,
+        pool: &mut EvalPool<'_>,
+        writer: &mut Option<JournalWriter>,
+    ) -> Result<()> {
+        let Some((ri, ei)) = st.tickets.remove(&done.ticket) else {
+            return Ok(()); // stale ticket (defensive; cancelled paths swallow)
+        };
+        st.rounds[ri].entries[ei].state = EntryState::Done;
+        st.rounds[ri].entries[ei].ticket = None;
+        let tuner_time = st.rounds[ri].tuner;
+        let index = report.len();
+        // Same demotion as every other engine: a feasible claim with a
+        // wrong-width objective vector is a hidden-constraint observation.
+        let feasible = done.evaluation.is_feasible()
+            && done.evaluation.n_objectives() == self.opts.objectives;
+        report.push(Trial {
+            config: done.config,
+            value: done.evaluation.value(),
+            extra: done.evaluation.extra_objectives(),
+            feasible,
+            eval_time: done.eval_time,
+            tuner_time,
+        });
+        if let Some(w) = writer.as_mut() {
+            let rec = TrialRec::from_trial(index, report.trials().last().expect("just pushed"));
+            w.append(&Record::Trial(rec))?;
+        }
+        self.spec_reconcile(st, report, seen, &mut Some(pool), writer)
+    }
+
+    /// Replays a journal prefix through the live state machine: proposes and
+    /// trials are applied in write order, verdicts are recomputed (markers
+    /// are informational), nothing is journaled and no pool exists.
+    fn spec_replay(
+        &self,
+        journal: &Journal,
+        st: &mut SpecState,
+        report: &mut TuningReport,
+        seen: &mut HashSet<Configuration>,
+    ) -> Result<()> {
+        let mut pi = 0;
+        let mut apply_proposes =
+            |upto: usize, st: &mut SpecState, seen: &mut HashSet<Configuration>| {
+                while pi < journal.proposes.len() && journal.proposes[pi].len <= upto {
+                    let p = &journal.proposes[pi];
+                    let anchors = p.anchors.iter().map(Anchor::from_rec).collect();
+                    st.push_round(
+                        &p.configs,
+                        Duration::from_nanos(p.tuner_ns),
+                        anchors,
+                        seen,
+                        None,
+                    );
+                    pi += 1;
+                }
+            };
+        for (ti, tr) in journal.trials.iter().enumerate() {
+            apply_proposes(ti, st, seen);
+            // Match the landed trial to the in-flight entry it evaluated.
+            // At most one Pending entry per configuration exists across
+            // non-flushed rounds (flushes release configurations before they
+            // can be re-proposed), so the first match is the only match.
+            let slot = st.rounds.iter().enumerate().find_map(|(ri, r)| {
+                if r.flushed {
+                    return None;
+                }
+                r.entries
+                    .iter()
+                    .position(|e| e.state == EntryState::Pending && e.config == tr.config)
+                    .map(|ei| (ri, ei))
+            });
+            // Fallback for multi-threaded journals: a flush withdraws only
+            // unclaimed work, so a claimed entry of a flushed round still
+            // lands as a real trial. Replay (which has no pool to ask and
+            // cancelled everything) revives the entry the trial proves was
+            // claimed: oldest unconsumed match first.
+            let slot = slot.or_else(|| {
+                st.rounds.iter().enumerate().find_map(|(ri, r)| {
+                    if !r.flushed {
+                        return None;
+                    }
+                    r.entries
+                        .iter()
+                        .position(|e| e.state == EntryState::Cancelled && e.config == tr.config)
+                        .map(|ei| (ri, ei))
+                })
+            });
+            let Some((ri, ei)) = slot else {
+                return Err(Error::JournalCorrupt {
+                    line: 0,
+                    msg: format!(
+                        "trial {} does not match any in-flight speculative proposal",
+                        tr.index
+                    ),
+                });
+            };
+            st.rounds[ri].entries[ei].state = EntryState::Done;
+            // A revived entry's configuration was released when replay
+            // flushed its round; the landed trial puts it back.
+            seen.insert(tr.config.clone());
+            report.push(tr.to_trial());
+            self.spec_reconcile(st, report, seen, &mut None, &mut None)?;
+        }
+        apply_proposes(journal.trials.len(), st, seen);
+        Ok(())
+    }
+
+    /// The verify step, run after every landing (live and replay): marks the
+    /// landed anchors, flushes every round whose premises broke (cascading
+    /// through drafts speculated on withdrawn work), and records keep
+    /// verdicts for rounds whose premises all held.
+    fn spec_reconcile(
+        &self,
+        st: &mut SpecState,
+        report: &TuningReport,
+        seen: &mut HashSet<Configuration>,
+        pool: &mut Option<&mut EvalPool<'_>>,
+        writer: &mut Option<JournalWriter>,
+    ) -> Result<()> {
+        let landed = report.trials().last().expect("reconcile after a landing");
+        let realized = self.realized_objectives(landed);
+        let floor = self.spread_floor(report);
+
+        // Mark every anchor awaiting this configuration.
+        for r in st.rounds.iter_mut().filter(|r| !r.flushed) {
+            for a in r
+                .anchors
+                .iter_mut()
+                .filter(|a| !a.landed && a.config == landed.config)
+            {
+                a.landed = true;
+                a.surprising = match &realized {
+                    None => true, // the draft assumed a value; none exists
+                    Some(v) if v.len() != a.means.len() => true,
+                    Some(v) => v
+                        .iter()
+                        .zip(&a.means)
+                        .zip(&a.vars)
+                        .enumerate()
+                        .any(|(i, ((&x, &mean), &var))| {
+                            let sigma = var.max(0.0).sqrt().max(MIN_ANCHOR_SIGMA);
+                            let tol = (TOLERANCE_SIGMAS * sigma).max(floor[i]);
+                            (x - mean).abs() > tol
+                        }),
+                };
+            }
+        }
+
+        // Flush cascade: a broken anchor flushes its round; withdrawing a
+        // round's unevaluated proposals breaks every anchor that awaited
+        // them, flushing those rounds too. Ascending ordinal order keeps the
+        // marker sequence deterministic.
+        let mut withdrawn: HashSet<Configuration> = HashSet::new();
+        loop {
+            let next = st.rounds.iter().position(|r| {
+                !r.flushed
+                    && r.anchors.iter().any(|a| {
+                        a.surprising || (!a.landed && withdrawn.contains(&a.config))
+                    })
+            });
+            let Some(ri) = next else { break };
+            let round = &mut st.rounds[ri];
+            round.flushed = true;
+            let mut cancelled = 0;
+            for e in round.entries.iter_mut() {
+                if e.state != EntryState::Pending {
+                    continue;
+                }
+                // Withdraw only work that has not started. An evaluation a
+                // worker already claimed keeps running and lands as an
+                // ordinary trial: the configuration was legitimately
+                // proposed — only the speculative premise behind it broke —
+                // and discarding a started evaluation would waste exactly
+                // the wall-clock the pipeline exists to save. Replay has no
+                // pool and cancels everything, which matches single-threaded
+                // live runs bit for bit (the inline pool evaluates only on
+                // recv, so a flush always beats the worker to the claim).
+                if let (Some(&t), Some(p)) = (e.ticket.as_ref(), pool.as_deref_mut()) {
+                    if !p.cancel(t) {
+                        continue; // claimed: let it land
+                    }
+                }
+                if let Some(t) = e.ticket.take() {
+                    st.tickets.remove(&t);
+                }
+                e.state = EntryState::Cancelled;
+                cancelled += 1;
+                seen.remove(&e.config);
+                withdrawn.insert(e.config.clone());
+            }
+            append_reconcile(writer, report.len(), ri, false, cancelled)?;
+        }
+
+        // Keep verdicts: a speculative round whose anchors all landed inside
+        // tolerance is confirmed (exactly once).
+        for ri in 0..st.rounds.len() {
+            let r = &st.rounds[ri];
+            if r.flushed
+                || r.kept_marked
+                || r.anchors.is_empty()
+                || !r.anchors.iter().all(|a| a.landed && !a.surprising)
+            {
+                continue;
+            }
+            st.rounds[ri].kept_marked = true;
+            append_reconcile(writer, report.len(), ri, true, 0)?;
+        }
+        Ok(())
+    }
+
+    /// Whether every drafted anchor is numerically plausible: finite
+    /// posterior moments, with means no further than
+    /// [`DEGENERACY_SPREADS`] observed spreads outside the landed range
+    /// (no opinion before a scale exists). Insane anchors mark a
+    /// degenerate conditioned model, not a bold prediction.
+    fn anchors_sane(&self, report: &TuningReport, anchors: &[AnchorRec]) -> bool {
+        let m = self.opts.objectives;
+        let mut lo = vec![f64::INFINITY; m];
+        let mut hi = vec![f64::NEG_INFINITY; m];
+        for t in report.trials() {
+            if let Some(v) = self.realized_objectives(t) {
+                for i in 0..m {
+                    lo[i] = lo[i].min(v[i]);
+                    hi[i] = hi[i].max(v[i]);
+                }
+            }
+        }
+        anchors.iter().all(|a| {
+            a.vars.iter().all(|v| v.is_finite())
+                && a.means.iter().enumerate().all(|(i, &mean)| {
+                    if !mean.is_finite() {
+                        return false;
+                    }
+                    if i >= m || lo[i] > hi[i] {
+                        return true; // no observed scale to judge against
+                    }
+                    let slack = DEGENERACY_SPREADS * (hi[i] - lo[i]).max(1e-9);
+                    mean >= lo[i] - slack && mean <= hi[i] + slack
+                })
+        })
+    }
+
+    /// Per-objective reconciliation tolerance floor —
+    /// [`SPREAD_TOLERANCE`] × the spread of the transformed objective
+    /// values landed so far (0 until two distinct values exist). Pure
+    /// function of the report, so replay recomputes identical verdicts.
+    fn spread_floor(&self, report: &TuningReport) -> Vec<f64> {
+        let m = self.opts.objectives;
+        let mut lo = vec![f64::INFINITY; m];
+        let mut hi = vec![f64::NEG_INFINITY; m];
+        for t in report.trials() {
+            if let Some(v) = self.realized_objectives(t) {
+                for i in 0..m {
+                    lo[i] = lo[i].min(v[i]);
+                    hi[i] = hi[i].max(v[i]);
+                }
+            }
+        }
+        (0..m)
+            .map(|i| {
+                if hi[i] > lo[i] {
+                    SPREAD_TOLERANCE * (hi[i] - lo[i])
+                } else {
+                    0.0
+                }
+            })
+            .collect()
+    }
+
+    /// The transformed objective vector reconciliation compares against an
+    /// anchor's recorded posterior; `None` for failed (or demoted)
+    /// evaluations, which always count as surprising.
+    fn realized_objectives(&self, t: &Trial) -> Option<Vec<f64>> {
+        if !t.feasible {
+            return None;
+        }
+        let objs = t.objectives()?;
+        if objs.len() != self.opts.objectives || objs.iter().any(|v| !v.is_finite()) {
+            return None;
+        }
+        Some(objs.iter().map(|&v| self.transform(v)).collect())
+    }
+}

@@ -1,0 +1,203 @@
+//! Speculative evaluation pipeline benchmark: wall-clock of the
+//! draft/verify engine (`speculation_depth > 0`, see `tuner::speculate`)
+//! versus the round-barriered batched loop at **equal evaluation budget**,
+//! on the taco-sim SpMM (scircuit) workload with simulated mixed
+//! per-configuration latency.
+//!
+//! The barrier arm pays the straggler stall this PR fixes: each round waits
+//! for its slowest evaluation before the surrogate may refit. The
+//! speculative arm streams completions, drafts fantasy rounds against
+//! kriging-believer anchors while real evaluations are in flight, and
+//! reconciles when they land — workers never idle behind a straggler. Both
+//! arms see identical per-configuration values (the black box is memoized)
+//! and identical per-configuration latencies (an FNV-hash profile via
+//! [`baco::benchmark::SimLatency`]), so the comparison is apples-to-apples:
+//! 20% of configurations are heavy stragglers (320–640 ms), the rest light
+//! (40–80 ms).
+//!
+//! Best objective values per arm are reported alongside the timings so the
+//! speedup can be read at comparable regret, and a single-thread determinism
+//! guard (same seed twice ⇒ identical trajectory) runs before anything is
+//! timed.
+//!
+//! Writes a machine-readable summary to `BENCH_spec_pipeline.json`
+//! (override with `--out PATH`; `--budget N` and `--seeds N` shrink or grow
+//! the experiment).
+//!
+//! Run with: `cargo run --release -p baco-bench --bin spec_pipeline`
+
+use baco::benchmark::SimLatency;
+use baco::tuner::{BlackBox, Evaluation, TuningReport};
+use baco::{Baco, Configuration, SearchSpace};
+use baco_bench::emit;
+use std::collections::HashMap;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Memoizes the (noisy, timing-based) black box so every arm sees identical
+/// values for identical configurations — the precondition for comparing
+/// fixed-seed trajectories and best-so-far across engines on a real
+/// workload. Owns its inner so it can sit under [`SimLatency`].
+struct MemoBlackBox {
+    inner: Box<dyn BlackBox + Send + Sync>,
+    cache: Mutex<HashMap<String, Evaluation>>,
+}
+
+impl BlackBox for MemoBlackBox {
+    fn evaluate(&self, cfg: &Configuration) -> Evaluation {
+        let key = cfg.to_string();
+        if let Some(hit) = self.cache.lock().unwrap().get(&key) {
+            return hit.clone();
+        }
+        let eval = self.inner.evaluate(cfg);
+        self.cache.lock().unwrap().insert(key, eval.clone());
+        eval
+    }
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+}
+
+const Q: usize = 4;
+const EVAL_THREADS: usize = 4;
+const DEPTH: usize = 2;
+
+struct Arm {
+    mode: &'static str,
+    depth: usize,
+    wall_s: f64,
+    best: f64,
+    mean_best: f64,
+    median_best: f64,
+}
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned())
+}
+
+fn build(space: &SearchSpace, depth: usize, threads: usize, seed: u64, budget: usize) -> Baco {
+    Baco::builder(space.clone())
+        .budget(budget)
+        .doe_samples(8)
+        .batch_size(Q)
+        .speculation_depth(depth)
+        .eval_threads(threads)
+        .seed(seed)
+        .build()
+        .expect("valid tuner")
+}
+
+fn configs(r: &TuningReport) -> Vec<String> {
+    r.trials().iter().map(|t| t.config.to_string()).collect()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let out_path = flag(&args, "--out").unwrap_or_else(|| "BENCH_spec_pipeline.json".to_string());
+    let budget: usize = flag(&args, "--budget").map_or(48, |v| v.parse().expect("--budget N"));
+    let seeds: u64 = flag(&args, "--seeds").map_or(5, |v| v.parse().expect("--seeds N"));
+
+    let bench =
+        baco_bench::benchmark_by_name("SpMM scircuit", taco_sim::benchmarks::TacoScale::Test);
+    let space = bench.space.clone();
+    let workload = bench.name.clone();
+    // Memoize the timing-based black box first (identical values for
+    // identical configurations across arms), then charge the deterministic
+    // mixed-latency profile on top.
+    let bb = SimLatency::with_profile(
+        Box::new(MemoBlackBox { inner: bench.blackbox, cache: Mutex::new(HashMap::new()) }),
+        (40_000, 80_000),
+        (320_000, 640_000),
+        20,
+    );
+    println!(
+        "spec-pipeline benchmark: {workload} | budget {budget} | {seeds} seed(s) | \
+         q={Q} threads={EVAL_THREADS} depth={DEPTH}\n"
+    );
+
+    // Guard before timing: the pipeline must be deterministic — at a single
+    // evaluation thread (completion order == submission order) the same seed
+    // must reproduce the same trajectory, draft for draft.
+    let deterministic = {
+        let a = build(&space, DEPTH, 1, 11, budget.min(16)).run_batched(&bb).unwrap();
+        let b = build(&space, DEPTH, 1, 11, budget.min(16)).run_batched(&bb).unwrap();
+        configs(&a) == configs(&b)
+    };
+    assert!(deterministic, "speculative trajectory is not deterministic at eval_threads=1");
+    println!("single-thread determinism guard: OK\n");
+
+    let mut arms: Vec<Arm> = Vec::new();
+    for (mode, depth) in [("barrier", 0usize), ("speculative", DEPTH)] {
+        let mut wall = 0.0;
+        let mut bests: Vec<f64> = Vec::new();
+        for seed in 0..seeds {
+            let tuner = build(&space, depth, EVAL_THREADS, seed, budget);
+            let t0 = Instant::now();
+            let report = tuner.run_batched(&bb).unwrap();
+            wall += t0.elapsed().as_secs_f64();
+            assert_eq!(report.len(), budget, "every arm spends the same budget");
+            bests.push(report.best_value().expect("SpMM has no hidden constraints"));
+        }
+        let best = bests.iter().copied().fold(f64::INFINITY, f64::min);
+        let mean_best = bests.iter().sum::<f64>() / bests.len() as f64;
+        bests.sort_by(f64::total_cmp);
+        let median_best = bests[bests.len() / 2];
+        let arm = Arm { mode, depth, wall_s: wall / seeds as f64, best, mean_best, median_best };
+        println!(
+            "{mode:>11} (depth {depth})  wall {:>7.2} s/run   best {:>8.4} ms   median best {:>8.4} ms",
+            arm.wall_s, arm.best, arm.median_best
+        );
+        arms.push(arm);
+    }
+
+    let barrier = &arms[0];
+    let spec = &arms[1];
+    let speedup = barrier.wall_s / spec.wall_s;
+    // Best-so-far parity at equal budget: the speculative arm may follow a
+    // different trajectory (it drafts against fantasies), but its result
+    // quality must stay within noise of the barrier's. Medians of the
+    // per-seed bests, so one unlucky seed doesn't swing the verdict.
+    let quality_ratio = barrier.median_best / spec.median_best;
+
+    let mut json = String::from("{\n");
+    json.push_str("  \"benchmark\": \"spec_pipeline\",\n");
+    json.push_str(&format!(
+        "  \"workload\": \"{workload} (mixed-latency sim: 20% heavy 320-640ms, light 40-80ms)\",\n"
+    ));
+    json.push_str(&format!(
+        "  \"budget\": {budget},\n  \"seeds\": {seeds},\n  \"q\": {Q},\n  \
+         \"eval_threads\": {EVAL_THREADS},\n  \"speculation_depth\": {DEPTH},\n"
+    ));
+    json.push_str(&format!("  \"deterministic_at_single_thread\": {deterministic},\n"));
+    json.push_str("  \"arms\": [\n");
+    for (i, a) in arms.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"mode\": \"{}\", \"speculation_depth\": {}, \"wall_s\": {:.3}, \
+             \"speedup_vs_barrier\": {:.2}, \"best_ms\": {:.4}, \"mean_best_ms\": {:.4}, \
+             \"median_best_ms\": {:.4}}}{}\n",
+            a.mode,
+            a.depth,
+            a.wall_s,
+            barrier.wall_s / a.wall_s,
+            a.best,
+            a.mean_best,
+            a.median_best,
+            if i + 1 < arms.len() { "," } else { "" }
+        ));
+    }
+    let checks = [
+        emit::Check::ge("wallclock_speedup", speedup, 1.5),
+        // >= 0.85 means the speculative median best-so-far is no more than
+        // ~18% worse than the barrier's at equal budget — within seed noise.
+        emit::Check::ge("best_quality_ratio", quality_ratio, 0.85),
+        // Bitwise single-thread determinism, encoded numerically so the
+        // check shape stays uniform across artifacts (1 = deterministic).
+        emit::Check::ge("deterministic_at_single_thread", deterministic as u8 as f64, 1.0),
+    ];
+    json.push_str("  ],\n");
+    json.push_str(&emit::criteria_block(&checks));
+    json.push_str("}\n");
+    std::fs::write(&out_path, &json).unwrap();
+    println!("\nwrote {out_path}");
+    emit::print_criteria(&checks);
+}

@@ -25,6 +25,7 @@
 //! | `batch_scaling` | batched-engine scaling (q ∈ {1,2,4,8}) → `BENCH_batch_scaling.json` |
 //! | `pareto_scaling` | multi-objective hypervolume vs random search → `BENCH_pareto.json` |
 //! | `gp_scaling` | budget-bounded surrogate scaling (n ∈ {1k, 5k, 20k} histories + 25-bench quality sweep) → `BENCH_gp_scaling.json` |
+//! | `spec_pipeline` | speculative pipeline vs round-barrier wall-clock on mixed-latency SpMM → `BENCH_spec_pipeline.json` |
 //! | `baco-cli`   | journaled tuning driver: `tune --journal run.jsonl [--resume]`, `best`, `list`; also the golden-fixture generator and, via `serve`/`client`, the end-to-end face of the multi-tenant tuning server |
 //!
 //! Shared flags: `--reps N` (default 5; the paper uses 30), `--scale
