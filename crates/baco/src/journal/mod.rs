@@ -80,6 +80,7 @@
 //! # Ok::<(), baco::Error>(())
 //! ```
 
+pub mod corpus;
 pub mod json;
 
 use crate::space::{Configuration, ParamKind, ParamValue, Scale, SearchSpace};
@@ -172,6 +173,64 @@ pub struct Header {
     pub options: Json,
     /// The search space specification, as a canonical JSON object.
     pub space: Json,
+    /// The transfer-learning provenance of the run: which archived corpus
+    /// snapshot seeded its prior mean and DoE warm start (see
+    /// [`corpus`]). `None` — and absent from the serialized header, keeping
+    /// every pre-transfer journal byte-identical — for runs without
+    /// transfer. Resume *adopts* this digest rather than re-scanning the
+    /// corpus, so a resumed trajectory stays bitwise even as the corpus
+    /// grows around it.
+    pub transfer: Option<TransferDigest>,
+}
+
+/// The determinism digest of a transfer-learning run (see
+/// [`corpus`]): enough to rebuild the exact prior the run was
+/// started with, and to detect any mutation of the donor files it depends
+/// on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TransferDigest {
+    /// Structural fingerprint of the tuned search space
+    /// ([`corpus::space_fingerprint`]); donors were required to match it.
+    pub fingerprint: u64,
+    /// FNV-1a fold over the donors' `(session, content)` pairs in
+    /// [`TransferDigest::donors`] order — the corpus *snapshot* hash. Files
+    /// added to the corpus later never perturb it; a mutated or deleted
+    /// donor is a hard resume error.
+    pub snapshot: u64,
+    /// Session ids (journal file stems) of the donor runs, in the
+    /// deterministic selection order.
+    pub donors: Vec<String>,
+}
+
+impl TransferDigest {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("fingerprint".into(), u64_str(self.fingerprint)),
+            ("snapshot".into(), u64_str(self.snapshot)),
+            (
+                "donors".into(),
+                Json::Arr(self.donors.iter().map(|s| Json::Str(s.clone())).collect()),
+            ),
+        ])
+    }
+
+    fn from_json(j: &Json) -> std::result::Result<TransferDigest, String> {
+        Ok(TransferDigest {
+            fingerprint: get_u64(j, "fingerprint")?,
+            snapshot: get_u64(j, "snapshot")?,
+            donors: j
+                .get("donors")
+                .and_then(Json::as_arr)
+                .ok_or("transfer digest missing `donors` array")?
+                .iter()
+                .map(|d| {
+                    d.as_str()
+                        .map(String::from)
+                        .ok_or_else(|| "bad transfer donor entry".to_string())
+                })
+                .collect::<std::result::Result<Vec<_>, _>>()?,
+        })
+    }
 }
 
 impl Header {
@@ -192,6 +251,7 @@ impl Header {
             batch_size: if mode == Mode::Batched { opts.batch_size } else { 1 },
             options: options_spec(opts),
             space: space_spec(space),
+            transfer: None,
         }
     }
 
@@ -232,7 +292,10 @@ impl Header {
                 self.batch_size, opts.batch_size
             ));
         }
-        if self.options != options_spec(opts) {
+        // The envelopes are canonical JSON, so digest equality is envelope
+        // equality; the same digest primitive fingerprints archived
+        // envelopes in the transfer corpus ([`corpus`]).
+        if envelope_digest(&self.options) != envelope_digest(&options_spec(opts)) {
             return fail(format!(
                 "option mismatch: journal {}, tuner {}",
                 self.options.to_line(),
@@ -246,7 +309,7 @@ impl Header {
     }
 
     fn to_json(&self) -> Json {
-        Json::Obj(vec![
+        let mut members = vec![
             ("t".into(), Json::Str("header".into())),
             ("format".into(), Json::Str(FORMAT_NAME.into())),
             ("version".into(), Json::Num(self.version as f64)),
@@ -257,7 +320,14 @@ impl Header {
             ("batch_size".into(), Json::Num(self.batch_size as f64)),
             ("options".into(), self.options.clone()),
             ("space".into(), self.space.clone()),
-        ])
+        ];
+        // Only-when-set (the `anchors`/`values` convention): headers of
+        // non-transfer runs never mention transfer, staying byte-identical
+        // to what older binaries wrote.
+        if let Some(t) = &self.transfer {
+            members.push(("transfer".into(), t.to_json()));
+        }
+        Json::Obj(members)
     }
 
     fn from_json(j: &Json) -> std::result::Result<Header, String> {
@@ -277,8 +347,38 @@ impl Header {
             batch_size: get_usize(j, "batch_size")?,
             options: j.get("options").cloned().ok_or("missing `options`")?,
             space: j.get("space").cloned().ok_or("missing `space`")?,
+            transfer: match j.get("transfer") {
+                None => None,
+                Some(t) => Some(TransferDigest::from_json(t)?),
+            },
         })
     }
+}
+
+/// FNV-1a digest of a canonical-JSON envelope (an options or space spec).
+///
+/// The journal's envelopes are produced by [`space_spec`]/`options_spec`
+/// with a fixed member order and shortest-form number rendering, so two
+/// envelopes are equal exactly when their serialized lines are — which makes
+/// this digest a faithful equality primitive. It is shared by
+/// [`Header::validate`]'s options comparison and the corpus index
+/// ([`corpus`]), so "same options envelope" means the same thing on the live
+/// resume path and in the archived-session index.
+pub fn envelope_digest(envelope: &Json) -> u64 {
+    fnv1a(envelope.to_line().as_bytes())
+}
+
+/// FNV-1a over raw bytes: stable across runs, platforms and Rust releases
+/// (unlike `DefaultHasher`). The digest primitive behind
+/// [`envelope_digest`], [`corpus::space_fingerprint`] and the corpus
+/// snapshot hash.
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
 }
 
 /// One journaled proposal round: the configurations chosen together, plus
@@ -1033,6 +1133,12 @@ fn options_spec(opts: &BacoOptions) -> Json {
             Json::Num(opts.speculation_depth as f64),
         ));
     }
+    // Only-when-set again: transfer-off runs keep pre-transfer envelopes,
+    // and a transfer-on journal refuses to resume under a transfer-off
+    // tuner (and vice versa) via the envelope digest.
+    if opts.transfer.is_some() {
+        members.push(("transfer".into(), Json::Bool(true)));
+    }
     Json::Obj(members)
 }
 
@@ -1544,6 +1650,67 @@ mod tests {
         assert!(decode_config(&s, &j).is_err());
         let j = json::parse(r#"{"a":7,"tile":4,"c":"y","p":[0,1,1,3],"r":0.5}"#).unwrap();
         assert!(decode_config(&s, &j).is_err());
+    }
+
+    #[test]
+    fn envelope_digest_is_pinned_across_the_format_version_trio() {
+        // The canonical rendering of a default-options envelope, pinned as a
+        // literal: this is the exact byte sequence v1-era binaries wrote and
+        // today's binaries still write, so any drift in member order, number
+        // rendering or only-when-set behavior fails here before it silently
+        // orphans every archived journal (resume *and* the corpus index key
+        // off this digest).
+        const V1V2_ENVELOPE: &str = concat!(
+            r#"{"surrogate":"gp","hidden_constraints":true,"feasibility_limit":true,"#,
+            r#""local_search":true,"log_objective":true,"optimum_prior":false,"#,
+            r#""warm_start":false}"#
+        );
+        const V1V2_DIGEST: u64 = 0x0cea_7be1_7d3f_1ad8;
+        const V3_DIGEST: u64 = 0xf47d_eb81_db8e_70d1;
+
+        let opts = crate::tuner::BacoOptions {
+            seed: 7,
+            doe_samples: 6,
+            budget: 20,
+            ..Default::default()
+        };
+        let env = options_spec(&opts);
+        assert_eq!(env.to_line(), V1V2_ENVELOPE);
+        assert_eq!(envelope_digest(&env), V1V2_DIGEST);
+
+        // The same logical run's header as written by a v1, v2 and v3
+        // binary: v1/v2 share the envelope bytes (only-when-set keeps every
+        // later knob out of it), v3 runs the speculative pipeline and must
+        // digest differently.
+        let s = space();
+        let sp = space_spec(&s).to_line();
+        let header_line = |version: u64, env: &str| {
+            format!(
+                concat!(
+                    r#"{{"t":"header","format":"baco-journal","version":{},"mode":"run","#,
+                    r#""seed":"7","budget":20,"doe_samples":6,"batch_size":1,"#,
+                    r#""options":{},"space":{}}}"#
+                ),
+                version, env, sp
+            )
+        };
+        for version in [1u64, 2] {
+            let j = json::parse(&header_line(version, V1V2_ENVELOPE)).unwrap();
+            let h = Header::from_json(&j).unwrap();
+            assert_eq!(envelope_digest(&h.options), V1V2_DIGEST, "v{version}");
+            // …and the archived run still validates against a present-day
+            // tuner with the same knobs.
+            h.validate(Mode::Run, &opts, &s).unwrap();
+        }
+
+        let spec_opts =
+            crate::tuner::BacoOptions { speculation_depth: 2, ..Default::default() };
+        let env3 = options_spec(&spec_opts);
+        assert_eq!(envelope_digest(&env3), V3_DIGEST);
+        let j = json::parse(&header_line(3, &env3.to_line())).unwrap();
+        let h = Header::from_json(&j).unwrap();
+        assert_eq!(envelope_digest(&h.options), V3_DIGEST);
+        assert_ne!(V1V2_DIGEST, V3_DIGEST);
     }
 
     #[test]

@@ -300,6 +300,12 @@ impl ServerHandle {
                         journal::encode_value(t.session.history().best_value()),
                     ),
                 ];
+                // Transfer-enabled sessions report where their prior came
+                // from; cold sessions omit the fields entirely.
+                if let Some((donors, donor_trials)) = t.session.tuner().transfer_donors() {
+                    fields.push(("transfer_donors".into(), Json::Num(donors as f64)));
+                    fields.push(("donor_trials".into(), Json::Num(donor_trials as f64)));
+                }
                 if t.session.tuner().options().objectives > 1 {
                     let history = t.session.history();
                     fields.push((
@@ -434,12 +440,24 @@ impl ServerHandle {
             let path = dir.join(format!("{name}.jsonl"));
             resumed = spec.resume && Journal::exists(&path);
             builder = builder.journal_path(path).resume(spec.resume);
+            if spec.transfer {
+                // The corpus *is* the journal directory: every archived
+                // session is a potential donor for this one.
+                builder = builder.transfer(dir.clone());
+            }
         } else if spec.resume {
             // Honoring `resume` is impossible without journals; a silent
             // fresh volatile session would discard the client's expensive
             // prior evaluations while it believes it resumed durably.
             return Err(WireError::bad_request(
                 "this server has no journal directory; sessions cannot be resumed",
+            ));
+        } else if spec.transfer {
+            // Same contract as `resume`: a memory-only server has no journal
+            // corpus, and silently starting cold would let the client believe
+            // it is riding on fleet experience.
+            return Err(WireError::bad_request(
+                "this server has no journal directory; there is no corpus to transfer from",
             ));
         }
 
@@ -465,13 +483,19 @@ impl ServerHandle {
         };
         let len = session.history().len();
         let remaining = session.remaining_budget();
+        let donors = session.tuner().transfer_donors();
         *guard = Some(Tenant { session, space });
-        Ok(vec![
+        let mut fields = vec![
             ("session".into(), Json::Str(name.to_string())),
             ("resumed".into(), Json::Bool(resumed)),
             ("len".into(), Json::Num(len as f64)),
             ("remaining".into(), Json::Num(remaining as f64)),
-        ])
+        ];
+        if let Some((donors, donor_trials)) = donors {
+            fields.push(("transfer_donors".into(), Json::Num(donors as f64)));
+            fields.push(("donor_trials".into(), Json::Num(donor_trials as f64)));
+        }
+        Ok(fields)
     }
 
     /// Starts the TCP front end on `addr` and returns its controller.
@@ -902,6 +926,69 @@ mod tests {
         assert!(srv.handle_line(bad_space).contains(r#""kind":"invalid_space""#));
         assert_eq!(srv.session_count(), 1);
         assert!(srv.handle_line(&create_line("broken", 4, 0)).contains(r#""ok":true"#));
+    }
+
+    #[test]
+    fn transfer_session_over_the_wire() {
+        let dir = std::env::temp_dir().join(format!("baco-srv-transfer-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let srv = ServerHandle::new(ServerOptions {
+            journal_dir: Some(dir.clone()),
+            ..ServerOptions::default()
+        });
+        let drive = |name: &str| loop {
+            let reply = parse(&srv.handle_line(&format!(r#"{{"op":"ask","session":"{name}"}}"#)));
+            let cfg = reply.get("config").unwrap();
+            if *cfg == Json::Null {
+                break;
+            }
+            let a = cfg.get("a").and_then(Json::as_f64).unwrap();
+            let report = format!(
+                r#"{{"op":"report","session":"{name}","config":{},"value":{}}}"#,
+                cfg.to_line(),
+                (a - 7.0).powi(2) + 1.0
+            );
+            assert!(srv.handle_line(&report).contains(r#""ok":true"#));
+        };
+
+        // A donor session runs cold and archives its journal in the corpus.
+        assert!(srv.handle_line(&create_line("donor", 6, 1)).contains(r#""ok":true"#));
+        drive("donor");
+        assert!(srv.handle_line(r#"{"op":"close","session":"donor"}"#).contains(r#""ok":true"#));
+
+        // The transfer session mines it: create reports the donor count...
+        let create = format!(
+            r#"{{"op":"create_session","session":"warm","budget":6,"doe_samples":3,"seed":2,"transfer":true,"space":{}}}"#,
+            int_space_spec()
+        );
+        let created = parse(&srv.handle_line(&create));
+        assert_eq!(created.get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(created.get("transfer_donors").and_then(Json::as_f64), Some(1.0));
+        assert!(created.get("donor_trials").and_then(Json::as_f64).unwrap() >= 2.0);
+
+        // ...status repeats it, and the session still serves the loop.
+        let status = parse(&srv.handle_line(r#"{"op":"status","session":"warm"}"#));
+        assert_eq!(status.get("transfer_donors").and_then(Json::as_f64), Some(1.0));
+        drive("warm");
+        let best = parse(&srv.handle_line(r#"{"op":"best","session":"warm"}"#));
+        assert!(best.get("value").and_then(Json::as_f64).unwrap() >= 1.0);
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn transfer_without_a_journal_dir_is_refused() {
+        // No journal_dir means no corpus: a silent cold start would let the
+        // client believe it is riding on fleet experience.
+        let srv = ServerHandle::new(ServerOptions::default());
+        let req = format!(
+            r#"{{"op":"create_session","session":"t","budget":4,"transfer":true,"space":{}}}"#,
+            int_space_spec()
+        );
+        let reply = srv.handle_line(&req);
+        assert!(reply.contains(r#""kind":"bad_request""#), "{reply}");
+        assert!(reply.contains("transfer"), "{reply}");
+        assert_eq!(srv.session_count(), 0);
     }
 
     #[test]

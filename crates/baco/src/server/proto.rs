@@ -11,7 +11,7 @@
 //!
 //! | op | request fields | reply fields |
 //! |---|---|---|
-//! | `create_session` | `session`, `space` ([`space_spec`](crate::journal::space_spec) object), `budget`; optional `doe_samples`, `seed`, `resume`, `surrogate` (`"gp"`/`"rf"`), `hidden_constraints`, `feasibility_limit`, `local_search`, `log_objective`, `objectives` (≥ 1), `mo_strategy` (`"ehvi"` default / `"parego"`; multi-objective acquisition), `reference_point` (array, one finite entry per objective), `surrogate_budget` (≥ 8; budget-bounded surrogate mode), `speculation_depth` (≤ 8; speculative evaluation pipeline for the batched loop) | `resumed`, `len`, `remaining` |
+//! | `create_session` | `session`, `space` ([`space_spec`](crate::journal::space_spec) object), `budget`; optional `doe_samples`, `seed`, `resume`, `surrogate` (`"gp"`/`"rf"`), `hidden_constraints`, `feasibility_limit`, `local_search`, `log_objective`, `objectives` (≥ 1), `mo_strategy` (`"ehvi"` default / `"parego"`; multi-objective acquisition), `reference_point` (array, one finite entry per objective), `surrogate_budget` (≥ 8; budget-bounded surrogate mode), `speculation_depth` (≤ 8; speculative evaluation pipeline for the batched loop), `transfer` (mine the server's journal directory for compatible archived sessions; requires a `journal_dir`) | `resumed`, `len`, `remaining` |
 //! | `ask` | `session` | `config` (object or `null` when exhausted) |
 //! | `suggest_batch` | `session`, `q` | `configs` (array, possibly empty) |
 //! | `report` | `session`, `config`; `value` (number, `null`, `"NaN"`, `"inf"`, `"-inf"`) **or** `values` (array, one entry per objective of a multi-objective session), and/or `feasible` — only *all-finite* measurements count as feasible, anything else is recorded as a failed evaluation | `len` |
@@ -166,6 +166,12 @@ pub struct SessionSpec {
     /// [`MAX_SPECULATION_DEPTH`](crate::tuner::MAX_SPECULATION_DEPTH); see
     /// [`BacoBuilder::speculation_depth`](crate::tuner::BacoBuilder).
     pub speculation_depth: Option<usize>,
+    /// Transfer learning: seed the session from structurally-compatible
+    /// archived journals in the server's journal directory (default false).
+    /// Requires the server to have a `journal_dir` — requesting transfer on
+    /// a memory-only server is a typed `bad_request`. See
+    /// [`BacoBuilder::transfer`](crate::tuner::BacoBuilder).
+    pub transfer: bool,
 }
 
 /// One parsed request.
@@ -358,6 +364,7 @@ pub fn parse_request(line: &str) -> Result<Envelope, WireError> {
                     }
                     d => d,
                 },
+                transfer: opt_bool(&j, "transfer")?.unwrap_or(false),
             };
             if let Some(r) = &spec.reference_point {
                 if r.len() != spec.objectives {
@@ -569,6 +576,30 @@ mod tests {
             assert_eq!(spec.mo_strategy, Some(want));
         }
         for bad in [r#","mo_strategy":"nsga2""#, r#","mo_strategy":7"#] {
+            assert_eq!(parse(bad).unwrap_err().kind, ErrorKind::BadRequest, "{bad}");
+        }
+    }
+
+    #[test]
+    fn transfer_parses_and_validates() {
+        let parse = |extra: &str| {
+            parse_request(&format!(
+                r#"{{"op":"create_session","session":"s","budget":5,"space":{{"params":[],"constraints":[]}}{extra}}}"#
+            ))
+        };
+        // Omitted → off (cold start, the historical behavior).
+        let Ok(Envelope { req: Request::Create { spec, .. }, .. }) = parse("") else {
+            panic!("plain create must parse");
+        };
+        assert!(!spec.transfer);
+        for (extra, want) in [(r#","transfer":true"#, true), (r#","transfer":false"#, false)] {
+            let Ok(Envelope { req: Request::Create { spec, .. }, .. }) = parse(extra) else {
+                panic!("transfer create must parse: {extra}");
+            };
+            assert_eq!(spec.transfer, want, "{extra}");
+        }
+        // Non-boolean → typed bad_request.
+        for bad in [r#","transfer":1"#, r#","transfer":"yes""#] {
             assert_eq!(parse(bad).unwrap_err().kind, ErrorKind::BadRequest, "{bad}");
         }
     }

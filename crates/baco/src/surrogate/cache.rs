@@ -67,8 +67,11 @@ use std::sync::{Arc, Mutex};
 /// [`GaussianProcess::fit_with_cache`]: super::GaussianProcess::fit_with_cache
 #[derive(Debug, Clone)]
 pub struct GpCache {
-    /// Distance-table fingerprint: (dims, permutation metric, transforms).
-    fingerprint: Option<(usize, PermMetric, bool)>,
+    /// Distance-table fingerprint: (dims, permutation metric, transforms,
+    /// prior-mean digest). A changed mean function changes the residual
+    /// targets, so cached hyperparameters/factorizations must not carry
+    /// over; the zero mean's digest is the constant `0`.
+    fingerprint: Option<(usize, PermMetric, bool, u64)>,
     /// Featurized training inputs the tables were built from.
     inputs: Vec<ModelInput>,
     /// Per-dimension squared distances, each `n × n`.
@@ -209,8 +212,9 @@ impl GpCache {
         d: usize,
         metric: PermMetric,
         transforms: bool,
+        mean_digest: u64,
     ) {
-        let fp = (d, metric, transforms);
+        let fp = (d, metric, transforms, mean_digest);
         let prefix_ok = self.fingerprint == Some(fp)
             && self.inputs.len() <= inputs.len()
             && self.inputs.iter().zip(inputs).all(|(a, b)| a == b);
@@ -333,7 +337,7 @@ mod tests {
         let (_, inputs) = inputs_for(&[0, 5, 9, 14, 20, 26, 30]);
         let mut cache = GpCache::new();
         for n in 1..=inputs.len() {
-            cache.sync_distances(&inputs[..n], 2, PermMetric::Spearman, true);
+            cache.sync_distances(&inputs[..n], 2, PermMetric::Spearman, true, 0);
             assert_eq!(cache.len(), n);
             let want = reference_d2(&inputs[..n], 2);
             for (got, want) in cache.d2().iter().zip(&want) {
@@ -346,14 +350,14 @@ mod tests {
     fn non_prefix_history_resets() {
         let (_, inputs) = inputs_for(&[0, 5, 9, 14]);
         let mut cache = GpCache::new();
-        cache.sync_distances(&inputs, 2, PermMetric::Spearman, true);
+        cache.sync_distances(&inputs, 2, PermMetric::Spearman, true, 0);
         let chol = Cholesky::new(&Matrix::from_rows(&[&[2.0, 0.0], &[0.0, 2.0]])).unwrap();
         cache.record_fit(&[1.0, 1.0], 1.0, 1e-3, Some(&chol), 0.0, false);
         assert!(cache.hyperparams().is_some());
 
         // Same points, different order: not a prefix → reset.
         let (_, shuffled) = inputs_for(&[5, 0, 9, 14]);
-        cache.sync_distances(&shuffled, 2, PermMetric::Spearman, true);
+        cache.sync_distances(&shuffled, 2, PermMetric::Spearman, true, 0);
         assert!(cache.hyperparams().is_none());
         assert_eq!(cache.len(), 4);
         let want = reference_d2(&shuffled, 2);
@@ -366,9 +370,9 @@ mod tests {
     fn option_change_resets() {
         let (_, inputs) = inputs_for(&[0, 5, 9]);
         let mut cache = GpCache::new();
-        cache.sync_distances(&inputs, 2, PermMetric::Spearman, true);
+        cache.sync_distances(&inputs, 2, PermMetric::Spearman, true, 0);
         assert_eq!(cache.len(), 3);
-        cache.sync_distances(&inputs, 2, PermMetric::Kendall, true);
+        cache.sync_distances(&inputs, 2, PermMetric::Kendall, true, 0);
         assert_eq!(cache.len(), 3);
         let want = reference_d2(&inputs, 2);
         // Kendall == Spearman distances only for these collinear points if
@@ -383,6 +387,23 @@ mod tests {
             }
         }
         let _ = want;
+    }
+
+    #[test]
+    fn mean_digest_change_resets_cached_model_state() {
+        let (_, inputs) = inputs_for(&[0, 5, 9, 14]);
+        let mut cache = GpCache::new();
+        cache.sync_distances(&inputs, 2, PermMetric::Spearman, true, 0);
+        let chol = Cholesky::new(&Matrix::from_rows(&[&[2.0, 0.0], &[0.0, 2.0]])).unwrap();
+        cache.record_fit(&[1.0, 1.0], 1.0, 1e-3, Some(&chol), 0.0, false);
+        assert!(cache.hyperparams().is_some());
+
+        // Same inputs, different prior mean: the residual targets changed,
+        // so hyperparameters and factorization must not be reused.
+        cache.sync_distances(&inputs, 2, PermMetric::Spearman, true, 0xfeed);
+        assert!(cache.hyperparams().is_none());
+        assert!(cache.chol().is_none());
+        assert_eq!(cache.len(), 4, "tables are rebuilt for the new fingerprint");
     }
 
     #[test]

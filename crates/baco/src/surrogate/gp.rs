@@ -46,6 +46,7 @@
 
 use super::cache::GpCache;
 use super::features::{accumulate_scaled_dist2, DimView, ModelInput};
+use super::mean::{MeanFn, ZERO_MEAN_DIGEST};
 use crate::linalg::{dot, mean, std_dev, Cholesky, Matrix};
 use crate::opt::{multistart_minimize, LbfgsOptions};
 use crate::space::{Configuration, PermMetric, SearchSpace};
@@ -142,6 +143,10 @@ pub struct GpOptions {
     /// multistart refit every iteration. `None` keeps fixed-seed tuner
     /// trajectories identical to the always-full-refit reference.
     pub warm_start: Option<WarmStartOptions>,
+    /// Prior mean function `m(x)`: the GP fits the residuals `y − m(x)` and
+    /// adds `m(x)` back at prediction time. `None` (default) is the zero
+    /// mean — byte-identical to a stack with no mean function at all.
+    pub mean_fn: Option<Arc<dyn MeanFn>>,
 }
 
 impl Default for GpOptions {
@@ -158,6 +163,7 @@ impl Default for GpOptions {
             },
             threads: 0,
             warm_start: None,
+            mean_fn: None,
         }
     }
 }
@@ -179,6 +185,7 @@ impl GpOptions {
             },
             threads: 0,
             warm_start: None,
+            mean_fn: None,
         }
     }
 }
@@ -232,6 +239,9 @@ pub struct GaussianProcess {
     noise: f64,
     perm_metric: PermMetric,
     input_transforms: bool,
+    /// Prior mean `m(x)`; the model fits the residuals `y − m(x)` (see
+    /// [`GpOptions::mean_fn`]). `None` is the zero mean.
+    mean_fn: Option<Arc<dyn MeanFn>>,
     y_mean: f64,
     y_std: f64,
     chol: Cholesky,
@@ -324,23 +334,39 @@ impl GaussianProcess {
             .map(|c| ModelInput::from_config(space, c, opts.input_transforms))
             .collect();
 
-        // Standardize outputs.
-        let y_mean = mean(y);
+        // Residual-space fit: subtract the prior mean (when one is set), then
+        // standardize. With no mean function the residuals *are* the targets
+        // and every number below matches the historical zero-mean path bit
+        // for bit.
+        let residuals: Vec<f64>;
+        let targets: &[f64] = match &opts.mean_fn {
+            Some(m) => {
+                residuals = configs
+                    .iter()
+                    .zip(y)
+                    .map(|(c, v)| v - m.mean(space, c))
+                    .collect();
+                &residuals
+            }
+            None => y,
+        };
+        let y_mean = mean(targets);
         let y_std = {
-            let s = std_dev(y);
+            let s = std_dev(targets);
             if s > 1e-12 {
                 s
             } else {
                 1.0
             }
         };
-        let ys: Vec<f64> = y.iter().map(|v| (v - y_mean) / y_std).collect();
+        let ys: Vec<f64> = targets.iter().map(|v| (v - y_mean) / y_std).collect();
 
         // Per-dimension squared distances (fixed across the hyperparameter
         // optimization): extend the cached matrices by the new rows/columns,
         // or rebuild from scratch if the history is not a prefix of the
         // current data (restarted tuner, changed options, …).
-        cache.sync_distances(&inputs, d, opts.perm_metric, opts.input_transforms);
+        let mean_digest = opts.mean_fn.as_ref().map_or(ZERO_MEAN_DIGEST, |m| m.digest());
+        cache.sync_distances(&inputs, d, opts.perm_metric, opts.input_transforms, mean_digest);
         let warm = Self::try_warm_fit(&inputs, &ys, opts, cache);
         let is_warm = warm.is_some();
         let (lengthscales, outputscale, noise, chol, alpha, nll_per_point) = match warm {
@@ -360,6 +386,7 @@ impl GaussianProcess {
             noise,
             perm_metric: opts.perm_metric,
             input_transforms: opts.input_transforms,
+            mean_fn: opts.mean_fn.clone(),
             y_mean,
             y_std,
             chol,
@@ -398,6 +425,12 @@ impl GaussianProcess {
         let mut inputs = self.inputs.clone();
         inputs.push(x);
         let mut ys = self.ys.clone();
+        // Fantasy observations are residuals too: subtract the prior mean
+        // before standardizing, exactly as the fit does for real targets.
+        let y = match &self.mean_fn {
+            Some(m) => y - m.mean(&self.space, cfg),
+            None => y,
+        };
         ys.push((y - self.y_mean) / self.y_std);
         let alpha = chol.solve(&ys);
         let d = self.lengthscales.len();
@@ -410,6 +443,7 @@ impl GaussianProcess {
             noise: self.noise,
             perm_metric: self.perm_metric,
             input_transforms: self.input_transforms,
+            mean_fn: self.mean_fn.clone(),
             y_mean: self.y_mean,
             y_std: self.y_std,
             chol,
@@ -659,10 +693,14 @@ impl GaussianProcess {
     }
 
     /// Posterior mean and latent (noise-free) variance at `cfg`, on the
-    /// original output scale.
+    /// original output scale (prior mean added back when one is set).
     pub fn predict(&self, cfg: &Configuration) -> (f64, f64) {
         let x = ModelInput::from_config(&self.space, cfg, self.input_transforms);
-        self.predict_input(&x)
+        let (m, v) = self.predict_input(&x);
+        match &self.mean_fn {
+            Some(f) => (m + f.mean(&self.space, cfg), v),
+            None => (m, v),
+        }
     }
 
     /// Like [`GaussianProcess::predict`] but over a prepared [`ModelInput`]
@@ -671,6 +709,12 @@ impl GaussianProcess {
     /// This is the *scalar* path: one `O(n²)` triangular solve and fresh
     /// allocations per call. Candidate scoring should go through
     /// [`GaussianProcess::predict_batch`] instead.
+    ///
+    /// **Residual space:** a [`ModelInput`] no longer carries the
+    /// [`Configuration`] the prior mean is evaluated on, so this returns the
+    /// posterior of the residual process (no `m(x)` offset). With the
+    /// default zero mean that *is* the full posterior; with a non-zero
+    /// [`GpOptions::mean_fn`] use the configuration-based entry points.
     pub fn predict_input(&self, x: &ModelInput) -> (f64, f64) {
         let kstar = self.cross_kernel_row(x);
         let mean_std = dot(&kstar, &self.alpha);
@@ -684,7 +728,8 @@ impl GaussianProcess {
 
     /// Posterior mean and latent variance for a whole batch of prepared
     /// inputs; equivalent to mapping [`GaussianProcess::predict_input`] but
-    /// far faster (see module docs).
+    /// far faster (see module docs). Residual space, like
+    /// [`GaussianProcess::predict_input`].
     pub fn predict_batch(&self, xs: &[ModelInput]) -> Vec<(f64, f64)> {
         let mut out = Vec::with_capacity(xs.len());
         match self.scratch.try_lock() {
@@ -697,8 +742,11 @@ impl GaussianProcess {
 
     /// Featurize-and-predict in one step, keeping the candidate-feature
     /// buffer in the shared scratch so its (outer) allocation is reused
-    /// across calls and rounds. Bit-identical to
-    /// `predict_batch(&featurize(cfgs))`.
+    /// across calls and rounds. With the default zero mean this is
+    /// bit-identical to `predict_batch(&featurize(cfgs))`; with a
+    /// [`GpOptions::mean_fn`] set, each candidate's prior mean is added to
+    /// its posterior mean (this is the full-posterior batch entry point —
+    /// [`super::ValueModel`] routes through it).
     pub fn predict_batch_configs(&self, cfgs: &[Configuration]) -> Vec<(f64, f64)> {
         let mut out = Vec::with_capacity(cfgs.len());
         match self.scratch.try_lock() {
@@ -721,12 +769,19 @@ impl GaussianProcess {
                 self.predict_batch_into(&feats, &mut PredictScratch::default(), &mut out);
             }
         }
+        if let Some(m) = &self.mean_fn {
+            for (cfg, entry) in cfgs.iter().zip(out.iter_mut()) {
+                entry.0 += m.mean(&self.space, cfg);
+            }
+        }
         out
     }
 
     /// Allocation-free core of [`GaussianProcess::predict_batch`]: results
     /// are appended to `out` (cleared first); `scratch` is reused across
-    /// calls.
+    /// calls. Residual space — no prior-mean offset (see
+    /// [`GaussianProcess::predict_input`]); callers with configurations in
+    /// hand use [`GaussianProcess::predict_batch_configs`].
     ///
     /// The cross-kernel is built as an `n × m` block and all `m` triangular
     /// systems are forward-substituted together (`var = σ − ‖L⁻¹k*‖²`, so
@@ -1255,6 +1310,84 @@ mod tests {
             assert_eq!(ma.to_bits(), mb.to_bits());
             assert_eq!(va.to_bits(), vb.to_bits());
         }
+    }
+
+    /// A prior mean m(x) = x for the residual-fit equivalence tests.
+    #[derive(Debug)]
+    struct XMean;
+
+    impl crate::surrogate::mean::MeanFn for XMean {
+        fn mean(&self, _space: &SearchSpace, cfg: &Configuration) -> f64 {
+            cfg.value("x").as_f64()
+        }
+
+        fn digest(&self) -> u64 {
+            0x1234
+        }
+    }
+
+    /// The residual-fit contract: fitting (y, mean m) must be the same model
+    /// as fitting the residuals y − m(x) with a zero mean, shifted back by
+    /// m(x) at prediction time — hyperparameters, posteriors and fantasy
+    /// conditioning all bitwise.
+    #[test]
+    fn mean_fn_fit_is_zero_mean_fit_on_residuals() {
+        let s = space_1d();
+        let configs: Vec<_> = (0..=20).step_by(2).map(|x| cfg_x(&s, x)).collect();
+        let y: Vec<f64> = configs
+            .iter()
+            .map(|c| {
+                let x = c.value("x").as_f64();
+                x + (x / 4.0).sin()
+            })
+            .collect();
+        let resid: Vec<f64> = configs
+            .iter()
+            .zip(&y)
+            .map(|(c, v)| v - c.value("x").as_f64())
+            .collect();
+
+        let with_mean = GpOptions {
+            mean_fn: Some(Arc::new(XMean)),
+            ..GpOptions::default()
+        };
+        let mut rng_a = StdRng::seed_from_u64(21);
+        let mut rng_b = rng_a.clone();
+        let a = GaussianProcess::fit(&s, &configs, &y, &with_mean, &mut rng_a).unwrap();
+        let b = GaussianProcess::fit(&s, &configs, &resid, &GpOptions::default(), &mut rng_b)
+            .unwrap();
+        assert_eq!(rng_a, rng_b, "mean-fn fit must consume the same RNG stream");
+        for (la, lb) in a.lengthscales().iter().zip(b.lengthscales()) {
+            assert_eq!(la.to_bits(), lb.to_bits());
+        }
+        assert_eq!(a.outputscale().to_bits(), b.outputscale().to_bits());
+        assert_eq!(a.noise().to_bits(), b.noise().to_bits());
+
+        let probes: Vec<_> = (0..=20).map(|x| cfg_x(&s, x)).collect();
+        let batch_a = a.predict_batch_configs(&probes);
+        let batch_b = b.predict_batch_configs(&probes);
+        for (p, ((ma, va), (mb, vb))) in probes.iter().zip(batch_a.iter().zip(&batch_b)) {
+            let offset = p.value("x").as_f64();
+            assert_eq!(ma.to_bits(), (mb + offset).to_bits(), "batch mean at {p}");
+            assert_eq!(va.to_bits(), vb.to_bits(), "variance is mean-free at {p}");
+            // Scalar path agrees with the batch path's offset handling.
+            let (sa, _) = a.predict(p);
+            let (sb, _) = b.predict(p);
+            assert_eq!(sa.to_bits(), (sb + offset).to_bits(), "scalar mean at {p}");
+        }
+
+        // Fantasy anchors are residuals too: conditioning the mean-fn model
+        // on a raw target equals conditioning the residual model on the
+        // residual.
+        let anchor = cfg_x(&s, 7);
+        let y_anchor = 7.0 + (7.0f64 / 4.0).sin();
+        let fa = a.condition_on(&anchor, y_anchor).unwrap();
+        let fb = b.condition_on(&anchor, y_anchor - 7.0).unwrap();
+        let probe = cfg_x(&s, 9);
+        let (fma, fva) = fa.predict(&probe);
+        let (fmb, fvb) = fb.predict(&probe);
+        assert_eq!(fma.to_bits(), (fmb + 9.0).to_bits());
+        assert_eq!(fva.to_bits(), fvb.to_bits());
     }
 
     #[test]

@@ -27,12 +27,14 @@ pub mod budget;
 pub mod cache;
 mod features;
 pub mod gp;
+pub mod mean;
 pub mod rf;
 
 pub use budget::{ActiveSet, TrustRegion};
 pub use cache::GpCache;
 pub use features::ModelInput;
 pub use gp::{GaussianProcess, GpOptions, PredictScratch, WarmStartOptions};
+pub use mean::{MeanFn, ZeroMean, ZERO_MEAN_DIGEST};
 pub use rf::{RandomForestClassifier, RandomForestRegressor, RfOptions};
 
 use crate::space::{Configuration, SearchSpace};

@@ -384,7 +384,7 @@ impl Baco {
             let doe_n = self.opts.doe_samples.min(self.opts.budget);
             let t0 = Instant::now();
             let rng_before = rng.state();
-            let initial = doe_sample(&self.sampler, &mut rng, doe_n, &seen);
+            let initial = self.transfer_rerank(doe_sample(&self.sampler, &mut rng, doe_n, &seen));
             let doe_pick_time = t0.elapsed() / doe_n.max(1) as u32;
             append_propose(
                 &mut writer,

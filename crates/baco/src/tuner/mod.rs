@@ -36,11 +36,13 @@ mod blackbox;
 mod report;
 mod session;
 pub mod speculate;
+pub mod transfer;
 
 pub use batch::{FantasyStrategy, LiarValue};
 pub use blackbox::{BlackBox, Evaluation, FnBlackBox};
 pub use report::{Trial, TuningReport};
 pub use session::Session;
+pub use transfer::{TransferOptions, DEFAULT_MAX_DONORS};
 
 use crate::acquisition::{
     expected_improvement, feasibility_weighted_ei, inferred_reference, Ehvi, EpsilonSchedule,
@@ -192,6 +194,15 @@ pub struct BacoOptions {
     /// when its anchoring evaluations land; see [`crate::tuner::speculate`].
     /// Capped at [`MAX_SPECULATION_DEPTH`].
     pub speculation_depth: usize,
+    /// Fleet-scale transfer learning: mine a journal corpus directory for
+    /// structurally-compatible archived sessions and seed this run from them
+    /// — warm-started DoE ordering plus a random-forest prior mean for the
+    /// live GP (see [`transfer`]). `None` (the default) keeps the cold-start
+    /// loop; enabled against an empty corpus the trajectory is identical to
+    /// a cold run. The chosen donors are journaled in a
+    /// [`TransferDigest`](crate::journal::TransferDigest) so resumes stay
+    /// bitwise even as the corpus grows.
+    pub transfer: Option<TransferOptions>,
 }
 
 /// The recommended [`BacoOptions::surrogate_budget`] for long-lived
@@ -239,6 +250,7 @@ impl Default for BacoOptions {
             resume: false,
             surrogate_budget: None,
             speculation_depth: 0,
+            transfer: None,
         }
     }
 }
@@ -396,6 +408,19 @@ impl BacoBuilder {
         self
     }
 
+    /// Enables fleet-scale transfer learning from the journal corpus at
+    /// `corpus_dir` (see [`BacoOptions::transfer`] and [`transfer`]).
+    pub fn transfer(mut self, corpus_dir: impl Into<std::path::PathBuf>) -> Self {
+        self.opts.transfer = Some(TransferOptions::new(corpus_dir));
+        self
+    }
+
+    /// Overrides the full transfer-learning configuration (donor cap etc.).
+    pub fn transfer_options(mut self, t: TransferOptions) -> Self {
+        self.opts.transfer = Some(t);
+        self
+    }
+
     /// Replaces all options at once.
     pub fn options(mut self, opts: BacoOptions) -> Self {
         self.opts = opts;
@@ -444,11 +469,19 @@ impl BacoBuilder {
                 self.opts.speculation_depth
             )));
         }
+        if let Some(t) = &self.opts.transfer {
+            if t.max_donors == 0 {
+                return Err(Error::InvalidConfig(
+                    "transfer max_donors must be positive".into(),
+                ));
+            }
+        }
         let sampler = FeasibleSampler::new(&self.space)?;
         Ok(Baco {
             space: self.space,
             sampler,
             opts: self.opts,
+            transfer: std::sync::Mutex::new(None),
         })
     }
 }
@@ -460,6 +493,11 @@ pub struct Baco {
     space: SearchSpace,
     sampler: FeasibleSampler,
     opts: BacoOptions,
+    /// Resolved transfer-learning state, populated lazily by
+    /// [`Baco::prepare_transfer`] when a run opens its journal (interior
+    /// mutability: resolution happens behind `&self` inside the journal-open
+    /// paths, and the tuner must stay [`Sync`] for the server).
+    transfer: std::sync::Mutex<Option<std::sync::Arc<transfer::TransferContext>>>,
 }
 
 impl Baco {
@@ -552,11 +590,13 @@ impl Baco {
     ) -> Result<ClosedLoopStart> {
         use crate::journal::{Header, Journal, JournalWriter};
         let Some(path) = &self.opts.journal_path else {
+            self.prepare_transfer(None)?;
             return Ok(ClosedLoopStart::default());
         };
         if resume && Journal::exists(path) {
             let journal = Journal::load(path, &self.space)?;
             journal.header.validate(mode, &self.opts, &self.space)?;
+            self.prepare_transfer(journal.header.transfer.as_ref())?;
             for tr in &journal.trials {
                 seen.insert(tr.config.clone());
                 report.push(tr.to_trial());
@@ -572,7 +612,8 @@ impl Baco {
                 doe_done: cont.rng_after.is_some(),
             })
         } else {
-            let header = Header::new(mode, &self.opts, &self.space);
+            let mut header = Header::new(mode, &self.opts, &self.space);
+            header.transfer = self.prepare_transfer(None)?;
             Ok(ClosedLoopStart {
                 writer: Some(JournalWriter::create(path, &header)?),
                 ..ClosedLoopStart::default()
@@ -600,7 +641,7 @@ impl Baco {
             let doe_n = self.opts.doe_samples.min(self.opts.budget);
             let t0 = Instant::now();
             let rng_before = rng.state();
-            let initial = doe_sample(&self.sampler, &mut rng, doe_n, &seen);
+            let initial = self.transfer_rerank(doe_sample(&self.sampler, &mut rng, doe_n, &seen));
             let doe_pick_time = t0.elapsed() / doe_n.max(1) as u32;
             append_propose(
                 &mut writer,
@@ -1037,9 +1078,26 @@ impl Baco {
         cache: &mut GpCache,
     ) -> Result<FittedModel> {
         Ok(match self.opts.surrogate {
-            SurrogateKind::GaussianProcess => FittedModel::Gp(Box::new(
-                GaussianProcess::fit_with_cache(&self.space, cfgs, y, &self.opts.gp, rng, cache)?,
-            )),
+            SurrogateKind::GaussianProcess => {
+                let fitted = match self.transfer_mean() {
+                    // The fleet prior becomes the GP's mean function: the GP
+                    // fits residuals against it (see `surrogate::mean`).
+                    Some(mean) => {
+                        let mut gp = self.opts.gp.clone();
+                        gp.mean_fn = Some(mean);
+                        GaussianProcess::fit_with_cache(&self.space, cfgs, y, &gp, rng, cache)?
+                    }
+                    None => GaussianProcess::fit_with_cache(
+                        &self.space,
+                        cfgs,
+                        y,
+                        &self.opts.gp,
+                        rng,
+                        cache,
+                    )?,
+                };
+                FittedModel::Gp(Box::new(fitted))
+            }
             SurrogateKind::RandomForest => FittedModel::Rf(RandomForestRegressor::fit(
                 &self.space,
                 cfgs,

@@ -111,13 +111,16 @@ impl Session {
                 }
             }
         }
+        let transfer = tuner.prepare_transfer(None)?;
         let mut rng = StdRng::seed_from_u64(tuner.options().seed);
         let doe_n = tuner.options().doe_samples.min(tuner.options().budget);
-        let mut doe_queue = doe_sample(tuner.sampler(), &mut rng, doe_n, &HashSet::new());
+        let mut doe_queue =
+            tuner.transfer_rerank(doe_sample(tuner.sampler(), &mut rng, doe_n, &HashSet::new()));
         doe_queue.reverse(); // pop() hands them out in draw order
         let journal = match &tuner.options().journal_path {
             Some(path) => {
-                let header = Header::new(Mode::Session, tuner.options(), tuner.space());
+                let mut header = Header::new(Mode::Session, tuner.options(), tuner.space());
+                header.transfer = transfer;
                 Some(JournalWriter::create(path, &header)?)
             }
             None => None,
@@ -166,6 +169,7 @@ impl Session {
     fn resume_from(tuner: Baco, path: &std::path::Path) -> Result<Self> {
         let journal = Journal::load(path, tuner.space())?;
         journal.header.validate(Mode::Session, tuner.options(), tuner.space())?;
+        tuner.prepare_transfer(journal.header.transfer.as_ref())?;
 
         let mut report = TuningReport::new("BaCO");
         report.set_reference_point(tuner.options().reference_point.clone());
@@ -178,7 +182,8 @@ impl Session {
         // Redraw the deterministic DoE queue, then replay the bookkeeping.
         let mut rng = StdRng::seed_from_u64(tuner.options().seed);
         let doe_n = tuner.options().doe_samples.min(tuner.options().budget);
-        let initial = doe_sample(tuner.sampler(), &mut rng, doe_n, &HashSet::new());
+        let initial =
+            tuner.transfer_rerank(doe_sample(tuner.sampler(), &mut rng, doe_n, &HashSet::new()));
 
         // Roll back trailing rounds with no reported outcome at all.
         let mut kept: &[ProposeRec] = &journal.proposes;

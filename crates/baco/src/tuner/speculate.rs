@@ -285,6 +285,7 @@ impl Baco {
             if resume && Journal::exists(path) {
                 let journal = Journal::load(path, &self.space)?;
                 journal.header.validate(Mode::Batched, &self.opts, &self.space)?;
+                self.prepare_transfer(journal.header.transfer.as_ref())?;
                 self.spec_replay(&journal, &mut st, &mut report, &mut seen)?;
                 if let Some(p) = journal.proposes.last() {
                     rng = StdRng::from_state(p.rng_after);
@@ -292,9 +293,12 @@ impl Baco {
                 st.doe_done = !journal.proposes.is_empty();
                 writer = Some(JournalWriter::resume(path, &journal, report.len())?);
             } else {
-                let header = Header::new(Mode::Batched, &self.opts, &self.space);
+                let mut header = Header::new(Mode::Batched, &self.opts, &self.space);
+                header.transfer = self.prepare_transfer(None)?;
                 writer = Some(JournalWriter::create(path, &header)?);
             }
+        } else {
+            self.prepare_transfer(None)?;
         }
 
         let q = self.opts.batch_size.max(1);
@@ -386,7 +390,7 @@ impl Baco {
                 let doe_n = self.opts.doe_samples.min(self.opts.budget);
                 let t0 = Instant::now();
                 let rng_before = rng.state();
-                let initial = doe_sample(&self.sampler, rng, doe_n, seen);
+                let initial = self.transfer_rerank(doe_sample(&self.sampler, rng, doe_n, seen));
                 let per = t0.elapsed() / doe_n.max(1) as u32;
                 append_spec_propose(
                     writer,

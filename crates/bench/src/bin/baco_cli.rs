@@ -5,12 +5,26 @@
 //! the golden-fixture generator for `tests/golden_trajectories.rs`.
 //!
 //! ```text
-//! baco-cli list [--scale test|small|large]
+//! baco-cli list [--scale test|small|large] [--journal-dir DIR]
 //! baco-cli tune --bench NAME --journal PATH [--resume] [--budget N]
 //!          [--doe N] [--seed S] [--batch Q] [--threads T]
 //!          [--scale test|small|large] [--crash-after K]
+//!          [--transfer] [--transfer-from DIR]
 //! baco-cli best --bench NAME --journal PATH [--scale ...]
 //! ```
+//!
+//! `list --journal-dir DIR` additionally scans the journal corpus at `DIR`:
+//! healthy archived sessions are listed with their space fingerprint and
+//! best value, while torn, corrupt, foreign or future-format files each get
+//! one typed warning line on stderr — the scan never aborts on a bad file.
+//!
+//! `tune --transfer` mines a journal corpus for structurally-compatible
+//! archived runs and seeds the new run from them (warm-started DoE order
+//! plus a fleet prior mean for the GP). The corpus defaults to the
+//! `--journal` file's directory — the fleet layout, where every session
+//! journals into one shared directory — and `--transfer-from DIR` points
+//! elsewhere. `client --transfer` requests the same server-side, against
+//! the server's `--journal-dir`.
 //!
 //! `--crash-after K` aborts the process (exit 137, like a SIGKILL) as soon
 //! as the black box is asked for its (K+1)-th evaluation — the journal then
@@ -44,7 +58,7 @@ use baco::tuner::{Baco, BlackBox, Evaluation};
 use baco::Configuration;
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use taco_sim::benchmarks::TacoScale;
 
@@ -65,11 +79,13 @@ struct Opts {
     max_conn: usize,
     shards: usize,
     evals: Option<usize>,
+    transfer: bool,
+    transfer_from: Option<PathBuf>,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  baco-cli list [--scale test|small|large]\n  baco-cli tune --bench NAME --journal PATH [--resume] [--budget N] [--doe N]\n           [--seed S] [--batch Q] [--threads T] [--scale test|small|large]\n           [--crash-after K]\n  baco-cli best --bench NAME --journal PATH [--scale test|small|large]\n  baco-cli serve --addr HOST:PORT [--journal-dir DIR] [--max-conn N] [--shards N]\n  baco-cli client --addr HOST:PORT --bench NAME --session ID [--budget N]\n           [--doe N] [--seed S] [--batch Q] [--evals K] [--resume]\n           [--scale test|small|large]"
+        "usage:\n  baco-cli list [--scale test|small|large] [--journal-dir DIR]\n  baco-cli tune --bench NAME --journal PATH [--resume] [--budget N] [--doe N]\n           [--seed S] [--batch Q] [--threads T] [--scale test|small|large]\n           [--crash-after K] [--transfer] [--transfer-from DIR]\n  baco-cli best --bench NAME --journal PATH [--scale test|small|large]\n  baco-cli serve --addr HOST:PORT [--journal-dir DIR] [--max-conn N] [--shards N]\n  baco-cli client --addr HOST:PORT --bench NAME --session ID [--budget N]\n           [--doe N] [--seed S] [--batch Q] [--evals K] [--resume] [--transfer]\n           [--scale test|small|large]"
     );
     std::process::exit(2);
 }
@@ -93,6 +109,8 @@ fn parse(mut args: std::env::Args) -> (String, Opts) {
         max_conn: 8192,
         shards: 16,
         evals: None,
+        transfer: false,
+        transfer_from: None,
     };
     let mut args = args.peekable();
     while let Some(a) = args.next() {
@@ -124,6 +142,11 @@ fn parse(mut args: std::env::Args) -> (String, Opts) {
             "--max-conn" => o.max_conn = parse_num("--max-conn", need("--max-conn")).max(1),
             "--shards" => o.shards = parse_num("--shards", need("--shards")).max(1),
             "--evals" => o.evals = Some(parse_num("--evals", need("--evals"))),
+            "--transfer" => o.transfer = true,
+            "--transfer-from" => {
+                o.transfer = true;
+                o.transfer_from = Some(PathBuf::from(need("--transfer-from")));
+            }
             "--scale" => {
                 o.scale = match need("--scale").as_str() {
                     "test" => TacoScale::Test,
@@ -192,6 +215,18 @@ fn build_tuner(bench: &Benchmark, o: &Opts) -> Baco {
         eprintln!("--journal is required");
         usage();
     };
+    // The corpus defaults to the journal's own directory — the fleet layout,
+    // where every session journals into one shared directory.
+    let corpus = o.transfer.then(|| {
+        o.transfer_from.clone().unwrap_or_else(|| {
+            let parent = journal.parent().unwrap_or_else(|| std::path::Path::new("."));
+            if parent.as_os_str().is_empty() {
+                PathBuf::from(".")
+            } else {
+                parent.to_path_buf()
+            }
+        })
+    });
     let mut builder = Baco::builder(bench.space.clone())
         .budget(o.budget.unwrap_or(bench.budget))
         .doe_samples(o.doe.unwrap_or(10))
@@ -201,6 +236,9 @@ fn build_tuner(bench: &Benchmark, o: &Opts) -> Baco {
         .objectives(bench.n_objectives())
         .journal_path(journal)
         .resume(o.resume);
+    if let Some(dir) = corpus {
+        builder = builder.transfer(dir);
+    }
     if let Some(r) = bench.reference_point.clone() {
         builder = builder.reference_point(r);
     }
@@ -210,6 +248,38 @@ fn build_tuner(bench: &Benchmark, o: &Opts) -> Baco {
             eprintln!("tuner construction failed: {e}");
             std::process::exit(1);
         })
+}
+
+/// Lists the journal corpus at `dir`: one line per healthy archived session,
+/// one typed warning per torn/corrupt/foreign/future-format file. A bad file
+/// never aborts the listing — that is the corpus scan's contract.
+fn list_corpus(dir: &Path) {
+    let corpus = match baco::journal::corpus::scan(dir) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("cannot scan journal corpus {}: {e}", dir.display());
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "corpus {}: {} archived session(s), {} skipped",
+        dir.display(),
+        corpus.entries.len(),
+        corpus.skipped.len()
+    );
+    for e in &corpus.entries {
+        let best = match e.best {
+            Some(v) => v.to_string(),
+            None => "-".to_string(),
+        };
+        println!(
+            "{:22} fingerprint={:016x} objectives={} trials={:4} best={}",
+            e.session, e.fingerprint, e.objectives, e.trials, best
+        );
+    }
+    for (file, why) in &corpus.skipped {
+        eprintln!("warning: skipped {file}: {why}");
+    }
 }
 
 fn print_best(report: &baco::TuningReport) {
@@ -407,6 +477,9 @@ fn run_client(o: &Opts) {
         ("seed", Json::Str(o.seed.to_string())),
         ("resume", Json::Bool(o.resume)),
     ];
+    if o.transfer {
+        create_fields.push(("transfer", Json::Bool(true)));
+    }
     if bench.n_objectives() > 1 {
         create_fields.push(("objectives", Json::Num(bench.n_objectives() as f64)));
         if let Some(r) = &bench.reference_point {
@@ -418,6 +491,12 @@ fn run_client(o: &Opts) {
     }
     let created = conn.request(&obj(create_fields));
     let mut len = created.get("len").and_then(Json::as_f64).unwrap_or(0.0) as usize;
+    if let Some(donors) = created.get("transfer_donors").and_then(Json::as_f64) {
+        let trials = created.get("donor_trials").and_then(Json::as_f64).unwrap_or(0.0);
+        println!(
+            "transfer: {donors} donor session(s), {trials} archived trial(s) seeding session {session}"
+        );
+    }
     if created.get("resumed") == Some(&Json::Bool(true)) {
         println!("resumed session {session} with {len} evaluations on record");
     } else if o.resume {
@@ -515,6 +594,9 @@ fn main() {
                     b.param_kinds(),
                     b.objective_names.join("+")
                 );
+            }
+            if let Some(dir) = &o.journal_dir {
+                list_corpus(dir);
             }
         }
         "tune" => {

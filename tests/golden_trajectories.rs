@@ -156,6 +156,48 @@ impl Golden {
         );
     }
 
+    /// Transfer pointed at an **empty** corpus must be trajectory-inert:
+    /// the same replay, with `transfer` enabled on a directory holding no
+    /// usable donors, reproduces the committed fixture bitwise. (The prior
+    /// RNG is private to the transfer module and DoE re-ranking is the
+    /// identity without donors, so fleet plumbing alone may not move a
+    /// single proposal.)
+    fn assert_empty_corpus_replay(&self) {
+        let (journal, _, replay) = self.load();
+        let stem = Path::new(self.fixture)
+            .file_stem()
+            .expect("fixture has a file name")
+            .to_string_lossy();
+        let dir =
+            std::env::temp_dir().join(format!("baco-golden-empty-{}-{stem}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut builder = Baco::builder(self.bench.space.clone())
+            .budget(20)
+            .doe_samples(6)
+            .seed(self.seed)
+            .batch_size(self.batch)
+            .objectives(self.bench.n_objectives())
+            .mo_strategy(MultiObjectiveStrategy::ParEgo)
+            .eval_threads(1)
+            .transfer(&dir);
+        if let Some(r) = self.bench.reference_point.clone() {
+            builder = builder.reference_point(r);
+        }
+        let tuner = builder.build().unwrap();
+        let report = if self.batch > 1 {
+            tuner.run_batched(&replay).unwrap()
+        } else {
+            tuner.run(&replay).unwrap()
+        };
+        assert_eq!(
+            self.fixture_signature(&journal),
+            signature(&report),
+            "{}: an empty transfer corpus perturbed the trajectory",
+            self.fixture
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
     /// Crash-and-resume replay: truncate the fixture at several interior
     /// record boundaries, resume each, and require the fixture trajectory.
     fn assert_resume(&self) {
@@ -271,4 +313,11 @@ fn fpga_bfs_pareto_golden_trajectory_replays_bitwise() {
 #[test]
 fn fpga_bfs_pareto_golden_trajectory_resumes_bitwise() {
     bfs_pareto().assert_resume();
+}
+
+#[test]
+fn empty_corpus_transfer_replays_every_golden_bitwise() {
+    spmm().assert_empty_corpus_replay();
+    mm_gpu().assert_empty_corpus_replay();
+    bfs_pareto().assert_empty_corpus_replay();
 }

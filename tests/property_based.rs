@@ -142,3 +142,122 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The transfer corpus's structural space fingerprint is invariant
+    /// under parameter declaration order: the same parameters and
+    /// constraints, however listed, must land on the same donor shelf.
+    #[test]
+    fn space_fingerprint_is_declaration_order_invariant(
+        n in 2usize..6,
+        rot in 1usize..5,
+        lo in -5i64..0,
+        hi in 1i64..20,
+        kinds in 0u64..243, // base-3 digit per parameter picks its kind
+        constrained in 0u8..2,
+    ) {
+        let build = |order: &[usize]| {
+            let mut b = SearchSpace::builder();
+            for &i in order {
+                let name = format!("p{i}");
+                b = match (kinds / 3u64.pow(i as u32)) % 3 {
+                    0 => b.integer(&name, lo, hi),
+                    1 => b.real(&name, 0.0, 1.0 + i as f64),
+                    _ => b.categorical(&name, vec!["a", "b", "c"]),
+                };
+            }
+            // p999 exists in every ordering, so the constraint is well-formed
+            // regardless of which kinds the drawn digits picked.
+            b = b.integer("p999", 0, 9);
+            if constrained == 1 {
+                b = b.known_constraint("p999 >= 1");
+            }
+            b.build().unwrap()
+        };
+        let fwd: Vec<usize> = (0..n).collect();
+        let mut rotated = fwd.clone();
+        rotated.rotate_left(rot % n);
+        prop_assert_eq!(
+            baco::journal::corpus::fingerprint_space(&build(&fwd)),
+            baco::journal::corpus::fingerprint_space(&build(&rotated))
+        );
+    }
+
+    /// …but any structural change — a widened domain, a renamed parameter,
+    /// an added constraint, a different parameter kind — moves the
+    /// fingerprint, so sessions from a different space never pool.
+    #[test]
+    fn space_fingerprint_sees_structural_changes(
+        lo in 0i64..3,
+        hi in 4i64..20,
+        which in 0u8..4,
+    ) {
+        let base = SearchSpace::builder()
+            .integer("x", lo, hi)
+            .real("r", 0.0, 1.0)
+            .build()
+            .unwrap();
+        let changed = match which {
+            0 => SearchSpace::builder().integer("x", lo, hi + 1).real("r", 0.0, 1.0),
+            1 => SearchSpace::builder().integer("y", lo, hi).real("r", 0.0, 1.0),
+            2 => SearchSpace::builder()
+                .integer("x", lo, hi)
+                .real("r", 0.0, 1.0)
+                .known_constraint("x >= 1"),
+            _ => SearchSpace::builder().integer_log("x", lo.max(1), hi).real("r", 0.0, 1.0),
+        }
+        .build()
+        .unwrap();
+        prop_assert_ne!(
+            baco::journal::corpus::fingerprint_space(&base),
+            baco::journal::corpus::fingerprint_space(&changed)
+        );
+    }
+
+    /// The on-disk corpus index round-trips byte for byte, non-finite best
+    /// values included: parse(serialize(entries)) re-serializes to the very
+    /// same bytes, so rescans never churn the committed index file.
+    #[test]
+    fn corpus_index_roundtrips_bytes_exactly(
+        k in 0usize..7,
+        seed in 0u64..u64::MAX,
+    ) {
+        use baco::journal::corpus::{Corpus, CorpusEntry};
+        // splitmix64: cheap deterministic field material from the one seed.
+        let mut state = seed;
+        let mut next = move || {
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        let entries: Vec<CorpusEntry> = (0..k)
+            .map(|i| {
+                let best = match next() % 5 {
+                    0 => None,
+                    1 => Some(f64::NAN),
+                    2 => Some(f64::INFINITY),
+                    3 => Some(f64::NEG_INFINITY),
+                    _ => Some((next() % 1_000_000) as f64 / 997.0),
+                };
+                CorpusEntry {
+                    session: format!("s{i}-{:x}", next() % 0xffff),
+                    fingerprint: next(),
+                    envelope: next(),
+                    objectives: 1 + (next() % 3) as usize,
+                    trials: (next() % 500) as usize,
+                    best,
+                    content: next(),
+                }
+            })
+            .collect();
+        let corpus = Corpus { dir: std::path::PathBuf::from("."), entries, skipped: Vec::new() };
+        let bytes = corpus.index_to_bytes();
+        let parsed = Corpus::index_from_bytes(&bytes).unwrap();
+        let again = Corpus { entries: parsed, ..corpus }.index_to_bytes();
+        prop_assert_eq!(bytes, again);
+    }
+}
